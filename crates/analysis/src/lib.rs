@@ -1,0 +1,36 @@
+//! # lh-analysis — metrics for timing-channel research
+//!
+//! The quantitative vocabulary of the LeakyHammer paper:
+//!
+//! * [`capacity`] — channel capacity and binary entropy (Eq. 1),
+//! * [`message`] — test-message patterns, text↔bit and bit↔symbol codecs,
+//! * [`noise`] — the noise-intensity mapping (Eq. 2),
+//! * [`speedup`] — weighted speedup for the Fig. 13 performance study,
+//! * [`stats`] — summary statistics and histograms for reports.
+//!
+//! ## Example
+//!
+//! ```
+//! use lh_analysis::capacity::ChannelResult;
+//! use lh_analysis::message::bits_of_str;
+//!
+//! let sent = bits_of_str("MICRO");
+//! let recv = sent.clone(); // perfect channel
+//! let r = ChannelResult::from_bits(&sent, &recv, 40.0 / 40_000.0);
+//! assert_eq!(r.capacity_kbps(), 40.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod capacity;
+pub mod message;
+pub mod noise;
+pub mod speedup;
+pub mod stats;
+
+pub use capacity::{binary_entropy, channel_capacity, ChannelResult};
+pub use message::{bits_of_str, bits_to_symbols, str_of_bits, symbols_to_bits, MessagePattern};
+pub use noise::{intensity_of_sleep, sleep_of_intensity};
+pub use speedup::{normalized_ws, weighted_speedup, AppPerf};
+pub use stats::{geo_mean, mean, percentile, std_dev, Histogram};

@@ -1,0 +1,80 @@
+//! Noise-intensity mapping (§6.3, Eq. 2 of the paper).
+//!
+//! The noise generator sleeps `SleepDuration` between consecutive row
+//! activations; intensity maps the swept range [0.2 µs, 2 µs] linearly
+//! onto [100 %, 1 %].
+
+/// The sweep endpoints of Eq. 2, in microseconds.
+pub const MIN_SLEEP_US: f64 = 0.2;
+/// See [`MIN_SLEEP_US`].
+pub const MAX_SLEEP_US: f64 = 2.0;
+
+/// Noise intensity (percent, 1–100) for a sleep duration in µs (Eq. 2).
+///
+/// # Panics
+///
+/// Panics if `sleep_us` is outside `[MIN_SLEEP_US, MAX_SLEEP_US]`.
+pub fn intensity_of_sleep(sleep_us: f64) -> f64 {
+    assert!(
+        (MIN_SLEEP_US..=MAX_SLEEP_US).contains(&sleep_us),
+        "sleep {sleep_us} µs outside the swept range"
+    );
+    (1.0 - (sleep_us - MIN_SLEEP_US) / (MAX_SLEEP_US - MIN_SLEEP_US)) * 99.0 + 1.0
+}
+
+/// Inverse of [`intensity_of_sleep`]: sleep duration (µs) for an intensity
+/// in percent.
+///
+/// # Panics
+///
+/// Panics if `intensity` is outside `[1, 100]`.
+pub fn sleep_of_intensity(intensity: f64) -> f64 {
+    assert!((1.0..=100.0).contains(&intensity), "intensity {intensity}% out of range");
+    MIN_SLEEP_US + (1.0 - (intensity - 1.0) / 99.0) * (MAX_SLEEP_US - MIN_SLEEP_US)
+}
+
+/// The noise-intensity sample points used for Figs. 4, 7 and 11
+/// (1 %, 10 %, 20 %, ..., 100 %).
+pub fn paper_sweep() -> Vec<f64> {
+    let mut v = vec![1.0];
+    v.extend((1..=10).map(|i| i as f64 * 10.0));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_match_eq2() {
+        assert!((intensity_of_sleep(2.0) - 1.0).abs() < 1e-12);
+        assert!((intensity_of_sleep(0.2) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roundtrip() {
+        for i in [1.0, 10.0, 42.0, 88.0, 100.0] {
+            let s = sleep_of_intensity(i);
+            assert!((intensity_of_sleep(s) - i).abs() < 1e-9, "{i}");
+        }
+    }
+
+    #[test]
+    fn intensity_decreases_with_sleep() {
+        assert!(intensity_of_sleep(0.5) > intensity_of_sleep(1.5));
+    }
+
+    #[test]
+    fn sweep_covers_1_to_100() {
+        let s = paper_sweep();
+        assert_eq!(s.len(), 11);
+        assert_eq!(s[0], 1.0);
+        assert_eq!(*s.last().unwrap(), 100.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_sleep_panics() {
+        let _ = intensity_of_sleep(3.0);
+    }
+}

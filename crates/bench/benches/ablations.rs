@@ -1,0 +1,61 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! FR-FCFS column cap, refresh postponing, and the mapping scheme.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lh_analysis::message::bits_of_str;
+use lh_bench::experiment::covert::{run_covert, ChannelKind, CovertOptions};
+use lh_memctrl::MappingScheme;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(5));
+    let bits = bits_of_str("AB");
+
+    g.bench_function("baseline", |b| {
+        b.iter(|| run_covert(&CovertOptions::new(ChannelKind::Prac, bits.clone())))
+    });
+    g.bench_function("no_column_cap", |b| {
+        b.iter(|| {
+            let mut opts = CovertOptions::new(ChannelKind::Prac, bits.clone());
+            opts.sim.ctrl.col_cap = u32::MAX;
+            run_covert(&opts)
+        })
+    });
+    g.bench_function("no_refresh_postpone", |b| {
+        b.iter(|| {
+            let mut opts = CovertOptions::new(ChannelKind::Prac, bits.clone());
+            opts.sim.ctrl.refresh_postpone = false;
+            run_covert(&opts)
+        })
+    });
+    g.bench_function("xor_bank_mapping", |b| {
+        b.iter(|| {
+            let mut opts = CovertOptions::new(ChannelKind::Prac, bits.clone());
+            opts.sim.mapping = MappingScheme::XorBank;
+            run_covert(&opts)
+        })
+    });
+    g.bench_function("strict_closed_page", |b| {
+        b.iter(|| {
+            let mut opts = CovertOptions::new(ChannelKind::Prac, bits.clone());
+            opts.sim.ctrl.row_policy = lh_memctrl::RowPolicy::Closed;
+            opts.receiver_think = Some(lh_dram::Span::from_ns(420));
+            run_covert(&opts)
+        })
+    });
+    g.bench_function("cadence_filtered_receiver", |b| {
+        b.iter(|| {
+            let mut opts = CovertOptions::new(ChannelKind::Prac, bits.clone());
+            opts.refresh_filter = Some(lh_attacks::RefreshFilterConfig::from_timing(
+                &opts.sim.device.timing,
+            ));
+            run_covert(&opts)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

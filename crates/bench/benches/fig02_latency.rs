@@ -1,0 +1,20 @@
+//! Fig. 2 bench: the Listing-1 latency measurement routine under PRAC.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lh_bench::experiment::latency_trace::run_latency_trace;
+use lh_defenses::DefenseConfig;
+use lh_dram::Span;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig02_latency_trace");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.bench_function("prac_512_requests", |b| {
+        b.iter(|| run_latency_trace(DefenseConfig::prac(128), 512, Span::from_ns(30)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Fig. 3 bench: the 40-bit "MICRO" transmission over the PRAC channel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lh_analysis::message::bits_of_str;
+use lh_bench::experiment::covert::{run_covert, ChannelKind, CovertOptions};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig03_prac_channel");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(5));
+    g.bench_function("micro_40bits", |b| {
+        b.iter(|| {
+            let out = run_covert(&CovertOptions::new(ChannelKind::Prac, bits_of_str("MICRO")));
+            assert_eq!(out.result.bit_errors, 0);
+            out
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Fig. 4 bench: PRAC channel under one noise point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lh_analysis::MessagePattern;
+use lh_bench::experiment::covert::{run_covert, ChannelKind, CovertOptions};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig04_prac_noise");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(5));
+    for intensity in [1.0f64, 100.0] {
+        g.bench_function(format!("noise_{intensity}pct"), |b| {
+            b.iter(|| {
+                let mut opts = CovertOptions::new(
+                    ChannelKind::Prac,
+                    MessagePattern::Checkered0.bits(16),
+                );
+                opts.noise_intensity = Some(intensity);
+                run_covert(&opts)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

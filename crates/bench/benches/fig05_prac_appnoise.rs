@@ -1,0 +1,25 @@
+//! Fig. 5 bench: PRAC channel with one SPEC-like co-runner.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lh_analysis::MessagePattern;
+use lh_bench::experiment::covert::{run_covert, ChannelKind, CovertOptions};
+use lh_workloads::{AppProfile, Intensity};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig05_prac_appnoise");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(5));
+    g.bench_function("high_intensity_corunner", |b| {
+        b.iter(|| {
+            let mut opts =
+                CovertOptions::new(ChannelKind::Prac, MessagePattern::Checkered1.bits(16));
+            opts.co_runners = vec![AppProfile::category(Intensity::High)];
+            run_covert(&opts)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Fig. 7 bench: RFM channel under one noise point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lh_analysis::MessagePattern;
+use lh_bench::experiment::covert::{run_covert, ChannelKind, CovertOptions};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig07_rfm_noise");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(5));
+    g.bench_function("noise_50pct", |b| {
+        b.iter(|| {
+            let mut opts =
+                CovertOptions::new(ChannelKind::Rfm, MessagePattern::Checkered0.bits(16));
+            opts.noise_intensity = Some(50.0);
+            run_covert(&opts)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Fig. 8 bench: RFM channel with one SPEC-like co-runner.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lh_analysis::MessagePattern;
+use lh_bench::experiment::covert::{run_covert, ChannelKind, CovertOptions};
+use lh_workloads::{AppProfile, Intensity};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig08_rfm_appnoise");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(5));
+    g.bench_function("medium_intensity_corunner", |b| {
+        b.iter(|| {
+            let mut opts =
+                CovertOptions::new(ChannelKind::Rfm, MessagePattern::Checkered1.bits(16));
+            opts.co_runners = vec![AppProfile::category(Intensity::Medium)];
+            run_covert(&opts)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

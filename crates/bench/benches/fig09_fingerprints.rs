@@ -1,0 +1,24 @@
+//! Fig. 9 bench: collecting one website back-off fingerprint.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lh_bench::experiment::fingerprint::{collect_one, CollectOptions};
+use lh_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig09_fingerprints");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(5));
+    let opts = CollectOptions::for_scale(Scale::Quick, 42);
+    g.bench_function("one_trace_reddit", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            collect_one(24, seed, &opts)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

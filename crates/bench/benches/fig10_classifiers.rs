@@ -1,0 +1,26 @@
+//! Fig. 10 bench: training the model zoo on a small fingerprint dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lh_bench::experiment::fingerprint::{
+    collect_dataset, run_model_comparison, to_dataset, CollectOptions,
+};
+use lh_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_classifiers");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(10));
+    // Collect once; benchmark the ML pipeline.
+    let mut opts = CollectOptions::for_scale(Scale::Quick, 7);
+    opts.sites = 3;
+    opts.traces_per_site = 4;
+    let data = to_dataset(&collect_dataset(&opts));
+    g.bench_function("model_zoo_cv", |b| {
+        b.iter(|| run_model_comparison(&data, 3, 5))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Fig. 11 bench: PRAC channel with a 2-RFM back-off.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lh_bench::experiment::noise_sweep::run_rfm_count_sweep;
+use lh_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_rfm_count");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(10));
+    g.bench_function("two_rfm_backoffs_quick_sweep", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            run_rfm_count_sweep(2, Scale::Quick, seed)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Fig. 13 bench: one four-core mix under PRAC at NRH=1024.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lh_bench::experiment::perf::run_performance;
+use lh_bench::Scale;
+use lh_defenses::DefenseKind;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13_performance");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(10));
+    g.bench_function("prac_nrh1024_quick", |b| {
+        b.iter(|| run_performance(&[DefenseKind::Prac], &[1024], Scale::Quick, 3))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

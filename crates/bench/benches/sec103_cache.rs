@@ -1,0 +1,26 @@
+//! §10.3 bench: PRAC channel on the large hierarchy with prefetching.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lh_analysis::MessagePattern;
+use lh_bench::experiment::covert::{run_covert, ChannelKind, CovertOptions};
+use lh_sim::{BopConfig, CacheConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sec103_cache");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(5));
+    g.bench_function("large_hierarchy_prac", |b| {
+        b.iter(|| {
+            let mut opts =
+                CovertOptions::new(ChannelKind::Prac, MessagePattern::Checkered0.bits(16));
+            opts.sim.caches = CacheConfig::large_hierarchy();
+            opts.sim.prefetch = Some(BopConfig::paper_default());
+            run_covert(&opts)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! §11.4 bench: the countermeasure capacity-reduction study.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lh_bench::experiment::countermeasures::run_mitigation_study;
+use lh_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sec114_mitigation");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(20));
+    g.bench_function("study_quick", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            run_mitigation_study(Scale::Quick, seed)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! §6.3 multibit bench: a quaternary transmission with calibration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lh_bench::experiment::multibit::run_multibit;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sec63_multibit");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(10));
+    g.bench_function("quaternary_4bytes", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            run_multibit(4, 4, seed)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

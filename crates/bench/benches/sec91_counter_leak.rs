@@ -1,0 +1,22 @@
+//! §9.1 bench: one activation-counter leak measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lh_bench::experiment::counter_leak::run_counter_leak;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sec91_counter_leak");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(5));
+    g.bench_function("four_trials", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            run_counter_leak(4, seed)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

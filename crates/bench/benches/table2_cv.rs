@@ -1,0 +1,21 @@
+//! Table 2 bench: 10-fold decision-tree cross-validation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lh_bench::experiment::fingerprint::{collect_dataset, run_table2, to_dataset, CollectOptions};
+use lh_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_cv");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(5));
+    let mut opts = CollectOptions::for_scale(Scale::Quick, 11);
+    opts.sites = 3;
+    opts.traces_per_site = 10; // 10-fold CV needs 10 traces per class
+    let data = to_dataset(&collect_dataset(&opts));
+    g.bench_function("tree_10fold", |b| b.iter(|| run_table2(&data, 5)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Table 3 bench: the capability matrix plus a DRAMA baseline round trip.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lh_bench::report::table3_report;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_capability");
+    g.sample_size(20);
+    g.bench_function("matrix_render", |b| b.iter(table3_report));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! # lh-bench — benchmark harness for the LeakyHammer reproduction
+//!
+//! Two entry points:
+//!
+//! * the `lh-experiments` binary — regenerates any figure or table of the
+//!   paper on demand (`lh-experiments fig4 --scale default`);
+//! * the Criterion benches under `benches/` — one per table/figure, each
+//!   running a `Scale::Quick` version of the experiment so timing
+//!   regressions in the simulator show up in CI.
+//!
+//! The experiment logic itself lives in [`leakyhammer::experiment`]; this
+//! crate only orchestrates and prints.
+
+pub use leakyhammer::{experiment, report, Scale};
+
+/// All experiment identifiers the harness knows, with a one-line
+/// description (figure/table mapping per DESIGN.md §2).
+pub const EXPERIMENTS: &[(&str, &str)] = &[
+    ("fig2", "memory-request latencies: conflicts, refreshes, back-offs"),
+    ("fig3", "PRAC covert channel: 40-bit MICRO transmission"),
+    ("fig4", "PRAC covert channel vs noise intensity"),
+    ("fig5", "PRAC covert channel vs SPEC-like interference"),
+    ("fig6", "RFM covert channel: 40-bit MICRO transmission"),
+    ("fig7", "RFM covert channel vs noise intensity"),
+    ("fig8", "RFM covert channel vs SPEC-like interference"),
+    ("fig9", "website back-off fingerprints"),
+    ("fig10", "classifier accuracy over websites"),
+    ("fig11", "2-RFM / 1-RFM back-offs vs noise"),
+    ("fig12", "capacity vs preventive-action latency"),
+    ("fig13", "weighted speedup of defenses over NRH"),
+    ("table2", "decision-tree F1/precision/recall, 10-fold CV"),
+    ("table3", "leaked information by colocation granularity"),
+    ("multibit", "binary/ternary/quaternary channels (sec. 6.3)"),
+    ("counterleak", "activation-counter value leak (sec. 9.1)"),
+    ("cache", "larger caches + prefetching (sec. 10.3)"),
+    ("mitigation", "countermeasure capacity reduction (sec. 11.4)"),
+    ("rowpolicy", "closed-row policy vs DRAMA and LeakyHammer (sec. 9)"),
+    ("taxonomy", "defense taxonomy (sec. 12)"),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_experiment_has_an_id_and_description() {
+        assert!(EXPERIMENTS.len() >= 19);
+        for (id, desc) in EXPERIMENTS {
+            assert!(!id.is_empty() && !desc.is_empty());
+        }
+        // Every figure and table of the evaluation is covered.
+        for fig in ["fig2", "fig13", "table2", "table3"] {
+            assert!(EXPERIMENTS.iter().any(|(id, _)| id == &fig), "missing {fig}");
+        }
+    }
+}

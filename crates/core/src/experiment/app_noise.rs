@@ -1,0 +1,82 @@
+//! Application-induced interference: Figs. 5 and 8.
+//!
+//! Runs each covert channel concurrently with SPEC-like co-runners of
+//! increasing memory intensity (L/M/H RBMPKI) and reports error
+//! probability and capacity per intensity level.
+
+use serde::{Deserialize, Serialize};
+
+use lh_analysis::{ChannelResult, MessagePattern};
+use lh_workloads::{AppProfile, Intensity};
+
+use crate::experiment::covert::{run_covert, ChannelKind, CovertOptions};
+use crate::Scale;
+
+/// One interference level's measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AppNoisePoint {
+    /// Interference category.
+    pub intensity: Intensity,
+    /// Error probability.
+    pub error_probability: f64,
+    /// Capacity in Kbps.
+    pub capacity_kbps: f64,
+}
+
+/// The Fig. 5 / Fig. 8 series.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AppNoiseSeries {
+    /// Which channel.
+    pub kind: ChannelKind,
+    /// One point per L/M/H level.
+    pub points: Vec<AppNoisePoint>,
+}
+
+/// Runs the experiment for `kind` at `scale`.
+pub fn run_app_noise(kind: ChannelKind, scale: Scale, seed: u64) -> AppNoiseSeries {
+    let bits_per_pattern = scale.message_bits() / 4;
+    let mut points = Vec::new();
+    for intensity in [Intensity::Low, Intensity::Medium, Intensity::High] {
+        let mut results = Vec::new();
+        for (i, pattern) in MessagePattern::paper_set().iter().enumerate() {
+            let mut opts = CovertOptions::new(kind, pattern.bits(bits_per_pattern));
+            opts.co_runners = vec![AppProfile::category(intensity)];
+            opts.seed = seed ^ ((i as u64) << 4);
+            results.push(run_covert(&opts).result);
+        }
+        let merged = ChannelResult::merge(results.iter());
+        points.push(AppNoisePoint {
+            intensity,
+            error_probability: merged.error_probability(),
+            capacity_kbps: merged.capacity_kbps(),
+        });
+    }
+    AppNoiseSeries { kind, points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn app_interference_reduces_but_does_not_kill_the_prac_channel() {
+        let series = run_app_noise(ChannelKind::Prac, Scale::Quick, 3);
+        assert_eq!(series.points.len(), 3);
+        for p in &series.points {
+            // Fig. 5: even at high intensity the channel keeps most of
+            // its capacity (paper: 31.2 of 39 Kbps at H).
+            assert!(
+                p.capacity_kbps > 15.0,
+                "{:?}: capacity {} too low",
+                p.intensity,
+                p.capacity_kbps
+            );
+            assert!(
+                p.error_probability < 0.25,
+                "{:?}: error {}",
+                p.intensity,
+                p.error_probability
+            );
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Countermeasure evaluation (§11.4): how much channel capacity each
+//! countermeasure removes relative to plain PRAC.
+//!
+//! The paper reports FR-RFM eliminating the channel (100 % reduction) and
+//! RIAC reducing it by ≈86 % on average.
+
+use serde::{Deserialize, Serialize};
+
+use lh_analysis::{ChannelResult, MessagePattern};
+use lh_defenses::{DefenseConfig, DefenseKind};
+use lh_dram::DramTiming;
+
+use crate::experiment::covert::{run_covert, ChannelKind, CovertOptions};
+use crate::Scale;
+
+/// Capacity measurement of the PRAC-style attack under one defense.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MitigationPoint {
+    /// Which configuration the attack ran against.
+    pub defense: DefenseKind,
+    /// Error probability.
+    pub error_probability: f64,
+    /// Capacity in Kbps.
+    pub capacity_kbps: f64,
+    /// Capacity reduction vs plain PRAC (percent).
+    pub reduction_pct: f64,
+}
+
+/// The §11.4 capacity-reduction study.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MitigationStudy {
+    /// PRAC baseline, then each countermeasure.
+    pub points: Vec<MitigationPoint>,
+}
+
+fn attack_capacity(defense: DefenseConfig, bits_per_pattern: usize, seed: u64) -> (f64, f64) {
+    let mut results = Vec::new();
+    for (i, pattern) in MessagePattern::paper_set().iter().enumerate() {
+        let mut opts = CovertOptions::new(ChannelKind::Prac, pattern.bits(bits_per_pattern));
+        opts.sim.defense = defense.clone();
+        opts.seed = seed ^ ((i as u64) << 3);
+        results.push(run_covert(&opts).result);
+    }
+    let merged = ChannelResult::merge(results.iter());
+    (merged.error_probability(), merged.capacity_kbps())
+}
+
+/// Runs the study: PRAC (baseline), FR-RFM and PRAC-RIAC.
+pub fn run_mitigation_study(scale: Scale, seed: u64) -> MitigationStudy {
+    let t = DramTiming::ddr5_4800();
+    let bits = scale.message_bits() / 4;
+    let configs = [
+        DefenseConfig::prac(128),
+        DefenseConfig::fr_rfm(64, t.t_rc),
+        DefenseConfig::riac(128),
+    ];
+    let mut points = Vec::new();
+    let mut baseline = 0.0;
+    for cfg in configs {
+        let kind = cfg.kind;
+        let (e, cap) = attack_capacity(cfg, bits, seed);
+        if kind == DefenseKind::Prac {
+            baseline = cap;
+        }
+        let reduction = if baseline > 0.0 {
+            ((baseline - cap) / baseline * 100.0).max(0.0)
+        } else {
+            0.0
+        };
+        points.push(MitigationPoint {
+            defense: kind,
+            error_probability: e,
+            capacity_kbps: cap,
+            reduction_pct: reduction,
+        });
+    }
+    MitigationStudy { points }
+}
+
+impl MitigationStudy {
+    /// The capacity reduction (percent) of one defense, if present.
+    pub fn reduction_of(&self, kind: DefenseKind) -> Option<f64> {
+        self.points.iter().find(|p| p.defense == kind).map(|p| p.reduction_pct)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fr_rfm_eliminates_and_riac_degrades() {
+        let study = run_mitigation_study(Scale::Quick, 13);
+        let prac = study.points.iter().find(|p| p.defense == DefenseKind::Prac).unwrap();
+        assert!(prac.capacity_kbps > 20.0, "baseline capacity {}", prac.capacity_kbps);
+        let frrfm = study.reduction_of(DefenseKind::FrRfm).unwrap();
+        assert!(
+            frrfm > 95.0,
+            "FR-RFM must (nearly) eliminate the channel, reduction {frrfm}%"
+        );
+        let riac = study.reduction_of(DefenseKind::PracRiac).unwrap();
+        assert!(
+            riac > 20.0,
+            "RIAC must reduce capacity substantially, reduction {riac}%"
+        );
+        assert!(
+            riac < frrfm + 1.0,
+            "RIAC reduces less than FR-RFM eliminates ({riac}% vs {frrfm}%)"
+        );
+    }
+}

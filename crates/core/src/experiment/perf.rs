@@ -1,0 +1,195 @@
+//! The Fig. 13 performance study: weighted speedup of PRAC, PRFM,
+//! PRAC-RIAC, FR-RFM and PRAC-Bank over RowHammer thresholds
+//! 1024 → 64, normalized to a system with no mitigation.
+
+use serde::{Deserialize, Serialize};
+
+use lh_analysis::{mean, normalized_ws, weighted_speedup, AppPerf};
+use lh_defenses::{DefenseConfig, DefenseKind};
+use lh_dram::{Span, Time};
+use lh_memctrl::AddressMapping;
+use lh_sim::{SimConfig, System};
+use lh_workloads::{four_core_mixes, AppProfile, SyntheticApp};
+
+use crate::Scale;
+
+/// The paper's swept RowHammer thresholds.
+pub const NRH_SWEEP: [u32; 5] = [1024, 512, 256, 128, 64];
+
+/// One (defense, NRH) cell of Fig. 13.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PerfPoint {
+    /// The defense.
+    pub defense: DefenseKind,
+    /// RowHammer threshold.
+    pub nrh: u32,
+    /// Mean normalized weighted speedup over the workload mixes
+    /// (1.0 = no overhead).
+    pub normalized_ws: f64,
+}
+
+/// The Fig. 13 dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerfStudy {
+    /// All measured cells.
+    pub points: Vec<PerfPoint>,
+    /// Number of four-core mixes averaged.
+    pub mixes: usize,
+}
+
+impl PerfStudy {
+    /// The normalized WS of one cell.
+    pub fn cell(&self, defense: DefenseKind, nrh: u32) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.defense == defense && p.nrh == nrh)
+            .map(|p| p.normalized_ws)
+    }
+}
+
+/// Runs one four-core mix under `defense` for `span`; returns per-app
+/// performance.
+fn run_mix(
+    mix: &[AppProfile; 4],
+    defense: DefenseConfig,
+    span: Span,
+    seed: u64,
+) -> Vec<AppPerf> {
+    let mut sim = SimConfig::paper_default(defense);
+    sim.seed = seed;
+    // Performance runs do not need disturb ground truth; skipping it
+    // speeds the sweep up considerably.
+    let mut sys = System::new(sim).expect("valid configuration");
+    sys.controller_mut().device_mut().set_disturb_enabled(false);
+    let mapping: AddressMapping = *sys.mapping();
+    let end = Time::ZERO + span;
+    let mut pids = Vec::new();
+    for (i, profile) in mix.iter().enumerate() {
+        let app = SyntheticApp::new(profile.clone(), mapping, seed ^ (i as u64 * 31), end);
+        let mlp = app.mlp();
+        pids.push(sys.add_process(Box::new(app), mlp, Time::ZERO));
+    }
+    sys.run_until(end + Span::from_us(5));
+    pids.iter()
+        .map(|&pid| {
+            let app = sys.process_as::<SyntheticApp>(pid).expect("app present");
+            AppPerf { instructions: app.instructions(), seconds: span.as_secs() }
+        })
+        .collect()
+}
+
+/// Runs each app of a mix alone (no defense) for the alone-IPC baseline.
+fn run_alone(mix: &[AppProfile; 4], span: Span, seed: u64) -> Vec<AppPerf> {
+    mix.iter()
+        .enumerate()
+        .map(|(i, profile)| {
+            let mut sim = SimConfig::paper_default(DefenseConfig::none());
+            sim.seed = seed;
+            let mut sys = System::new(sim).expect("valid configuration");
+            sys.controller_mut().device_mut().set_disturb_enabled(false);
+            let mapping: AddressMapping = *sys.mapping();
+            let end = Time::ZERO + span;
+            let app =
+                SyntheticApp::new(profile.clone(), mapping, seed ^ (i as u64 * 31), end);
+            let mlp = app.mlp();
+            let pid = sys.add_process(Box::new(app), mlp, Time::ZERO);
+            sys.run_until(end + Span::from_us(5));
+            let app = sys.process_as::<SyntheticApp>(pid).expect("app present");
+            AppPerf { instructions: app.instructions(), seconds: span.as_secs() }
+        })
+        .collect()
+}
+
+/// Runs the study over `defenses` × `nrh_values`.
+pub fn run_performance(
+    defenses: &[DefenseKind],
+    nrh_values: &[u32],
+    scale: Scale,
+    seed: u64,
+) -> PerfStudy {
+    let span = Span::from_us(scale.perf_span_us());
+    let mixes = four_core_mixes(scale.mixes(), seed);
+    let timing = lh_dram::DramTiming::ddr5_4800();
+
+    // Per-mix baselines.
+    let mut baseline_ws = Vec::new();
+    for (m, mix) in mixes.iter().enumerate() {
+        let alone = run_alone(mix, span, seed ^ (m as u64) << 16);
+        let shared = run_mix(mix, DefenseConfig::none(), span, seed ^ (m as u64) << 16);
+        let ws = weighted_speedup(&shared, &alone);
+        baseline_ws.push((alone, ws));
+    }
+
+    let mut points = Vec::new();
+    for &defense in defenses {
+        for &nrh in nrh_values {
+            let cfg = DefenseConfig::for_threshold(defense, nrh, &timing);
+            let mut normalized = Vec::new();
+            for (m, mix) in mixes.iter().enumerate() {
+                let (alone, base_ws) = &baseline_ws[m];
+                let shared = run_mix(mix, cfg.clone(), span, seed ^ (m as u64) << 16);
+                let ws = weighted_speedup(&shared, alone);
+                normalized.push(normalized_ws(ws, *base_ws));
+            }
+            points.push(PerfPoint { defense, nrh, normalized_ws: mean(&normalized) });
+        }
+    }
+    PerfStudy { points, mixes: mixes.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defenses_cost_little_at_high_nrh_and_a_lot_at_low_nrh() {
+        let study = run_performance(
+            &[DefenseKind::Prac, DefenseKind::FrRfm],
+            &[1024, 64],
+            Scale::Quick,
+            3,
+        );
+        let prac_high = study.cell(DefenseKind::Prac, 1024).unwrap();
+        let frrfm_high = study.cell(DefenseKind::FrRfm, 1024).unwrap();
+        let frrfm_low = study.cell(DefenseKind::FrRfm, 64).unwrap();
+        // At NRH=1024 both defenses are cheap (>80 % of baseline).
+        assert!(prac_high > 0.8, "PRAC@1024 {prac_high}");
+        assert!(frrfm_high > 0.75, "FR-RFM@1024 {frrfm_high}");
+        // At NRH=64 FR-RFM collapses (paper: ~0.06× baseline).
+        assert!(frrfm_low < 0.5, "FR-RFM@64 {frrfm_low}");
+        assert!(frrfm_low < frrfm_high, "overhead must grow as NRH shrinks");
+    }
+
+    #[test]
+    fn riac_beats_fr_rfm_at_very_low_nrh() {
+        let study = run_performance(
+            &[DefenseKind::PracRiac, DefenseKind::FrRfm],
+            &[64],
+            Scale::Quick,
+            5,
+        );
+        let riac = study.cell(DefenseKind::PracRiac, 64).unwrap();
+        let frrfm = study.cell(DefenseKind::FrRfm, 64).unwrap();
+        assert!(
+            riac > frrfm,
+            "§11.4: RIAC ({riac}) must outperform FR-RFM ({frrfm}) at NRH=64"
+        );
+    }
+
+    #[test]
+    fn prac_bank_tracks_prac() {
+        let study = run_performance(
+            &[DefenseKind::Prac, DefenseKind::PracBank],
+            &[256],
+            Scale::Quick,
+            7,
+        );
+        let prac = study.cell(DefenseKind::Prac, 256).unwrap();
+        let bank = study.cell(DefenseKind::PracBank, 256).unwrap();
+        // §11.4: PRAC-Bank performs within a few percent of PRAC.
+        assert!(
+            (prac - bank).abs() < 0.08,
+            "PRAC {prac} vs PRAC-Bank {bank} must be close"
+        );
+    }
+}

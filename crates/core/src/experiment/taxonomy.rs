@@ -1,0 +1,245 @@
+//! Quantitative §12 taxonomy: realized covert-channel capacity against
+//! every trigger-algorithm class.
+//!
+//! §12 of the paper argues *qualitatively* which RowHammer defense classes
+//! introduce LeakyHammer channels: exact trackers yield a reliable
+//! channel, approximate trackers a noisy one, random/time-based triggers
+//! and overlapped-latency actions none. This experiment tests those
+//! predictions *experimentally*: the same binary sender/receiver protocol
+//! runs against one defense of each class — with the attack parameters an
+//! adaptive attacker would pick per defense — and the measured capacity is
+//! compared against [`lh_defenses::taxonomy::profile_of`]'s prediction.
+//!
+//! | Defense | Class (trigger, visibility) | Prediction |
+//! |---|---|---|
+//! | PRAC | exact, observable | full channel |
+//! | Graphene / Hydra / CoMeT | approximate, observable | degraded |
+//! | BlockHammer | approximate, observable (delay) | degraded |
+//! | PARA | random, observable | degraded |
+//! | FR-RFM | time-based, observable | none |
+//! | MINT | random, overlapped | none |
+
+use serde::{Deserialize, Serialize};
+
+use lh_analysis::{ChannelResult, MessagePattern};
+use lh_attacks::LatencyClassifier;
+use lh_defenses::taxonomy::{profile_of, ChannelRisk};
+use lh_defenses::{DefenseConfig, DefenseKind};
+use lh_dram::{DramTiming, Span};
+use lh_sim::SimConfig;
+
+use crate::experiment::covert::{run_covert, ChannelKind, CovertOptions};
+use crate::Scale;
+
+/// The RowHammer threshold every taxonomy defense is provisioned for.
+///
+/// 256 puts the PRAC-family back-off threshold at its paper value region
+/// (`scaled_nbo(256)` = 120 ≈ the assumed `NBO` = 128) so event cadences
+/// are comparable across defenses.
+pub const TAXONOMY_NRH: u32 = 256;
+
+/// One taxonomy measurement.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TaxonomyPoint {
+    /// The defense attacked.
+    pub kind: DefenseKind,
+    /// The §12 prediction for this defense (`None` for the no-defense
+    /// control row, which measures the residual contention channel).
+    pub predicted: Option<ChannelRisk>,
+    /// Measured capacity with only the attack pair running (Kbps).
+    pub quiet_kbps: f64,
+    /// Measured error probability, quiet.
+    pub quiet_error: f64,
+    /// Measured capacity with the §6.3 noise microbenchmark at 40 %
+    /// intensity co-running (Kbps) — approximate trackers share state
+    /// with the noise and degrade more than exact trackers.
+    pub noisy_kbps: f64,
+    /// Measured error probability, noisy.
+    pub noisy_error: f64,
+}
+
+impl TaxonomyPoint {
+    /// Whether the measurement agrees with the §12 prediction, using the
+    /// thresholds documented on [`run_taxonomy`]. Only the *quiet*
+    /// condition counts: under heavy noise the generic detection band
+    /// also picks up bank-contention latencies, a channel that exists
+    /// without any defense (the control row) and is out of scope
+    /// (footnote 9 of the paper).
+    pub fn agrees(&self) -> bool {
+        match self.predicted {
+            None => true,
+            Some(ChannelRisk::None) => self.quiet_kbps < 1.0,
+            Some(ChannelRisk::Degraded) => self.quiet_kbps >= 0.1,
+            Some(ChannelRisk::Full) => self.quiet_kbps >= 10.0,
+        }
+    }
+}
+
+/// Attack parameters an adaptive attacker picks for `kind`.
+///
+/// The observable event differs per defense class, so the receiver's
+/// detection band does too:
+///
+/// * PRAC — the multi-RFM back-off (≥ the refresh band);
+/// * victim-refresh trackers (Graphene/Hydra/CoMeT/PARA) — an in-bank
+///   ACT+PRE pair per victim, which lands in the single-RFM band
+///   (above a plain conflict, below a periodic refresh);
+/// * FR-RFM / MINT — the attacker's best guess is the RFM band (there is
+///   nothing defense-triggered to see, which is the point);
+/// * BlockHammer — the throttle delay, orders of magnitude above any
+///   DRAM event, with a correspondingly longer window.
+fn options_for(kind: DefenseKind, bits: Vec<u8>, seed: u64) -> CovertOptions {
+    let timing = DramTiming::ddr5_4800();
+    let defense = DefenseConfig::for_threshold(kind, TAXONOMY_NRH, &timing);
+    let base_kind = if kind == DefenseKind::Prac { ChannelKind::Prac } else { ChannelKind::Rfm };
+    let mut opts = CovertOptions::new(base_kind, bits);
+    let cls = LatencyClassifier::from_timing(&timing, opts.think);
+    opts.sim = SimConfig::paper_default(defense);
+    opts.seed = seed;
+    match kind {
+        DefenseKind::Prac => {
+            // The paper's §6.3 configuration, untouched.
+        }
+        DefenseKind::Graphene | DefenseKind::Hydra | DefenseKind::Comet | DefenseKind::Para => {
+            opts.window = Span::from_us(25);
+            opts.detection_band = Some((cls.conflict_max, cls.rfm_max));
+            opts.trecv = Some(1);
+        }
+        DefenseKind::FrRfm | DefenseKind::Mint => {
+            opts.window = Span::from_us(25);
+            opts.detection_band = Some((cls.conflict_max, cls.rfm_max));
+            opts.trecv = Some(3);
+        }
+        DefenseKind::BlockHammer => {
+            // The throttle delay is ~tens of µs: stretch the window so a
+            // stalled probe still completes inside it, and detect by the
+            // stall itself.
+            opts.window = Span::from_us(250);
+            opts.detection_band = Some((Span::from_us(5), Span::MAX));
+            opts.trecv = Some(1);
+        }
+        DefenseKind::None => {
+            // Control row: same attack parameters as the tracker kinds,
+            // measuring the defenseless contention channel through the
+            // same detection band.
+            opts.window = Span::from_us(25);
+            opts.detection_band = Some((cls.conflict_max, cls.rfm_max));
+            opts.trecv = Some(3);
+        }
+        DefenseKind::Prfm | DefenseKind::PracRiac | DefenseKind::PracBank => {
+            unreachable!("not part of the taxonomy set")
+        }
+    }
+    opts
+}
+
+fn measure(kind: DefenseKind, bits_per_pattern: usize, noise: Option<f64>, seed: u64) -> ChannelResult {
+    let mut results = Vec::new();
+    for (i, pattern) in [MessagePattern::Checkered0, MessagePattern::Checkered1]
+        .iter()
+        .enumerate()
+    {
+        let mut opts = options_for(kind, pattern.bits(bits_per_pattern), seed ^ ((i as u64) << 9));
+        opts.noise_intensity = noise;
+        results.push(run_covert(&opts).result);
+    }
+    ChannelResult::merge(results.iter())
+}
+
+/// Runs the taxonomy study: one covert-channel attempt per §12 defense
+/// class, quiet and under 40 % noise, plus a *no-defense control* row
+/// that measures the residual bank-contention channel through the same
+/// detection band (whatever the noisy columns show beyond the control is
+/// defense-induced; the rest is the footnote-9 contention channel).
+///
+/// Agreement thresholds (see [`TaxonomyPoint::agrees`]): a `None`-risk
+/// defense must measure under 1 Kbps quiet; a `Full`-risk defense at
+/// least 10 Kbps quiet; a `Degraded`-risk defense shows a
+/// usable-but-noisy channel (≥ 0.1 Kbps).
+///
+/// ## Measured refinement of §12
+///
+/// BlockHammer persistently measures ~0 despite its `Degraded`
+/// prediction: its preventive action is *huge* (a multi-µs ACT delay) but
+/// its decision state spans a 16 ms epoch, so one blacklisting decision
+/// shadows hundreds of transmission windows — the modulation bandwidth is
+/// about one bit per epoch (~0.06 Kbps), which rounds to zero at
+/// covert-channel timescales. The taxonomy's "approximate triggers only
+/// add noise" is right about observability but misses this *temporal*
+/// dimension; the report keeps the disagreement visible on purpose.
+pub fn run_taxonomy(scale: Scale, seed: u64) -> Vec<TaxonomyPoint> {
+    // BlockHammer's 10× window would otherwise dominate runtime.
+    let bits = |kind: DefenseKind| {
+        let b = scale.message_bits() / 4;
+        if kind == DefenseKind::BlockHammer {
+            (b / 4).max(8)
+        } else {
+            b
+        }
+    };
+    let mut kinds = vec![DefenseKind::None];
+    kinds.extend(DefenseKind::taxonomy_set());
+    kinds
+        .into_iter()
+        .map(|kind| {
+            let quiet = measure(kind, bits(kind), None, seed);
+            let noisy = measure(kind, bits(kind), Some(40.0), seed ^ 0xff);
+            TaxonomyPoint {
+                kind,
+                predicted: profile_of(kind).map(|p| p.channel_risk()),
+                quiet_kbps: quiet.capacity_kbps(),
+                quiet_error: quiet.error_probability(),
+                noisy_kbps: noisy.capacity_kbps(),
+                noisy_error: noisy.error_probability(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_risk_defenses_have_no_channel() {
+        for kind in [DefenseKind::FrRfm, DefenseKind::Mint] {
+            let r = measure(kind, 12, None, 3);
+            assert!(
+                r.capacity_kbps() < 1.0,
+                "{kind}: predicted None but measured {:.1} Kbps",
+                r.capacity_kbps()
+            );
+        }
+    }
+
+    #[test]
+    fn exact_tracker_has_a_full_channel() {
+        let r = measure(DefenseKind::Prac, 16, None, 3);
+        assert!(
+            r.capacity_kbps() > 10.0,
+            "PRAC predicted Full but measured {:.1} Kbps",
+            r.capacity_kbps()
+        );
+    }
+
+    #[test]
+    fn approximate_trackers_leak_but_degrade() {
+        for kind in [DefenseKind::Graphene, DefenseKind::Comet] {
+            let quiet = measure(kind, 16, None, 5);
+            assert!(
+                quiet.capacity_kbps() > 0.1,
+                "{kind}: the §12 channel must exist, measured {:.2} Kbps",
+                quiet.capacity_kbps()
+            );
+        }
+    }
+
+    #[test]
+    fn options_cover_every_taxonomy_kind() {
+        for kind in DefenseKind::taxonomy_set() {
+            let opts = options_for(kind, vec![1, 0], 1);
+            assert_eq!(opts.sim.defense.kind, kind);
+            assert!(opts.window >= Span::from_us(20));
+        }
+    }
+}

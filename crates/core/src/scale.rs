@@ -1,0 +1,124 @@
+//! Experiment scale knobs.
+//!
+//! Every experiment runner accepts a [`Scale`] so that unit tests and
+//! Criterion benches stay fast while `--full` runs reproduce the paper's
+//! sample sizes.
+
+use serde::{Deserialize, Serialize};
+
+/// How much work an experiment performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum Scale {
+    /// Seconds-scale smoke runs (CI / Criterion).
+    Quick,
+    /// Minutes-scale runs with the paper's qualitative shape.
+    #[default]
+    Default,
+    /// The paper's full sample sizes (hours on one core).
+    Paper,
+}
+
+impl Scale {
+    /// Message length in bits for covert-channel experiments
+    /// (the paper transmits 100-byte messages → 800 bits).
+    pub fn message_bits(&self) -> usize {
+        match self {
+            Scale::Quick => 48,
+            Scale::Default => 200,
+            Scale::Paper => 800,
+        }
+    }
+
+    /// Noise-intensity sample points for the sweep figures.
+    pub fn noise_points(&self) -> Vec<f64> {
+        match self {
+            Scale::Quick => vec![1.0, 50.0, 100.0],
+            _ => lh_analysis::noise::paper_sweep(),
+        }
+    }
+
+    /// (websites, traces per website) for the fingerprinting study
+    /// (paper: 40 × 50).
+    pub fn fingerprint_shape(&self) -> (usize, usize) {
+        match self {
+            Scale::Quick => (4, 6),
+            Scale::Default => (10, 12),
+            Scale::Paper => (40, 50),
+        }
+    }
+
+    /// Website load duration in microseconds (the paper keeps each site
+    /// open for 20 s; the synthetic profiles compress the same phase
+    /// structure into a shorter span).
+    pub fn load_span_us(&self) -> u64 {
+        match self {
+            Scale::Quick => 150,
+            Scale::Default => 400,
+            Scale::Paper => 1_000,
+        }
+    }
+
+    /// Number of four-core mixes for the Fig. 13 study (paper: 60).
+    pub fn mixes(&self) -> usize {
+        match self {
+            Scale::Quick => 2,
+            Scale::Default => 8,
+            Scale::Paper => 60,
+        }
+    }
+
+    /// Per-core measurement span in microseconds for Fig. 13.
+    pub fn perf_span_us(&self) -> u64 {
+        match self {
+            Scale::Quick => 150,
+            Scale::Default => 400,
+            Scale::Paper => 2_000,
+        }
+    }
+
+    /// Counter-leak trials (§9.1).
+    pub fn leak_trials(&self) -> usize {
+        match self {
+            Scale::Quick => 4,
+            Scale::Default => 16,
+            Scale::Paper => 64,
+        }
+    }
+}
+
+
+impl core::str::FromStr for Scale {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Scale, String> {
+        match s {
+            "quick" => Ok(Scale::Quick),
+            "default" => Ok(Scale::Default),
+            "paper" | "full" => Ok(Scale::Paper),
+            other => Err(format!("unknown scale '{other}' (quick|default|paper)")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered_by_cost() {
+        assert!(Scale::Quick.message_bits() < Scale::Default.message_bits());
+        assert!(Scale::Default.message_bits() < Scale::Paper.message_bits());
+        assert_eq!(Scale::Paper.message_bits(), 800);
+        assert_eq!(Scale::Paper.fingerprint_shape(), (40, 50));
+        assert_eq!(Scale::Paper.mixes(), 60);
+    }
+
+    #[test]
+    fn parse_from_str() {
+        assert_eq!("quick".parse::<Scale>().unwrap(), Scale::Quick);
+        assert_eq!("paper".parse::<Scale>().unwrap(), Scale::Paper);
+        assert_eq!("full".parse::<Scale>().unwrap(), Scale::Paper);
+        assert!("bogus".parse::<Scale>().is_err());
+    }
+}

@@ -1,0 +1,502 @@
+//! Controller-side mitigation engine.
+//!
+//! The memory controller owns one [`MitigationEngine`] per channel and
+//! notifies it of every activation; the engine answers with the preventive
+//! actions the controller must schedule:
+//!
+//! * PRFM — per-bank activation counters that request a same-bank RFM when
+//!   a bank crosses `TRFM`;
+//! * FR-RFM — a per-rank timer that requests an all-bank RFM at a fixed
+//!   period, *independent* of traffic (the key to its security, §11.1);
+//! * PARA — probabilistic neighbor-refresh requests;
+//! * Graphene / Hydra / CoMeT — approximate trackers (§12) that request
+//!   neighbor refreshes when their per-bank estimates cross a threshold;
+//! * BlockHammer — a rate filter that requests *throttling* of blacklisted
+//!   rows;
+//! * MINT — a reservoir sampler whose chosen aggressor is refreshed inside
+//!   the next periodic REF (overlapped latency; see
+//!   [`MitigationEngine::on_periodic_refresh`]).
+//!
+//! PRAC-family defenses need no controller-side trigger state: the device
+//! asserts ABO on its own and the controller only runs the recovery
+//! protocol.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use lh_dram::{BankId, Geometry, RfmScope, Time};
+
+use crate::config::{DefenseConfig, DefenseKind};
+use crate::trackers::{BlockHammerBank, CometBank, GrapheneBank, HydraBank, MintBank, MintConfig};
+
+/// A preventive action the controller must perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DefenseAction {
+    /// Issue an RFM command on `rank` with the given scope.
+    IssueRfm {
+        /// Target rank.
+        rank: u32,
+        /// Blocking scope.
+        scope: RfmScope,
+    },
+    /// Refresh the neighbors of `(bank, row)` (PARA, Graphene, Hydra,
+    /// CoMeT): the controller performs it as activate+precharge of the
+    /// victim rows.
+    RefreshNeighbors {
+        /// Aggressor bank.
+        bank: BankId,
+        /// Aggressor row whose neighbors must be refreshed.
+        row: u32,
+    },
+    /// Delay further activations of `(bank, row)` until `until`
+    /// (BlockHammer's throttle — its observable preventive action).
+    ThrottleRow {
+        /// Throttled bank.
+        bank: BankId,
+        /// Throttled row.
+        row: u32,
+        /// Earliest time the row may be activated again.
+        until: Time,
+    },
+}
+
+/// Counters kept by the engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DefenseStats {
+    /// RFMs requested by PRFM counters.
+    pub prfm_rfms: u64,
+    /// RFMs requested by the FR-RFM timer.
+    pub fr_rfm_rfms: u64,
+    /// Neighbor refreshes requested by PARA.
+    pub para_refreshes: u64,
+    /// Neighbor refreshes requested by the approximate trackers
+    /// (Graphene/Hydra/CoMeT).
+    pub tracker_refreshes: u64,
+    /// Throttle decisions made by BlockHammer.
+    pub throttles: u64,
+    /// Aggressors preventively refreshed inside periodic REFs (MINT).
+    pub mint_refreshes: u64,
+}
+
+/// Controller-side defense trigger state for one channel.
+///
+/// # Examples
+///
+/// ```
+/// use lh_defenses::{DefenseAction, DefenseConfig, MitigationEngine};
+/// use lh_dram::{BankId, Geometry, RfmScope, Time};
+///
+/// let g = Geometry::tiny();
+/// let mut eng = MitigationEngine::new(DefenseConfig::prfm(4), &g, 7);
+/// let bank = BankId::new(0, 0, 0, 1);
+/// let mut actions = Vec::new();
+/// for _ in 0..4 {
+///     actions.extend(eng.on_activate(bank, 10, Time::ZERO));
+/// }
+/// assert_eq!(
+///     actions,
+///     vec![DefenseAction::IssueRfm { rank: 0, scope: RfmScope::SameBank { bank: 1 } }]
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct MitigationEngine {
+    config: DefenseConfig,
+    geometry: Geometry,
+    /// PRFM: per flat-bank activation counters.
+    prfm_counters: Vec<u32>,
+    /// FR-RFM: per-rank next RFM deadline.
+    fr_rfm_due: Vec<Time>,
+    /// Graphene: per flat-bank frequent-item summaries.
+    graphene: Vec<GrapheneBank>,
+    /// Hydra: per flat-bank hybrid trackers.
+    hydra: Vec<HydraBank>,
+    /// CoMeT: per flat-bank count-min sketches.
+    comet: Vec<CometBank>,
+    /// MINT: per flat-bank reservoir samplers.
+    mint: Vec<MintBank>,
+    /// BlockHammer: per flat-bank rate filters.
+    blockhammer: Vec<BlockHammerBank>,
+    rng: StdRng,
+    stats: DefenseStats,
+}
+
+impl MitigationEngine {
+    /// Creates the engine for a channel of shape `geometry`.
+    pub fn new(config: DefenseConfig, geometry: &Geometry, seed: u64) -> MitigationEngine {
+        let first_due = config
+            .fr_rfm
+            .map(|f| Time::ZERO + f.period)
+            .unwrap_or(Time::MAX);
+        let banks = geometry.banks_per_channel() as usize;
+        let graphene = config
+            .graphene
+            .map(|g| (0..banks).map(|_| GrapheneBank::new(g)).collect())
+            .unwrap_or_default();
+        let hydra = config
+            .hydra
+            .map(|h| (0..banks).map(|_| HydraBank::new(h)).collect())
+            .unwrap_or_default();
+        let comet = config
+            .comet
+            .map(|c| {
+                (0..banks)
+                    .map(|b| {
+                        // Per-bank hash families: a row index must not
+                        // collide identically in every bank.
+                        let mut cfg = c;
+                        cfg.seed = c.seed ^ ((b as u64) << 48);
+                        CometBank::new(cfg)
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let mint = config
+            .mint
+            .map(|m| {
+                (0..banks)
+                    .map(|b| MintBank::new(MintConfig { seed: m.seed ^ ((b as u64 + 1) << 32) }))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let blockhammer = config
+            .blockhammer
+            .map(|bh| {
+                (0..banks)
+                    .map(|b| {
+                        let mut cfg = bh;
+                        cfg.seed = bh.seed ^ ((b as u64) << 40);
+                        BlockHammerBank::new(cfg)
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        MitigationEngine {
+            config,
+            geometry: *geometry,
+            prfm_counters: vec![0; banks],
+            fr_rfm_due: vec![first_due; geometry.ranks_per_channel() as usize],
+            graphene,
+            hydra,
+            comet,
+            mint,
+            blockhammer,
+            rng: StdRng::seed_from_u64(seed),
+            stats: DefenseStats::default(),
+        }
+    }
+
+    /// The defense configuration.
+    pub fn config(&self) -> &DefenseConfig {
+        &self.config
+    }
+
+    /// Engine statistics.
+    pub fn stats(&self) -> &DefenseStats {
+        &self.stats
+    }
+
+    /// Notifies the engine of an `ACT` to `(bank, row)` at `now`; returns
+    /// the preventive actions the controller must schedule (possibly none).
+    pub fn on_activate(&mut self, bank: BankId, row: u32, now: Time) -> Vec<DefenseAction> {
+        let mut actions = Vec::new();
+        let flat = self.geometry.flat_bank(bank);
+        match self.config.kind {
+            DefenseKind::Prfm => {
+                if let Some(prfm) = self.config.prfm {
+                    self.prfm_counters[flat] += 1;
+                    if self.prfm_counters[flat] >= prfm.trfm {
+                        self.prfm_counters[flat] -= prfm.trfm;
+                        self.stats.prfm_rfms += 1;
+                        actions.push(DefenseAction::IssueRfm {
+                            rank: bank.rank,
+                            scope: RfmScope::SameBank { bank: bank.bank },
+                        });
+                    }
+                }
+            }
+            DefenseKind::Para => {
+                if let Some(para) = self.config.para {
+                    if self.rng.gen_bool(para.probability.clamp(0.0, 1.0)) {
+                        self.stats.para_refreshes += 1;
+                        actions.push(DefenseAction::RefreshNeighbors { bank, row });
+                    }
+                }
+            }
+            DefenseKind::Graphene => {
+                if let Some(aggressor) = self.graphene[flat].on_activate(row, now) {
+                    self.stats.tracker_refreshes += 1;
+                    actions.push(DefenseAction::RefreshNeighbors { bank, row: aggressor });
+                }
+            }
+            DefenseKind::Hydra => {
+                if let Some(aggressor) = self.hydra[flat].on_activate(row, now) {
+                    self.stats.tracker_refreshes += 1;
+                    actions.push(DefenseAction::RefreshNeighbors { bank, row: aggressor });
+                }
+            }
+            DefenseKind::Comet => {
+                if let Some(aggressor) = self.comet[flat].on_activate(row, now) {
+                    self.stats.tracker_refreshes += 1;
+                    actions.push(DefenseAction::RefreshNeighbors { bank, row: aggressor });
+                }
+            }
+            DefenseKind::Mint => {
+                self.mint[flat].on_activate(row);
+            }
+            DefenseKind::BlockHammer => {
+                if let Some(until) = self.blockhammer[flat].on_activate(row, now) {
+                    self.stats.throttles += 1;
+                    actions.push(DefenseAction::ThrottleRow { bank, row, until });
+                }
+            }
+            _ => {}
+        }
+        actions
+    }
+
+    /// Notifies the engine that a periodic REF is being issued on `rank`;
+    /// returns the aggressor rows whose victims the device should refresh
+    /// *inside* the REF window (MINT's overlapped-latency mitigation —
+    /// zero extra blocking time, hence nothing for an attacker to
+    /// observe).
+    pub fn on_periodic_refresh(&mut self, rank: u32) -> Vec<(BankId, u32)> {
+        if self.mint.is_empty() {
+            return Vec::new();
+        }
+        let mut refreshed = Vec::new();
+        for flat in 0..self.mint.len() {
+            let bank = self.geometry.bank_from_flat(0, flat);
+            if bank.rank != rank {
+                continue;
+            }
+            if let Some(row) = self.mint[flat].take_sample() {
+                self.stats.mint_refreshes += 1;
+                refreshed.push((bank, row));
+            }
+        }
+        refreshed
+    }
+
+    /// The Graphene tracker of `bank` (instrumentation).
+    pub fn graphene_bank(&self, bank: BankId) -> Option<&GrapheneBank> {
+        self.graphene.get(self.geometry.flat_bank(bank))
+    }
+
+    /// The BlockHammer filter of `bank` (instrumentation).
+    pub fn blockhammer_bank(&self, bank: BankId) -> Option<&BlockHammerBank> {
+        self.blockhammer.get(self.geometry.flat_bank(bank))
+    }
+
+    /// FR-RFM: the absolute deadline of the next fixed-rate RFM on `rank`,
+    /// or `None` when FR-RFM is not enabled.
+    ///
+    /// The controller must quiesce the rank and issue the RFM exactly at
+    /// this instant (never earlier, never later) so the RFM stream carries
+    /// no information about memory traffic.
+    pub fn fr_rfm_deadline(&self, rank: u32) -> Option<Time> {
+        self.config.fr_rfm?;
+        Some(self.fr_rfm_due[rank as usize])
+    }
+
+    /// FR-RFM: records that the scheduled RFM for `rank` was issued and
+    /// advances the deadline by one period.
+    pub fn fr_rfm_issued(&mut self, rank: u32) {
+        if let Some(f) = self.config.fr_rfm {
+            self.stats.fr_rfm_rfms += 1;
+            let due = &mut self.fr_rfm_due[rank as usize];
+            *due += f.period;
+        }
+    }
+
+    /// Current PRFM counter of a bank (for tests and instrumentation).
+    pub fn prfm_counter(&self, bank: BankId) -> u32 {
+        self.prfm_counters[self.geometry.flat_bank(bank)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bank(bg: u32, b: u32) -> BankId {
+        BankId::new(0, 0, bg, b)
+    }
+
+    #[test]
+    fn prfm_counts_per_bank_independently() {
+        let g = Geometry::tiny();
+        let mut eng = MitigationEngine::new(DefenseConfig::prfm(3), &g, 0);
+        // Two different banks interleaved: no single bank reaches 3.
+        for _ in 0..2 {
+            assert!(eng.on_activate(bank(0, 0), 1, Time::ZERO).is_empty());
+            assert!(eng.on_activate(bank(1, 1), 1, Time::ZERO).is_empty());
+        }
+        // Third ACT to bank (0,0) fires.
+        let a = eng.on_activate(bank(0, 0), 1, Time::ZERO);
+        assert_eq!(
+            a,
+            vec![DefenseAction::IssueRfm { rank: 0, scope: RfmScope::SameBank { bank: 0 } }]
+        );
+        assert_eq!(eng.prfm_counter(bank(0, 0)), 0);
+        assert_eq!(eng.prfm_counter(bank(1, 1)), 2);
+        assert_eq!(eng.stats().prfm_rfms, 1);
+    }
+
+    #[test]
+    fn prfm_counter_keeps_remainder() {
+        let g = Geometry::tiny();
+        let mut eng = MitigationEngine::new(DefenseConfig::prfm(2), &g, 0);
+        for i in 0..10 {
+            let fired = !eng.on_activate(bank(0, 0), 1, Time::ZERO).is_empty();
+            assert_eq!(fired, i % 2 == 1, "fires on every second ACT");
+        }
+    }
+
+    #[test]
+    fn fr_rfm_deadline_advances_independently_of_traffic() {
+        let g = Geometry::tiny();
+        let t = lh_dram::DramTiming::ddr5_4800();
+        let cfg = DefenseConfig::fr_rfm(4, t.t_rc);
+        let period = cfg.fr_rfm.unwrap().period;
+        let mut eng = MitigationEngine::new(cfg, &g, 0);
+        let d0 = eng.fr_rfm_deadline(0).unwrap();
+        assert_eq!(d0, Time::ZERO + period);
+        // Activations do not move the deadline.
+        for _ in 0..100 {
+            assert!(eng.on_activate(bank(0, 0), 1, Time::ZERO).is_empty());
+        }
+        assert_eq!(eng.fr_rfm_deadline(0).unwrap(), d0);
+        eng.fr_rfm_issued(0);
+        assert_eq!(eng.fr_rfm_deadline(0).unwrap(), d0 + period);
+        assert_eq!(eng.stats().fr_rfm_rfms, 1);
+    }
+
+    #[test]
+    fn para_fires_probabilistically() {
+        let g = Geometry::tiny();
+        let mut eng = MitigationEngine::new(DefenseConfig::para(0.25), &g, 42);
+        let mut fired = 0;
+        for _ in 0..10_000 {
+            fired += eng.on_activate(bank(0, 0), 7, Time::ZERO).len();
+        }
+        let rate = fired as f64 / 10_000.0;
+        assert!((0.2..0.3).contains(&rate), "observed PARA rate {rate}");
+        assert_eq!(eng.stats().para_refreshes as usize, fired);
+    }
+
+    #[test]
+    fn none_and_prac_request_nothing_from_the_controller() {
+        let g = Geometry::tiny();
+        for cfg in [DefenseConfig::none(), DefenseConfig::prac(128)] {
+            let mut eng = MitigationEngine::new(cfg, &g, 0);
+            for _ in 0..500 {
+                assert!(eng.on_activate(bank(0, 0), 1, Time::ZERO).is_empty());
+            }
+            assert!(eng.fr_rfm_deadline(0).is_none());
+        }
+    }
+
+    #[test]
+    fn graphene_engine_requests_neighbor_refresh_at_threshold() {
+        let g = Geometry::tiny();
+        let t = lh_dram::DramTiming::ddr5_4800();
+        let mut cfg = DefenseConfig::graphene(64, &t);
+        let threshold = cfg.graphene.unwrap().threshold;
+        cfg.graphene.as_mut().unwrap().entries = 8;
+        let mut eng = MitigationEngine::new(cfg, &g, 0);
+        let mut fired = Vec::new();
+        for _ in 0..threshold {
+            fired.extend(eng.on_activate(bank(0, 0), 42, Time::ZERO));
+        }
+        assert_eq!(
+            fired,
+            vec![DefenseAction::RefreshNeighbors { bank: bank(0, 0), row: 42 }]
+        );
+        assert_eq!(eng.stats().tracker_refreshes, 1);
+    }
+
+    #[test]
+    fn tracker_state_is_per_bank() {
+        let g = Geometry::tiny();
+        let t = lh_dram::DramTiming::ddr5_4800();
+        let mut cfg = DefenseConfig::graphene(64, &t);
+        let threshold = cfg.graphene.unwrap().threshold;
+        cfg.graphene.as_mut().unwrap().entries = 8;
+        let mut eng = MitigationEngine::new(cfg, &g, 0);
+        // Alternate banks: neither bank's tracker reaches the threshold
+        // even after `threshold` total activations of row 42.
+        let mut fired = 0;
+        for i in 0..threshold {
+            fired += eng.on_activate(bank(0, i % 2), 42, Time::ZERO).len();
+        }
+        assert_eq!(fired, 0);
+    }
+
+    #[test]
+    fn hydra_and_comet_engines_fire_eventually_under_hammering() {
+        let g = Geometry::tiny();
+        let t = lh_dram::DramTiming::ddr5_4800();
+        for cfg in [DefenseConfig::hydra(64, &t), DefenseConfig::comet(64, &t, 9)] {
+            let kind = cfg.kind;
+            let mut eng = MitigationEngine::new(cfg, &g, 0);
+            let mut fired = 0;
+            for _ in 0..256 {
+                fired += eng.on_activate(bank(0, 0), 7, Time::ZERO).len();
+            }
+            assert!(fired >= 1, "{kind} never fired under 256 single-row ACTs");
+        }
+    }
+
+    #[test]
+    fn blockhammer_engine_throttles_hammered_row_only() {
+        let g = Geometry::tiny();
+        let t = lh_dram::DramTiming::ddr5_4800();
+        let cfg = DefenseConfig::blockhammer(64, &t, 5);
+        let mut eng = MitigationEngine::new(cfg, &g, 0);
+        let mut throttles = Vec::new();
+        for _ in 0..64 {
+            throttles.extend(eng.on_activate(bank(0, 0), 3, Time::ZERO));
+        }
+        assert!(!throttles.is_empty(), "hammered row must be throttled");
+        assert!(throttles.iter().all(|a| matches!(
+            a,
+            DefenseAction::ThrottleRow { row: 3, .. }
+        )));
+        // A cold row on the same bank is not throttled.
+        assert!(eng.on_activate(bank(0, 0), 999, Time::ZERO).is_empty());
+        assert_eq!(eng.stats().throttles, throttles.len() as u64);
+    }
+
+    #[test]
+    fn mint_engine_samples_one_aggressor_per_bank_per_ref() {
+        let g = Geometry::tiny();
+        let mut eng = MitigationEngine::new(DefenseConfig::mint(11), &g, 0);
+        // ACTs never produce inline actions (overlapped latency).
+        for _ in 0..100 {
+            assert!(eng.on_activate(bank(0, 0), 5, Time::ZERO).is_empty());
+        }
+        for _ in 0..100 {
+            assert!(eng.on_activate(bank(1, 1), 6, Time::ZERO).is_empty());
+        }
+        let refreshed = eng.on_periodic_refresh(0);
+        assert_eq!(refreshed.len(), 2, "one sample per active bank");
+        assert!(refreshed.contains(&(bank(0, 0), 5)));
+        assert!(refreshed.contains(&(bank(1, 1), 6)));
+        assert_eq!(eng.stats().mint_refreshes, 2);
+        // The interval restarted: nothing to refresh now.
+        assert!(eng.on_periodic_refresh(0).is_empty());
+    }
+
+    #[test]
+    fn mint_refresh_only_covers_the_refreshed_rank() {
+        let g = Geometry::tiny();
+        let mut eng = MitigationEngine::new(DefenseConfig::mint(11), &g, 0);
+        if g.ranks_per_channel() < 2 {
+            // tiny geometry has one rank; sampling on rank 0 must still
+            // return nothing for an out-of-range rank.
+            eng.on_activate(bank(0, 0), 5, Time::ZERO);
+            assert!(eng.on_periodic_refresh(7).is_empty());
+        }
+    }
+}

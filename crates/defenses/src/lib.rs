@@ -1,0 +1,50 @@
+//! # lh-defenses — RowHammer defense policies
+//!
+//! The defenses analyzed and proposed by the LeakyHammer paper, split into
+//! their device-side and controller-side halves:
+//!
+//! | Defense | Trigger | Preventive action | Where |
+//! |---|---|---|---|
+//! | PRAC | per-row counters ≥ `NBO` | ABO → 4×RFMab back-off | device (`lh-dram`) |
+//! | PRFM | per-bank counters ≥ `TRFM` | RFMsb | controller ([`MitigationEngine`]) |
+//! | FR-RFM | fixed wall-clock period | RFMab | controller ([`MitigationEngine`]) |
+//! | PRAC-RIAC | PRAC w/ random counter init | as PRAC | device |
+//! | PRAC-Bank | PRAC w/ per-bank alert | single-bank back-off | device |
+//! | PARA | per-ACT coin flip | neighbor refresh | controller |
+//! | Graphene | Misra-Gries summary ≥ threshold | neighbor refresh | controller ([`trackers`]) |
+//! | Hydra | group + per-row counters | neighbor refresh | controller ([`trackers`]) |
+//! | CoMeT | count-min sketch ≥ threshold | neighbor refresh | controller ([`trackers`]) |
+//! | MINT | reservoir sample per `tREFI` | in-REF refresh (hidden) | controller ([`trackers`]) |
+//! | BlockHammer | rate filter blacklist | ACT throttling | controller ([`trackers`]) |
+//!
+//! [`DefenseConfig::for_threshold`] provisions any of them for a RowHammer
+//! threshold `N_RH`, using the scaling rules documented in `DESIGN.md`.
+//! The [`taxonomy`] module encodes the paper's §12 qualitative analysis of
+//! which defense classes introduce timing channels; the [`trackers`]
+//! module provides concrete per-bank implementations of the §12 trigger
+//! classes so the taxonomy can be validated experimentally.
+//!
+//! ## Example
+//!
+//! ```
+//! use lh_defenses::{DefenseConfig, DefenseKind, taxonomy};
+//! use lh_dram::DramTiming;
+//!
+//! let timing = DramTiming::ddr5_4800();
+//! let frrfm = DefenseConfig::for_threshold(DefenseKind::FrRfm, 1024, &timing);
+//! let risk = taxonomy::profile_of(frrfm.kind).unwrap().channel_risk();
+//! assert_eq!(risk, taxonomy::ChannelRisk::None);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod engine;
+pub mod taxonomy;
+pub mod trackers;
+
+pub use config::{
+    scaled_nbo, scaled_trfm, DefenseConfig, DefenseKind, FrRfmConfig, ParaConfig, PrfmConfig,
+};
+pub use engine::{DefenseAction, DefenseStats, MitigationEngine};

@@ -1,0 +1,230 @@
+//! Property-based tests on the §12 tracker implementations.
+//!
+//! The trackers' *security* rests on one property: their estimate of a
+//! row's activation count never falls below the true count, so firing at
+//! the threshold is always conservative. Their *noise* (the §12
+//! prediction LeakyHammer exploits) is the flip side: estimates may
+//! exceed truth. These tests drive the structures with arbitrary access
+//! streams and check both directions.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+use lh_defenses::trackers::{
+    BlockHammerBank, BlockHammerConfig, CometBank, CometConfig, GrapheneBank, GrapheneConfig,
+    HydraBank, HydraConfig, MintBank, MintConfig,
+};
+use lh_dram::{Span, Time};
+
+fn epoch() -> Span {
+    Span::from_ms(32)
+}
+
+proptest! {
+    /// Space-saving (Graphene): tracked estimates never underestimate.
+    #[test]
+    fn graphene_never_underestimates(
+        rows in proptest::collection::vec(0u32..16, 1..300),
+        entries in 1usize..8,
+    ) {
+        let mut g = GrapheneBank::new(GrapheneConfig {
+            entries,
+            threshold: u32::MAX,
+            epoch: epoch(),
+        });
+        let mut truth: HashMap<u32, u32> = HashMap::new();
+        for &r in &rows {
+            g.on_activate(r, Time::ZERO);
+            *truth.entry(r).or_insert(0) += 1;
+        }
+        for (&r, &t) in &truth {
+            if let Some(est) = g.estimate(r) {
+                prop_assert!(est >= t, "row {r}: estimate {est} < true {t}");
+            }
+        }
+    }
+
+    /// Space-saving guarantee: any row with true count > N/entries is in
+    /// the table at the end of the stream.
+    #[test]
+    fn graphene_tracks_every_heavy_hitter(
+        rows in proptest::collection::vec(0u32..32, 1..400),
+        entries in 2usize..10,
+    ) {
+        let mut g = GrapheneBank::new(GrapheneConfig {
+            entries,
+            threshold: u32::MAX,
+            epoch: epoch(),
+        });
+        let mut truth: HashMap<u32, u32> = HashMap::new();
+        for &r in &rows {
+            g.on_activate(r, Time::ZERO);
+            *truth.entry(r).or_insert(0) += 1;
+        }
+        let n = rows.len() as u32;
+        for (&r, &t) in &truth {
+            if u64::from(t) * entries as u64 > u64::from(n) {
+                prop_assert!(
+                    g.estimate(r).is_some(),
+                    "heavy hitter {r} ({t}/{n} with {entries} entries) untracked"
+                );
+            }
+        }
+    }
+
+    /// Graphene fires no later than the threshold: a row's true
+    /// activations since its last trigger/reset never exceed `threshold`.
+    #[test]
+    fn graphene_triggers_at_or_before_threshold(
+        rows in proptest::collection::vec(0u32..8, 1..500),
+        threshold in 2u32..20,
+    ) {
+        // Enough entries that nothing is evicted: estimates are exact for
+        // tracked rows, so the trigger must land exactly on `threshold`.
+        let mut g = GrapheneBank::new(GrapheneConfig { entries: 8, threshold, epoch: epoch() });
+        let mut since_reset: HashMap<u32, u32> = HashMap::new();
+        for &r in &rows {
+            let fired = g.on_activate(r, Time::ZERO);
+            let c = since_reset.entry(r).or_insert(0);
+            *c += 1;
+            prop_assert!(*c <= threshold, "row {r} reached {c} without firing");
+            if fired == Some(r) {
+                prop_assert_eq!(*c, threshold, "exact tracking fires exactly at threshold");
+                *c = 0;
+            }
+        }
+    }
+
+    /// Count-min (CoMeT): the estimate never underestimates, for any
+    /// stream and any (width, depth).
+    #[test]
+    fn comet_never_underestimates(
+        rows in proptest::collection::vec(0u32..64, 1..300),
+        width_pow in 2u32..7,
+        depth in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let mut c = CometBank::new(CometConfig {
+            width: 1 << width_pow,
+            depth,
+            threshold: u32::MAX,
+            epoch: epoch(),
+            seed,
+        });
+        let mut truth: HashMap<u32, u32> = HashMap::new();
+        for &r in &rows {
+            c.on_activate(r, Time::ZERO);
+            *truth.entry(r).or_insert(0) += 1;
+        }
+        for (&r, &t) in &truth {
+            prop_assert!(c.estimate(r) >= t, "row {r}: {} < {t}", c.estimate(r));
+        }
+    }
+
+    /// CoMeT fires at or before the threshold (overestimates only make it
+    /// fire earlier — the §12 noise, never a security loss).
+    #[test]
+    fn comet_triggers_at_or_before_threshold(
+        rows in proptest::collection::vec(0u32..16, 1..400),
+        threshold in 2u32..16,
+        seed in any::<u64>(),
+    ) {
+        let mut c = CometBank::new(CometConfig {
+            width: 128,
+            depth: 4,
+            threshold,
+            epoch: epoch(),
+            seed,
+        });
+        let mut since_reset: HashMap<u32, u32> = HashMap::new();
+        for &r in &rows {
+            let fired = c.on_activate(r, Time::ZERO);
+            let cnt = since_reset.entry(r).or_insert(0);
+            *cnt += 1;
+            prop_assert!(*cnt <= threshold, "row {r} reached {cnt} unfired");
+            if fired == Some(r) {
+                *cnt = 0;
+            }
+        }
+    }
+
+    /// Hydra: a row's true activations since its last trigger never
+    /// exceed the row threshold (the pessimistic group-count
+    /// initialization can only make it fire earlier).
+    #[test]
+    fn hydra_triggers_at_or_before_row_threshold(
+        rows in proptest::collection::vec(0u32..32, 1..400),
+        group_threshold in 1u32..6,
+        row_threshold in 6u32..24,
+    ) {
+        let mut h = HydraBank::new(HydraConfig {
+            group_size: 4,
+            group_threshold,
+            row_threshold,
+            row_cache_cap: 64,
+            epoch: epoch(),
+        });
+        let mut since: HashMap<u32, u32> = HashMap::new();
+        for &r in &rows {
+            let fired = h.on_activate(r, Time::ZERO);
+            let c = since.entry(r).or_insert(0);
+            *c += 1;
+            prop_assert!(*c <= row_threshold, "row {r} reached {c} unfired");
+            if fired == Some(r) {
+                *c = 0;
+            }
+        }
+    }
+
+    /// MINT: the sampled aggressor is always one of the interval's
+    /// activations, and an empty interval samples nothing.
+    #[test]
+    fn mint_sample_is_a_real_activation(
+        intervals in proptest::collection::vec(
+            proptest::collection::vec(0u32..100, 0..20),
+            1..20,
+        ),
+        seed in any::<u64>(),
+    ) {
+        let mut m = MintBank::new(MintConfig { seed });
+        for rows in &intervals {
+            for &r in rows {
+                m.on_activate(r);
+            }
+            match m.take_sample() {
+                Some(s) => prop_assert!(rows.contains(&s), "sample {s} not in {rows:?}"),
+                None => prop_assert!(rows.is_empty()),
+            }
+        }
+    }
+
+    /// BlockHammer: a hammered row is throttled no later than its
+    /// `blacklist_threshold`-th activation within the window (count-min
+    /// overestimation fires earlier, never later).
+    #[test]
+    fn blockhammer_throttles_by_the_threshold(
+        row in 0u32..1000,
+        threshold in 2u32..32,
+        seed in any::<u64>(),
+    ) {
+        let mut b = BlockHammerBank::new(BlockHammerConfig {
+            width: 128,
+            depth: 4,
+            blacklist_threshold: threshold,
+            window: Span::from_ms(16),
+            delay: Span::from_us(2),
+            seed,
+        });
+        let mut throttled_at = None;
+        for i in 1..=threshold {
+            if b.on_activate(row, Time::ZERO).is_some() {
+                throttled_at = Some(i);
+                break;
+            }
+        }
+        prop_assert!(
+            throttled_at.is_some(),
+            "row {row} unthrottled after {threshold} activations"
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! Error types for the DRAM model.
+
+use core::fmt;
+
+use crate::command::Command;
+use crate::time::Time;
+
+/// Errors produced by the DRAM device model.
+///
+/// Most variants indicate a *controller* bug: the device model refuses
+/// commands that violate the DDR5 protocol instead of silently mis-modelling
+/// them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DramError {
+    /// A geometry dimension was zero.
+    InvalidGeometry,
+    /// A timing relation does not hold; the string names the relation.
+    InvalidTiming {
+        /// The violated relation, e.g. `"t_rc >= t_ras + t_rp"`.
+        relation: String,
+    },
+    /// The command targets a bank/row/column outside the device geometry.
+    AddressOutOfRange {
+        /// The offending command.
+        command: Command,
+    },
+    /// The command was issued before its earliest legal issue time.
+    TimingViolation {
+        /// The offending command.
+        command: Command,
+        /// When the command was issued.
+        issued_at: Time,
+        /// The earliest instant the command would have been legal.
+        earliest: Time,
+    },
+    /// The command is illegal in the bank's current state (e.g. `ACT` to an
+    /// open bank, or `RD` to a closed one).
+    ProtocolViolation {
+        /// The offending command.
+        command: Command,
+        /// Human-readable description of the state conflict.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for DramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramError::InvalidGeometry => write!(f, "geometry dimensions must be non-zero"),
+            DramError::InvalidTiming { relation } => {
+                write!(f, "timing relation violated: {relation}")
+            }
+            DramError::AddressOutOfRange { command } => {
+                write!(f, "address out of range for command {command:?}")
+            }
+            DramError::TimingViolation { command, issued_at, earliest } => write!(
+                f,
+                "command {command:?} issued at {issued_at} before earliest legal time {earliest}"
+            ),
+            DramError::ProtocolViolation { command, reason } => {
+                write!(f, "protocol violation for {command:?}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::BankId;
+
+    #[test]
+    fn errors_are_send_sync_and_display() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DramError>();
+        let err = DramError::ProtocolViolation {
+            command: Command::Precharge { bank: BankId::default() },
+            reason: "bank already closed",
+        };
+        assert!(err.to_string().contains("protocol violation"));
+        assert!(!format!("{err:?}").is_empty());
+    }
+}

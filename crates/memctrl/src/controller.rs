@@ -1,0 +1,948 @@
+//! The memory controller: FR-FCFS scheduling, refresh management, RFM
+//! issuing and the PRAC alert-back-off protocol.
+//!
+//! The controller is driven by two calls:
+//!
+//! * [`MemoryController::enqueue`] — add a request (fails when the queue is
+//!   full, like a real controller exerting back-pressure);
+//! * [`MemoryController::service`] — issue every command that is legal at
+//!   `now` and return the next instant at which calling `service` again may
+//!   make progress.
+//!
+//! Completed requests are drained with [`MemoryController::take_completed`].
+//!
+//! ## Modeled behaviour (Table 1 + §5 of the paper)
+//!
+//! * 64-entry read and write queues, FR-FCFS with a **column cap of 16**;
+//! * open-page row policy with write draining between watermarks;
+//! * per-rank periodic refresh every `tREFI`, postponable by one interval
+//!   when the rank is busy, after which **two REFs issue back-to-back**
+//!   (footnote 3 of the paper);
+//! * the PRAC ABO protocol: alert ≈5 ns after `PRE` → `tABO_ACT` of normal
+//!   traffic → `rfms_per_backoff` RFM commands back-to-back → cool-down;
+//! * PRFM same-bank RFMs and FR-RFM fixed-rate all-bank RFMs via
+//!   [`MitigationEngine`];
+//! * PARA neighbor refreshes performed as activate+precharge of victims.
+
+use std::collections::{HashMap, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+use lh_defenses::{DefenseAction, DefenseConfig, MitigationEngine};
+use lh_dram::{
+    Alert, AlertScope, BankId, Command, DeviceConfig, DramDevice, DramError, RfmScope, Span, Time,
+};
+
+use crate::request::{AccessKind, Completion, MemRequest};
+
+/// Row-buffer management policy.
+///
+/// A *strictly closed* policy — precharging a row immediately after its
+/// accesses are served — is a classic defense against DRAMA-style
+/// row-buffer channels. §9 of the paper points out it does **not**
+/// mitigate LeakyHammer: every access becomes an activation, so the
+/// defense's activation counters climb even faster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RowPolicy {
+    /// Open-page: rows stay open until a conflict or maintenance op.
+    Open,
+    /// Strictly closed-page: a row is precharged immediately after serving
+    /// a column access (auto-precharge semantics), even when further hits
+    /// to it are queued.
+    Closed,
+}
+
+/// Memory-controller configuration (Table 1 defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CtrlConfig {
+    /// Read queue capacity.
+    pub read_queue_cap: usize,
+    /// Write queue capacity.
+    pub write_queue_cap: usize,
+    /// FR-FCFS column cap: maximum consecutive row hits served while an
+    /// older row-miss request waits on the same bank.
+    pub col_cap: u32,
+    /// Write-drain start watermark.
+    pub wq_drain_high: usize,
+    /// Write-drain stop watermark.
+    pub wq_drain_low: usize,
+    /// Allow postponing a periodic refresh by one `tREFI` when the rank is
+    /// busy (then issue two back-to-back).
+    pub refresh_postpone: bool,
+    /// FR-RFM quiesce guard: new row/column commands to a rank stop this
+    /// long before the fixed-rate RFM deadline so the RFM lands exactly on
+    /// its period.
+    pub frrfm_guard: Span,
+    /// Row-buffer management policy.
+    pub row_policy: RowPolicy,
+}
+
+impl CtrlConfig {
+    /// Paper defaults: 64-entry queues, column cap 16, postponing enabled.
+    pub fn paper_default() -> CtrlConfig {
+        CtrlConfig {
+            read_queue_cap: 64,
+            write_queue_cap: 64,
+            col_cap: 16,
+            wq_drain_high: 48,
+            wq_drain_low: 16,
+            refresh_postpone: true,
+            frrfm_guard: Span::from_ns(150),
+            row_policy: RowPolicy::Open,
+        }
+    }
+}
+
+impl Default for CtrlConfig {
+    fn default() -> CtrlConfig {
+        CtrlConfig::paper_default()
+    }
+}
+
+/// Controller statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CtrlStats {
+    /// Read requests accepted.
+    pub reads_enqueued: u64,
+    /// Write requests accepted.
+    pub writes_enqueued: u64,
+    /// Read requests completed.
+    pub reads_served: u64,
+    /// Write requests completed.
+    pub writes_served: u64,
+    /// Requests rejected because a queue was full.
+    pub rejections: u64,
+    /// Periodic REF commands issued.
+    pub refreshes: u64,
+    /// Refreshes that were postponed by one interval.
+    pub refreshes_postponed: u64,
+    /// PRAC back-off recoveries completed.
+    pub backoffs: u64,
+    /// RFM commands issued for any reason.
+    pub rfms: u64,
+    /// PARA victim-refresh activations performed.
+    pub para_victim_acts: u64,
+    /// BlockHammer throttle registrations applied to the scheduler.
+    pub throttles: u64,
+    /// Worst observed deviation of an FR-RFM command from its deadline.
+    pub fr_rfm_jitter_max: Span,
+}
+
+/// Phase of an in-flight ABO back-off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum AboPhase {
+    /// Normal traffic window (`tABO_ACT`) running until `recover_at`.
+    Window,
+    /// Recovery: closing banks and issuing RFMs.
+    Recover,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct AboState {
+    alert: Alert,
+    recover_at: Time,
+    rfms_left: u32,
+    phase: AboPhase,
+    /// End of the last recovery RFM's blocking window.
+    last_rfm_end: Time,
+}
+
+/// PARA victim refresh in progress: activate the victim row, then close it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct ParaJob {
+    bank: BankId,
+    victim: u32,
+    activated: bool,
+}
+
+/// The per-channel memory controller.
+///
+/// # Examples
+///
+/// ```
+/// use lh_defenses::DefenseConfig;
+/// use lh_dram::{DeviceConfig, DramAddr, BankId, Geometry, Time};
+/// use lh_memctrl::{AccessKind, CtrlConfig, MemRequest, MemoryController};
+///
+/// let mut dev_cfg = DeviceConfig::paper_default();
+/// dev_cfg.geometry = Geometry::tiny();
+/// let mut mc = MemoryController::new(
+///     CtrlConfig::paper_default(),
+///     dev_cfg,
+///     DefenseConfig::prac(128),
+///     1,
+/// ).unwrap();
+/// let req = MemRequest {
+///     id: 1,
+///     addr: DramAddr::new(BankId::new(0, 0, 0, 0), 3, 0),
+///     kind: AccessKind::Read,
+///     arrival: Time::ZERO,
+///     source: 0,
+/// };
+/// mc.enqueue(req).unwrap();
+/// let mut now = Time::ZERO;
+/// while mc.take_completed().is_empty() {
+///     now = mc.service(now);
+/// }
+/// ```
+#[derive(Debug)]
+pub struct MemoryController {
+    cfg: CtrlConfig,
+    device: DramDevice,
+    defense: MitigationEngine,
+    read_q: VecDeque<MemRequest>,
+    write_q: VecDeque<MemRequest>,
+    completed: Vec<Completion>,
+    /// Per rank: next scheduled refresh instant.
+    ref_due: Vec<Time>,
+    /// Per rank: refreshes owed due to postponing.
+    ref_owed: Vec<u32>,
+    /// Per rank: refreshes committed and not yet issued.
+    ref_pending: Vec<u32>,
+    /// Per rank: end of the last RFM's blocking window (for spacing
+    /// deferred refreshes away from fixed-rate RFMs).
+    rfm_end: Vec<Time>,
+    /// PRFM RFMs awaiting issue.
+    rfm_queue: VecDeque<(u32, RfmScope)>,
+    /// PARA and approximate-tracker victim refreshes awaiting issue.
+    para_queue: VecDeque<ParaJob>,
+    /// BlockHammer throttles: `(flat bank, row)` must not be activated
+    /// before the stored instant.
+    throttled: HashMap<(usize, u32), Time>,
+    abo: Option<AboState>,
+    draining: bool,
+    /// Per flat bank: (row, consecutive column accesses served).
+    streak: Vec<(u32, u32)>,
+    stats: CtrlStats,
+}
+
+/// What `next_step` decided.
+enum Step {
+    /// Issue this command now; `done_req` is the index of a request served
+    /// by a column command.
+    Issue(Command, Option<(QueueSel, usize)>),
+    /// Internal state changed without a command; re-evaluate immediately.
+    Again,
+    /// Nothing issuable now; next interesting instant.
+    Wait(Time),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum QueueSel {
+    Read,
+    Write,
+}
+
+impl MemoryController {
+    /// Builds a controller (and its DRAM device) for one channel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device construction errors (invalid timing/geometry).
+    pub fn new(
+        cfg: CtrlConfig,
+        mut device_cfg: DeviceConfig,
+        defense: DefenseConfig,
+        seed: u64,
+    ) -> Result<MemoryController, DramError> {
+        device_cfg.prac = defense.device_prac();
+        device_cfg.seed = seed;
+        let device = DramDevice::new(device_cfg)?;
+        let g = *device.geometry();
+        let t = *device.timing();
+        let ranks = g.ranks_per_channel() as usize;
+        let engine = MitigationEngine::new(defense, &g, seed ^ 0x5eed);
+        Ok(MemoryController {
+            cfg,
+            device,
+            defense: engine,
+            read_q: VecDeque::new(),
+            write_q: VecDeque::new(),
+            completed: Vec::new(),
+            ref_due: (0..ranks).map(|r| Time::ZERO + t.t_refi + t.t_refi * r as u64 / ranks as u64).collect(),
+            ref_owed: vec![0; ranks],
+            ref_pending: vec![0; ranks],
+            rfm_end: vec![Time::ZERO; ranks],
+            rfm_queue: VecDeque::new(),
+            para_queue: VecDeque::new(),
+            throttled: HashMap::new(),
+            abo: None,
+            draining: false,
+            streak: vec![(u32::MAX, 0); g.banks_per_channel() as usize],
+            stats: CtrlStats::default(),
+        })
+    }
+
+    /// The DRAM device behind this controller.
+    pub fn device(&self) -> &DramDevice {
+        &self.device
+    }
+
+    /// Mutable access to the device (tests, fault injection).
+    pub fn device_mut(&mut self) -> &mut DramDevice {
+        &mut self.device
+    }
+
+    /// The defense engine.
+    pub fn defense(&self) -> &MitigationEngine {
+        &self.defense
+    }
+
+    /// Controller statistics.
+    pub fn stats(&self) -> &CtrlStats {
+        &self.stats
+    }
+
+    /// Outstanding read-queue occupancy.
+    pub fn read_queue_len(&self) -> usize {
+        self.read_q.len()
+    }
+
+    /// Outstanding write-queue occupancy.
+    pub fn write_queue_len(&self) -> usize {
+        self.write_q.len()
+    }
+
+    /// Whether any request is queued.
+    pub fn is_idle(&self) -> bool {
+        self.read_q.is_empty() && self.write_q.is_empty()
+    }
+
+    /// Accepts a request.
+    ///
+    /// # Errors
+    ///
+    /// Returns the request back if the corresponding queue is full; the
+    /// caller must retry after progress (back-pressure).
+    pub fn enqueue(&mut self, req: MemRequest) -> Result<(), MemRequest> {
+        let full = match req.kind {
+            AccessKind::Read => self.read_q.len() >= self.cfg.read_queue_cap,
+            AccessKind::Write => self.write_q.len() >= self.cfg.write_queue_cap,
+        };
+        if full {
+            self.stats.rejections += 1;
+            return Err(req);
+        }
+        match req.kind {
+            AccessKind::Read => {
+                self.read_q.push_back(req);
+                self.stats.reads_enqueued += 1;
+            }
+            AccessKind::Write => {
+                self.write_q.push_back(req);
+                self.stats.writes_enqueued += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Drains completions produced so far.
+    pub fn take_completed(&mut self) -> Vec<Completion> {
+        core::mem::take(&mut self.completed)
+    }
+
+    /// Issues every command legal at `now`; returns the next instant at
+    /// which `service` should run again (always strictly after `now`).
+    pub fn service(&mut self, now: Time) -> Time {
+        loop {
+            self.update_modes(now);
+            match self.next_step(now) {
+                Step::Issue(cmd, served) => {
+                    self.issue(cmd, now, served);
+                }
+                Step::Again => {}
+                Step::Wait(t) => {
+                    return t.max(now + Span::from_ps(1));
+                }
+            }
+        }
+    }
+
+    fn update_modes(&mut self, now: Time) {
+        // Expired BlockHammer throttles no longer constrain scheduling.
+        self.throttled.retain(|_, until| *until > now);
+        // Write-drain hysteresis.
+        if self.write_q.len() >= self.cfg.wq_drain_high {
+            self.draining = true;
+        } else if self.write_q.len() <= self.cfg.wq_drain_low {
+            self.draining = false;
+        }
+        // Refresh postponing / commitment per rank. Commitment is deferred
+        // while an ABO recovery is in flight: REF could not issue anyway
+        // (the alert bank is busy), and committing would needlessly quiesce
+        // the rank for unrelated banks.
+        let ranks = self.ref_due.len();
+        for r in 0..ranks {
+            if self.abo.is_some() {
+                break;
+            }
+            if now >= self.ref_due[r] && self.ref_pending[r] == 0 {
+                // Footnote 3 of the paper: the controller always postpones
+                // a refresh by one interval (hoping for idleness) and then
+                // issues two REFs back-to-back.
+                if self.cfg.refresh_postpone && self.ref_owed[r] == 0 {
+                    self.ref_owed[r] = 1;
+                    self.ref_due[r] = self.ref_due[r] + self.device.timing().t_refi;
+                    self.stats.refreshes_postponed += 1;
+                } else {
+                    // Do not stack the refresh with a fixed-rate RFM on
+                    // either side: REF must complete comfortably before
+                    // the next RFM deadline *and* must not start at an
+                    // RFM's tail — a contiguous RFM+REF block would be a
+                    // back-off-sized latency spike, the one class FR-RFM
+                    // must never emit. Both schedules are controller-owned
+                    // and traffic-independent, so this deferral leaks
+                    // nothing.
+                    let t = self.device.timing();
+                    let settle = self.cfg.frrfm_guard * 2;
+                    let clear_of_rfm = match self.defense.fr_rfm_deadline(r as u32) {
+                        Some(d) => {
+                            d > now + t.t_rfc * 2 + t.t_rfm + t.t_rp
+                                && now >= self.rfm_end[r] + settle
+                        }
+                        None => true,
+                    };
+                    // Deferral is time-bounded (half a tREFI past the due
+                    // point): with very dense RFM schedules (extreme N_RH)
+                    // no gap is ever "clear", and refresh must still
+                    // happen.
+                    if clear_of_rfm || now >= self.ref_due[r] + t.t_refi / 2 {
+                        self.ref_pending[r] = 1 + self.ref_owed[r];
+                        self.ref_owed[r] = 0;
+                        self.ref_due[r] = self.ref_due[r] + self.device.timing().t_refi;
+                    }
+                }
+            }
+        }
+        // ABO phase transition.
+        if let Some(abo) = &mut self.abo {
+            if abo.phase == AboPhase::Window && now >= abo.recover_at {
+                abo.phase = AboPhase::Recover;
+            }
+        }
+    }
+
+    /// Whether the ABO state machine stalls all normal traffic (channel
+    /// scope recovery) right now.
+    fn abo_channel_stall(&self) -> bool {
+        matches!(
+            (&self.abo, self.device.prac_config().map(|p| p.scope)),
+            (Some(AboState { phase: AboPhase::Recover, .. }), Some(AlertScope::Channel))
+        )
+    }
+
+    /// Flat indices of banks blocked for new row/column commands.
+    fn blocked_banks(&self) -> Vec<usize> {
+        let g = self.device.geometry();
+        let mut blocked = Vec::new();
+        // Front PRFM RFM quiesces its target banks.
+        if let Some(&(rank, scope)) = self.rfm_queue.front() {
+            blocked.extend(self.device.rfm_banks(rank, scope));
+        }
+        // Bank-scope ABO recovery quiesces the alert bank.
+        if let Some(abo) = &self.abo {
+            if abo.phase == AboPhase::Recover
+                && self.device.prac_config().map(|p| p.scope) == Some(AlertScope::Bank)
+            {
+                blocked.push(g.flat_bank(abo.alert.bank));
+            }
+        }
+        // PARA front job owns its bank.
+        if let Some(job) = self.para_queue.front() {
+            blocked.push(g.flat_bank(job.bank));
+        }
+        blocked
+    }
+
+    /// Ranks quiesced for new row/column commands, with the reason's
+    /// deadline (refresh commitment or FR-RFM window).
+    fn rank_quiesced(&self, rank: u32, now: Time) -> bool {
+        if self.ref_pending[rank as usize] > 0 {
+            return true;
+        }
+        if let Some(deadline) = self.defense.fr_rfm_deadline(rank) {
+            if now + self.cfg.frrfm_guard >= deadline {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn next_step(&mut self, now: Time) -> Step {
+        let t = *self.device.timing();
+        let mut wake = Time::MAX;
+
+        // --- 1. ABO back-off protocol -----------------------------------
+        if let Some(abo) = self.abo {
+            match abo.phase {
+                AboPhase::Window => {
+                    wake = wake.min(abo.recover_at);
+                    // Normal traffic continues below.
+                }
+                AboPhase::Recover => {
+                    let scope = self
+                        .device
+                        .prac_config()
+                        .map(|p| p.scope)
+                        .unwrap_or(AlertScope::Channel);
+                    let rank = abo.alert.bank.rank;
+                    let close_cmd = match scope {
+                        AlertScope::Channel => {
+                            let any_open = self
+                                .device
+                                .geometry()
+                                .banks_in_channel(0)
+                                .filter(|b| b.rank == rank)
+                                .any(|b| self.device.open_row(b).is_some());
+                            any_open.then_some(Command::PrechargeAll { channel: 0, rank })
+                        }
+                        AlertScope::Bank => self
+                            .device
+                            .open_row(abo.alert.bank)
+                            .is_some()
+                            .then_some(Command::Precharge { bank: abo.alert.bank }),
+                    };
+                    if let Some(cmd) = close_cmd {
+                        match self.device.earliest_issue(&cmd, now) {
+                            Ok(at) if at <= now => return Step::Issue(cmd, None),
+                            Ok(at) => wake = wake.min(at),
+                            Err(_) => {}
+                        }
+                    } else if abo.rfms_left > 0 {
+                        let rfm_scope = match scope {
+                            AlertScope::Channel => RfmScope::AllBank,
+                            AlertScope::Bank => RfmScope::SingleBank {
+                                bank_group: abo.alert.bank.bank_group,
+                                bank: abo.alert.bank.bank,
+                            },
+                        };
+                        let cmd = Command::Rfm { channel: 0, rank, scope: rfm_scope };
+                        match self.device.earliest_issue(&cmd, now) {
+                            Ok(at) if at <= now => return Step::Issue(cmd, None),
+                            Ok(at) => wake = wake.min(at),
+                            Err(_) => {}
+                        }
+                    } else {
+                        // All recovery RFMs issued; recovery ends when the
+                        // last RFM's window closes.
+                        self.device.recovery_complete(abo.last_rfm_end);
+                        self.abo = None;
+                        self.stats.backoffs += 1;
+                        return Step::Again;
+                    }
+                    if scope == AlertScope::Channel {
+                        // Channel-scope recovery stalls everything else.
+                        return Step::Wait(wake);
+                    }
+                }
+            }
+        }
+
+        // --- 2. Committed refreshes -------------------------------------
+        for rank in 0..self.ref_due.len() as u32 {
+            let pending = self.ref_pending[rank as usize];
+            wake = wake.min(self.ref_due[rank as usize]);
+            if pending == 0 {
+                // A REF may be owed but uncommitted because the FR-RFM
+                // spacing rules in `update_modes` found no clear slot yet;
+                // wake when the post-RFM settle expires so commitment is
+                // re-evaluated promptly.
+                if now >= self.ref_due[rank as usize] {
+                    let settle_end = self.rfm_end[rank as usize] + self.cfg.frrfm_guard * 2;
+                    if settle_end > now {
+                        wake = wake.min(settle_end);
+                    }
+                }
+                continue;
+            }
+            // Safety net mirroring the commit-time rule: a committed REF
+            // still never *starts* so late that it would be blocking the
+            // rank at the fixed-rate RFM deadline (zero RFM jitter is
+            // FR-RFM's security property). Dense schedules where a REF
+            // can never fit between two RFMs forgo the rule — refresh
+            // must still happen, and the stacking is deterministic.
+            if let Some(deadline) = self.defense.fr_rfm_deadline(rank) {
+                let period = self.defense.config().fr_rfm.expect("deadline implies config").period;
+                let fits_between_rfms = t.t_rfm + t.t_rfc + t.t_cmd * 2 <= period;
+                if fits_between_rfms && now + t.t_rfc + t.t_cmd > deadline {
+                    wake = wake.min(deadline);
+                    continue;
+                }
+            }
+            let any_open = self
+                .device
+                .geometry()
+                .banks_in_channel(0)
+                .filter(|b| b.rank == rank)
+                .any(|b| self.device.open_row(b).is_some());
+            let cmd = if any_open {
+                Command::PrechargeAll { channel: 0, rank }
+            } else {
+                Command::Refresh { channel: 0, rank }
+            };
+            match self.device.earliest_issue(&cmd, now) {
+                Ok(at) if at <= now => return Step::Issue(cmd, None),
+                Ok(at) => wake = wake.min(at),
+                Err(_) => {}
+            }
+        }
+
+        // --- 3. FR-RFM fixed-rate RFMs ----------------------------------
+        for rank in 0..self.ref_due.len() as u32 {
+            if let Some(deadline) = self.defense.fr_rfm_deadline(rank) {
+                wake = wake.min(deadline);
+                // Close banks shortly before the deadline.
+                let close_at = deadline - t.t_rp - t.t_cmd;
+                if now >= close_at {
+                    let any_open = self
+                        .device
+                        .geometry()
+                        .banks_in_channel(0)
+                        .filter(|b| b.rank == rank)
+                        .any(|b| self.device.open_row(b).is_some());
+                    if any_open {
+                        let cmd = Command::PrechargeAll { channel: 0, rank };
+                        match self.device.earliest_issue(&cmd, now) {
+                            Ok(at) if at <= now => return Step::Issue(cmd, None),
+                            Ok(at) => wake = wake.min(at),
+                            Err(_) => {}
+                        }
+                    } else if now >= deadline {
+                        let cmd = Command::Rfm { channel: 0, rank, scope: RfmScope::AllBank };
+                        match self.device.earliest_issue(&cmd, now) {
+                            Ok(at) if at <= now => return Step::Issue(cmd, None),
+                            Ok(at) => wake = wake.min(at),
+                            Err(_) => {}
+                        }
+                    }
+                } else {
+                    wake = wake.min(close_at);
+                }
+            }
+        }
+
+        // --- 4. PRFM RFMs ------------------------------------------------
+        if let Some(&(rank, scope)) = self.rfm_queue.front() {
+            let banks = self.device.rfm_banks(rank, scope);
+            let open: Vec<BankId> = banks
+                .iter()
+                .map(|&f| self.device.geometry().bank_from_flat(0, f))
+                .filter(|&b| self.device.open_row(b).is_some())
+                .collect();
+            if let Some(&bank) = open.first() {
+                let cmd = Command::Precharge { bank };
+                match self.device.earliest_issue(&cmd, now) {
+                    Ok(at) if at <= now => return Step::Issue(cmd, None),
+                    Ok(at) => wake = wake.min(at),
+                    Err(_) => {}
+                }
+            } else {
+                let cmd = Command::Rfm { channel: 0, rank, scope };
+                match self.device.earliest_issue(&cmd, now) {
+                    Ok(at) if at <= now => return Step::Issue(cmd, None),
+                    Ok(at) => wake = wake.min(at),
+                    Err(_) => {}
+                }
+            }
+        }
+
+        // --- 5. PARA victim refreshes ------------------------------------
+        if let Some(job) = self.para_queue.front().copied() {
+            let open = self.device.open_row(job.bank);
+            let cmd = match (job.activated, open) {
+                (false, Some(_)) => Command::Precharge { bank: job.bank },
+                (false, None) => Command::Activate { bank: job.bank, row: job.victim },
+                (true, Some(_)) => Command::Precharge { bank: job.bank },
+                (true, None) => {
+                    // Victim refreshed and closed: job done.
+                    self.para_queue.pop_front();
+                    return Step::Again;
+                }
+            };
+            match self.device.earliest_issue(&cmd, now) {
+                Ok(at) if at <= now => return Step::Issue(cmd, None),
+                Ok(at) => wake = wake.min(at),
+                Err(_) => {}
+            }
+        }
+
+        // --- 5b. Strictly closed-page policy ----------------------------
+        // §9's DRAMA defense: a row is precharged immediately after every
+        // access (auto-precharge semantics), so the row-buffer state never
+        // carries information. A row that was activated but has not served
+        // a column command yet stays open — closing it earlier would
+        // starve its own request.
+        if self.cfg.row_policy == RowPolicy::Closed && !self.abo_channel_stall() {
+            let g = *self.device.geometry();
+            for bank in g.banks_in_channel(0) {
+                let Some(open_row) = self.device.open_row(bank) else { continue };
+                let flat = g.flat_bank(bank);
+                let (srow, served) = self.streak[flat];
+                if srow != open_row || served == 0 {
+                    continue;
+                }
+                let cmd = Command::Precharge { bank };
+                match self.device.earliest_issue(&cmd, now) {
+                    Ok(at) if at <= now => return Step::Issue(cmd, None),
+                    Ok(at) => wake = wake.min(at),
+                    Err(_) => {}
+                }
+            }
+        }
+
+        // --- 6. Demand requests (FR-FCFS with column cap) ----------------
+        if !self.abo_channel_stall() {
+            let sel = if self.draining || (self.read_q.is_empty() && !self.write_q.is_empty()) {
+                QueueSel::Write
+            } else {
+                QueueSel::Read
+            };
+            let (step_wake, step) = self.schedule_demand(sel, now);
+            if let Some(s) = step {
+                return s;
+            }
+            wake = wake.min(step_wake);
+        }
+
+        Step::Wait(wake)
+    }
+
+    /// FR-FCFS selection over one queue. Returns (wake, chosen step).
+    fn schedule_demand(&self, sel: QueueSel, now: Time) -> (Time, Option<Step>) {
+        let q = match sel {
+            QueueSel::Read => &self.read_q,
+            QueueSel::Write => &self.write_q,
+        };
+        let g = self.device.geometry();
+        let blocked = self.blocked_banks();
+        let mut wake = Time::MAX;
+
+        // Per-bank pending hit/conflict summary for cap & precharge guards.
+        let mut bank_has_hit = vec![false; g.banks_per_channel() as usize];
+        let mut bank_has_conflict = vec![false; g.banks_per_channel() as usize];
+        for req in q.iter() {
+            let flat = g.flat_bank(req.addr.bank);
+            match self.device.open_row(req.addr.bank) {
+                Some(r) if r == req.addr.row => bank_has_hit[flat] = true,
+                Some(_) => bank_has_conflict[flat] = true,
+                None => {}
+            }
+        }
+
+        // Candidate = (is_not_hit, earliest, arrival, idx, cmd).
+        let mut best: Option<(bool, Time, Time, usize, Command)> = None;
+        for (idx, req) in q.iter().enumerate() {
+            let bank = req.addr.bank;
+            let flat = g.flat_bank(bank);
+            if blocked.contains(&flat) || self.rank_quiesced(bank.rank, now) {
+                continue;
+            }
+            // BlockHammer: a throttled row cannot be (re)activated yet —
+            // the observable delay of this defense class. Row hits to a
+            // still-open throttled row are allowed (the throttle gates
+            // ACT, not column commands).
+            if let Some(&until) = self.throttled.get(&(flat, req.addr.row)) {
+                if until > now && self.device.open_row(bank) != Some(req.addr.row) {
+                    wake = wake.min(until);
+                    continue;
+                }
+            }
+            let open = self.device.open_row(bank);
+            let (cmd, is_hit) = match open {
+                Some(r) if r == req.addr.row => {
+                    let c = match req.kind {
+                        AccessKind::Read => Command::Read { bank, col: req.addr.col },
+                        AccessKind::Write => Command::Write { bank, col: req.addr.col },
+                    };
+                    (c, true)
+                }
+                Some(_) => {
+                    // Respect open rows that still have uncapped hits.
+                    let (srow, scount) = self.streak[flat];
+                    let capped = srow == open.unwrap() && scount >= self.cfg.col_cap;
+                    if bank_has_hit[flat] && !capped {
+                        continue;
+                    }
+                    (Command::Precharge { bank }, false)
+                }
+                None => (Command::Activate { bank, row: req.addr.row }, false),
+            };
+            if is_hit {
+                // Column cap: once `col_cap` consecutive hits were served
+                // while a conflicting request waits, stop preferring hits.
+                let (srow, scount) = self.streak[flat];
+                if srow == req.addr.row && scount >= self.cfg.col_cap && bank_has_conflict[flat]
+                {
+                    continue;
+                }
+            }
+            let at = match self.device.earliest_issue(&cmd, now) {
+                Ok(at) => at,
+                Err(_) => continue,
+            };
+            let key = (!is_hit, at.max(now), req.arrival, idx, cmd);
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    // Issueable-now candidates first (hit-priority, then
+                    // age); otherwise the earliest future candidate.
+                    let key_now = key.1 <= now;
+                    let best_now = b.1 <= now;
+                    match (key_now, best_now) {
+                        (true, false) => true,
+                        (false, true) => false,
+                        (true, true) => (key.0, key.2) < (b.0, b.2),
+                        (false, false) => key.1 < b.1,
+                    }
+                }
+            };
+            if better {
+                best = Some(key);
+            }
+        }
+        match best {
+            Some((_, at, _, idx, cmd)) if at <= now => {
+                let served = cmd.is_column().then_some((sel, idx));
+                (wake, Some(Step::Issue(cmd, served)))
+            }
+            Some((_, at, _, _, _)) => {
+                wake = wake.min(at);
+                (wake, None)
+            }
+            None => (wake, None),
+        }
+    }
+
+    /// Issues `cmd` at `now`, updating all controller state.
+    fn issue(&mut self, cmd: Command, now: Time, served: Option<(QueueSel, usize)>) {
+        let outcome = self
+            .device
+            .issue(&cmd, now)
+            .unwrap_or_else(|e| panic!("scheduler issued illegal command: {e}"));
+
+        match cmd {
+            Command::Activate { bank, row } => {
+                // PARA victim activation bookkeeping.
+                if let Some(job) = self.para_queue.front_mut() {
+                    if job.bank == bank && job.victim == row && !job.activated {
+                        job.activated = true;
+                        self.stats.para_victim_acts += 1;
+                    }
+                }
+                for action in self.defense.on_activate(bank, row, now) {
+                    match action {
+                        DefenseAction::IssueRfm { rank, scope } => {
+                            self.rfm_queue.push_back((rank, scope));
+                        }
+                        DefenseAction::ThrottleRow { bank, row, until } => {
+                            let flat = self.device.geometry().flat_bank(bank);
+                            self.throttled.insert((flat, row), until);
+                            self.stats.throttles += 1;
+                        }
+                        DefenseAction::RefreshNeighbors { bank, row } => {
+                            let radius = self.device.config().blast_radius;
+                            let rows = self.device.geometry().rows_per_bank();
+                            for d in 1..=radius {
+                                if let Some(v) = row.checked_sub(d) {
+                                    self.para_queue.push_back(ParaJob {
+                                        bank,
+                                        victim: v,
+                                        activated: false,
+                                    });
+                                }
+                                if row + d < rows {
+                                    self.para_queue.push_back(ParaJob {
+                                        bank,
+                                        victim: row + d,
+                                        activated: false,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Command::Refresh { rank, .. } => {
+                self.ref_pending[rank as usize] -= 1;
+                self.stats.refreshes += 1;
+                // MINT: the sampled aggressors' victims are refreshed
+                // inside this REF's blocking window — no extra latency.
+                for (bank, row) in self.defense.on_periodic_refresh(rank) {
+                    self.device.hidden_preventive_refresh(bank, row);
+                }
+            }
+            Command::Rfm { rank, scope, .. } => {
+                self.stats.rfms += 1;
+                self.rfm_end[rank as usize] = now + self.device.timing().t_rfm;
+                match &mut self.abo {
+                    Some(abo) if abo.phase == AboPhase::Recover && abo.rfms_left > 0 => {
+                        abo.rfms_left -= 1;
+                        abo.last_rfm_end = now + self.device.timing().t_rfm;
+                    }
+                    _ => {
+                        // PRFM or FR-RFM command.
+                        if self.rfm_queue.front() == Some(&(rank, scope)) {
+                            self.rfm_queue.pop_front();
+                        } else if scope == RfmScope::AllBank {
+                            // Fixed-rate RFM: record jitter vs deadline.
+                            if let Some(deadline) = self.defense.fr_rfm_deadline(rank) {
+                                let jitter = now.saturating_since(deadline);
+                                self.stats.fr_rfm_jitter_max =
+                                    self.stats.fr_rfm_jitter_max.max(jitter);
+                                self.defense.fr_rfm_issued(rank);
+                            }
+                        }
+                    }
+                }
+            }
+            Command::Read { bank, .. } | Command::Write { bank, .. } => {
+                let flat = self.device.geometry().flat_bank(bank);
+                let row = self.device.open_row(bank).expect("column command on open row");
+                let (srow, scount) = self.streak[flat];
+                self.streak[flat] = if srow == row { (row, scount + 1) } else { (row, 1) };
+                let (sel, idx) = served.expect("column command must serve a request");
+                let q = match sel {
+                    QueueSel::Read => &mut self.read_q,
+                    QueueSel::Write => &mut self.write_q,
+                };
+                let req = q.remove(idx).expect("served request present");
+                let finished = outcome.data_ready.expect("column command returns data time");
+                match req.kind {
+                    AccessKind::Read => self.stats.reads_served += 1,
+                    AccessKind::Write => self.stats.writes_served += 1,
+                }
+                self.completed.push(Completion {
+                    id: req.id,
+                    source: req.source,
+                    kind: req.kind,
+                    addr: req.addr,
+                    arrival: req.arrival,
+                    finished,
+                });
+            }
+            Command::Precharge { bank } => {
+                let flat = self.device.geometry().flat_bank(bank);
+                self.streak[flat] = (u32::MAX, 0);
+            }
+            Command::PrechargeAll { rank, .. } => {
+                let g = *self.device.geometry();
+                for b in g.banks_in_channel(0).filter(|b| b.rank == rank) {
+                    self.streak[g.flat_bank(b)] = (u32::MAX, 0);
+                }
+            }
+        }
+
+        // A fresh alert arms the ABO state machine.
+        if let Some(alert) = outcome.alert {
+            let t = self.device.timing();
+            let rfms = self.device.prac_config().map(|p| p.rfms_per_backoff).unwrap_or(1);
+            self.abo = Some(AboState {
+                alert,
+                recover_at: alert.asserted_at + t.t_abo_act,
+                rfms_left: rfms,
+                phase: AboPhase::Window,
+                last_rfm_end: alert.asserted_at,
+            });
+        }
+    }
+}

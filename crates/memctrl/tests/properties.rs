@@ -1,0 +1,130 @@
+//! Property-based tests on the memory controller: progress, exactly-once
+//! completion, and latency sanity for arbitrary request batches under
+//! every defense family.
+
+use proptest::prelude::*;
+
+use lh_defenses::DefenseConfig;
+use lh_dram::{BankId, DeviceConfig, DramAddr, DramTiming, Geometry, Span, Time};
+use lh_memctrl::{AccessKind, CtrlConfig, MemRequest, MemoryController};
+
+/// Builds a controller over the tiny geometry with the given defense.
+fn controller(defense: DefenseConfig, seed: u64) -> MemoryController {
+    let mut dev = DeviceConfig::paper_default();
+    dev.geometry = Geometry::tiny();
+    MemoryController::new(CtrlConfig::paper_default(), dev, defense, seed).unwrap()
+}
+
+/// A compact encoding of a request: (bank-group, bank, row, col, read?,
+/// arrival offset in ns).
+type ReqSpec = (u32, u32, u32, u32, bool, u64);
+
+fn defense_of(sel: u8) -> DefenseConfig {
+    match sel % 5 {
+        0 => DefenseConfig::none(),
+        1 => DefenseConfig::prac(64),
+        2 => DefenseConfig::prfm(16),
+        3 => DefenseConfig::fr_rfm(16, DramTiming::ddr5_4800().t_rc),
+        _ => DefenseConfig::graphene(256, &DramTiming::ddr5_4800()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every accepted request completes exactly once, with a sane latency
+    /// (at least the device's column latency, completion after arrival),
+    /// under every defense family.
+    #[test]
+    fn all_requests_complete_exactly_once(
+        specs in proptest::collection::vec(
+            (0u32..2, 0u32..2, 0u32..32, 0u32..16, any::<bool>(), 0u64..40_000),
+            1..60,
+        ),
+        defense_sel in 0u8..5,
+    ) {
+        let mut mc = controller(defense_of(defense_sel), 7);
+        let g = Geometry::tiny();
+        let mut reqs: Vec<MemRequest> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(bg, b, row, col, read, at)): (usize, &ReqSpec)| MemRequest {
+                id: i as u64,
+                addr: DramAddr::new(
+                    BankId::new(0, 0, bg % g.bank_groups_per_rank(), b % g.banks_per_group()),
+                    row % g.rows_per_bank(),
+                    col,
+                ),
+                kind: if read { AccessKind::Read } else { AccessKind::Write },
+                arrival: Time::ZERO + Span::from_ns(at),
+                source: 0,
+            })
+            .collect();
+        reqs.sort_by_key(|r| r.arrival);
+
+        let mut now = Time::ZERO;
+        let mut done: Vec<(u64, Time, Time, AccessKind)> = Vec::new();
+        let mut pending = reqs.into_iter().peekable();
+        let deadline = Time::from_us(4_000);
+        let mut outstanding = 0usize;
+        while (pending.peek().is_some() || outstanding > 0) && now < deadline {
+            while let Some(r) = pending.peek() {
+                if r.arrival <= now {
+                    let r = pending.next().unwrap();
+                    match mc.enqueue(r) {
+                        Ok(()) => outstanding += 1,
+                        Err(_r) => {
+                            // Queue full: drop from this test's stream
+                            // (back-pressure is exercised elsewhere).
+                        }
+                    }
+                } else {
+                    break;
+                }
+            }
+            let next = mc.service(now);
+            for c in mc.take_completed() {
+                done.push((c.id, c.arrival, c.finished, c.kind));
+                outstanding -= 1;
+            }
+            let next_arrival = pending.peek().map(|r| r.arrival).unwrap_or(Time::MAX);
+            now = next.min(next_arrival).max(now + Span::from_ps(1));
+        }
+        prop_assert_eq!(outstanding, 0, "requests stuck at {}", now);
+
+        // Exactly-once, and sane latencies.
+        let mut ids: Vec<u64> = done.iter().map(|d| d.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), done.len(), "duplicate completions");
+        let t = mc.device().timing();
+        for &(id, arrival, finished, kind) in &done {
+            prop_assert!(finished > arrival, "req {id} finished before arrival");
+            // Reads cannot beat the read column latency; writes complete
+            // at the (shorter) write-data end.
+            let min_latency = match kind {
+                AccessKind::Read => t.read_latency(),
+                AccessKind::Write => t.t_cwl + t.t_burst,
+            };
+            prop_assert!(
+                finished - arrival >= min_latency,
+                "req {id} latency {} below column latency {}",
+                finished - arrival,
+                min_latency
+            );
+        }
+    }
+
+    /// The controller's service() always returns a strictly increasing
+    /// wake time (no livelock), even while idle.
+    #[test]
+    fn service_always_advances(defense_sel in 0u8..5, steps in 1usize..50) {
+        let mut mc = controller(defense_of(defense_sel), 3);
+        let mut now = Time::ZERO;
+        for _ in 0..steps {
+            let next = mc.service(now);
+            prop_assert!(next > now, "service must move time forward");
+            now = next;
+        }
+    }
+}

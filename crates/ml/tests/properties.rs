@@ -1,0 +1,102 @@
+//! Property-based tests on the from-scratch ML stack.
+
+use proptest::prelude::*;
+
+use lh_ml::{accuracy, stratified_kfold, Classifier, ConfusionMatrix, DecisionTree, TreeConfig};
+
+/// Distinct feature rows with arbitrary labels.
+fn distinct_dataset() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<usize>)> {
+    proptest::collection::vec((0i32..1000, 0usize..4), 2..40).prop_map(|pairs| {
+        let mut seen = std::collections::HashSet::new();
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for (f, label) in pairs {
+            if seen.insert(f) {
+                x.push(vec![f as f64, (f * 7 % 13) as f64]);
+                y.push(label);
+            }
+        }
+        (x, y)
+    })
+}
+
+proptest! {
+    /// An unbounded decision tree memorizes any training set whose
+    /// feature rows are distinct.
+    #[test]
+    fn unbounded_tree_fits_training_data((x, y) in distinct_dataset()) {
+        prop_assume!(x.len() >= 2);
+        let mut tree = DecisionTree::new(TreeConfig {
+            max_depth: usize::MAX,
+            min_samples_split: 2,
+            ..TreeConfig::default()
+        });
+        tree.fit(&x, &y, 4);
+        let pred = tree.predict_batch(&x);
+        prop_assert_eq!(pred, y);
+    }
+
+    /// Accuracy and the confusion-matrix derived scores stay in [0, 1],
+    /// and all-correct predictions score exactly 1.
+    #[test]
+    fn metric_ranges(
+        truth in proptest::collection::vec(0usize..4, 1..64),
+        flips in proptest::collection::vec(any::<bool>(), 1..64),
+    ) {
+        let pred: Vec<usize> = truth
+            .iter()
+            .zip(flips.iter().cycle())
+            .map(|(&t, &f)| if f { (t + 1) % 4 } else { t })
+            .collect();
+        let a = accuracy(&truth, &pred);
+        prop_assert!((0.0..=1.0).contains(&a));
+        let cm = ConfusionMatrix::new(&truth, &pred, 4);
+        for c in 0..4 {
+            for v in [cm.precision(c), cm.recall(c), cm.f1(c)] {
+                prop_assert!((0.0..=1.0).contains(&v), "class {c}: {v}");
+            }
+        }
+        prop_assert!((0.0..=1.0).contains(&cm.macro_f1()));
+        prop_assert_eq!(accuracy(&truth, &truth), 1.0);
+    }
+
+    /// Stratified k-fold: test folds partition the index set (every index
+    /// appears in exactly one test fold) and train/test are disjoint.
+    #[test]
+    fn kfold_partitions_indices(
+        labels in proptest::collection::vec(0usize..3, 12..60),
+        k in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        let folds = stratified_kfold(&labels, k, seed);
+        prop_assert_eq!(folds.len(), k);
+        let mut seen = vec![0u32; labels.len()];
+        for (train, test) in &folds {
+            for &i in test {
+                seen[i] += 1;
+            }
+            let train_set: std::collections::HashSet<_> = train.iter().collect();
+            for i in test {
+                prop_assert!(!train_set.contains(i), "index {i} in both folds");
+            }
+            prop_assert_eq!(train.len() + test.len(), labels.len());
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "indices not partitioned: {seen:?}");
+    }
+
+    /// Stratification keeps every class represented in every training
+    /// fold when the class is frequent enough.
+    #[test]
+    fn kfold_stratifies_frequent_classes(k in 2usize..5, seed in any::<u64>()) {
+        // 10 samples of each of 3 classes.
+        let labels: Vec<usize> = (0..30).map(|i| i % 3).collect();
+        for (train, _) in stratified_kfold(&labels, k, seed) {
+            for class in 0..3 {
+                prop_assert!(
+                    train.iter().any(|&i| labels[i] == class),
+                    "class {class} missing from a training fold"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,507 @@
+//! The full-system discrete-event simulator.
+//!
+//! [`System`] wires per-core private cache hierarchies and an optional
+//! Best-Offset prefetcher to one memory channel (controller + DRAM
+//! device), and steps [`Process`]es through an event queue keyed on
+//! integer-picosecond time. Everything is deterministic for a fixed seed.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use lh_defenses::DefenseConfig;
+use lh_dram::{DeviceConfig, DramError, Span, Time};
+use lh_memctrl::{
+    AccessKind, AddressMapping, CtrlConfig, MappingScheme, MemRequest, MemoryController,
+};
+
+use crate::cache::{CacheConfig, CacheHierarchy, CacheStats};
+use crate::prefetch::{BestOffsetPrefetcher, BopConfig};
+use crate::process::{MemAccess, Process, ProcessStep};
+
+/// Identifier of a process (and its core) within a [`System`].
+pub type ProcId = usize;
+
+/// Full-system configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// DRAM device configuration (geometry, timing, blast radius).
+    pub device: DeviceConfig,
+    /// Memory-controller configuration.
+    pub ctrl: CtrlConfig,
+    /// RowHammer defense.
+    pub defense: DefenseConfig,
+    /// Physical-address mapping scheme.
+    pub mapping: MappingScheme,
+    /// Per-core cache hierarchy.
+    pub caches: CacheConfig,
+    /// Optional Best-Offset prefetcher (§10.3).
+    pub prefetch: Option<BopConfig>,
+    /// Master seed (defense randomness, RIAC draws).
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// The paper's Table 1 system with the given defense.
+    pub fn paper_default(defense: DefenseConfig) -> SimConfig {
+        SimConfig {
+            device: DeviceConfig::paper_default(),
+            ctrl: CtrlConfig::paper_default(),
+            defense,
+            mapping: MappingScheme::RowBankCol,
+            caches: CacheConfig::paper_default(),
+            prefetch: None,
+            seed: 1,
+        }
+    }
+}
+
+/// Per-process runtime statistics collected by the system.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProcStats {
+    /// Demand loads that missed all caches (DRAM reads).
+    pub dram_reads: u64,
+    /// Writebacks sent on this process's behalf.
+    pub dram_writes: u64,
+    /// Cache hits (any level).
+    pub cache_hits: u64,
+    /// Total steps executed.
+    pub steps: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    ProcWake(ProcId),
+    MemIssue(ProcId),
+    CtrlService,
+    Fill { req: u64 },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Ev {
+    at: Time,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Inflight {
+    proc: ProcId,
+    addr: u64,
+    write: bool,
+    blocking: bool,
+    prefetch: bool,
+}
+
+struct ProcEntry {
+    proc: Box<dyn Process>,
+    halted: bool,
+    outstanding: u32,
+    mlp: u32,
+    waiting_slot: bool,
+    pending_access: Option<MemAccess>,
+    stats: ProcStats,
+}
+
+/// The simulated system: cores + caches + memory channel.
+///
+/// # Examples
+///
+/// ```
+/// use lh_defenses::DefenseConfig;
+/// use lh_dram::Time;
+/// use lh_sim::{SimConfig, System};
+///
+/// let mut sys = System::new(SimConfig::paper_default(DefenseConfig::prac(128))).unwrap();
+/// sys.run_until(Time::from_us(50)); // idle system: refreshes only
+/// assert!(sys.controller().stats().refreshes > 0);
+/// ```
+pub struct System {
+    mapping: AddressMapping,
+    mc: MemoryController,
+    caches: Vec<CacheHierarchy>,
+    prefetchers: Vec<Option<BestOffsetPrefetcher>>,
+    procs: Vec<ProcEntry>,
+    events: BinaryHeap<Reverse<Ev>>,
+    seq: u64,
+    now: Time,
+    next_req: u64,
+    inflight: HashMap<u64, Inflight>,
+    stalled: VecDeque<(MemRequest, Inflight)>,
+    ctrl_scheduled: Time,
+    cache_cfg: CacheConfig,
+    prefetch_cfg: Option<BopConfig>,
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("now", &self.now)
+            .field("procs", &self.procs.len())
+            .field("inflight", &self.inflight.len())
+            .finish()
+    }
+}
+
+impl System {
+    /// Builds a system.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device/controller construction errors.
+    pub fn new(config: SimConfig) -> Result<System, DramError> {
+        let mapping = AddressMapping::new(config.mapping, config.device.geometry);
+        let mc = MemoryController::new(
+            config.ctrl,
+            config.device.clone(),
+            config.defense.clone(),
+            config.seed,
+        )?;
+        let mut sys = System {
+            mapping,
+            mc,
+            caches: Vec::new(),
+            prefetchers: Vec::new(),
+            procs: Vec::new(),
+            events: BinaryHeap::new(),
+            seq: 0,
+            now: Time::ZERO,
+            next_req: 0,
+            inflight: HashMap::new(),
+            stalled: VecDeque::new(),
+            ctrl_scheduled: Time::ZERO,
+            cache_cfg: config.caches,
+            prefetch_cfg: config.prefetch,
+        };
+        // Start the controller's self-scheduling (refresh timers tick even
+        // on an idle system).
+        sys.push(Time::ZERO, EventKind::CtrlService);
+        Ok(sys)
+    }
+
+    /// The address mapping (for building attack addresses).
+    pub fn mapping(&self) -> &AddressMapping {
+        &self.mapping
+    }
+
+    /// The memory controller.
+    pub fn controller(&self) -> &MemoryController {
+        &self.mc
+    }
+
+    /// Mutable access to the controller (tests, instrumentation).
+    pub fn controller_mut(&mut self) -> &mut MemoryController {
+        &mut self.mc
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Adds a process on a fresh core, starting at `start`; returns its id.
+    pub fn add_process(&mut self, proc: Box<dyn Process>, mlp: u32, start: Time) -> ProcId {
+        let pid = self.procs.len();
+        self.caches.push(CacheHierarchy::new(self.cache_cfg));
+        self.prefetchers
+            .push(self.prefetch_cfg.map(BestOffsetPrefetcher::new));
+        self.procs.push(ProcEntry {
+            proc,
+            halted: false,
+            outstanding: 0,
+            mlp: mlp.max(1),
+            waiting_slot: false,
+            pending_access: None,
+            stats: ProcStats::default(),
+        });
+        self.push(start, EventKind::ProcWake(pid));
+        pid
+    }
+
+    /// Immutable access to a process.
+    pub fn process(&self, pid: ProcId) -> &dyn Process {
+        self.procs[pid].proc.as_ref()
+    }
+
+    /// Downcasts a process to its concrete type.
+    pub fn process_as<T: 'static>(&self, pid: ProcId) -> Option<&T> {
+        self.procs[pid].proc.as_any().downcast_ref::<T>()
+    }
+
+    /// Whether the process has halted.
+    pub fn is_halted(&self, pid: ProcId) -> bool {
+        self.procs[pid].halted
+    }
+
+    /// Whether every process has halted.
+    pub fn all_halted(&self) -> bool {
+        self.procs.iter().all(|p| p.halted)
+    }
+
+    /// Per-process statistics.
+    pub fn proc_stats(&self, pid: ProcId) -> ProcStats {
+        self.procs[pid].stats
+    }
+
+    /// Cache statistics of a core.
+    pub fn cache_stats(&self, pid: ProcId) -> CacheStats {
+        self.caches[pid].stats()
+    }
+
+    fn push(&mut self, at: Time, kind: EventKind) {
+        self.seq += 1;
+        self.events.push(Reverse(Ev { at, seq: self.seq, kind }));
+    }
+
+    /// Runs until `t_end` (events after it stay queued).
+    pub fn run_until(&mut self, t_end: Time) {
+        while let Some(&Reverse(ev)) = self.events.peek() {
+            if ev.at > t_end {
+                break;
+            }
+            self.events.pop();
+            self.now = ev.at;
+            self.handle(ev);
+        }
+        self.now = self.now.max(t_end);
+    }
+
+    /// Runs until every process halts or `limit` is reached; returns
+    /// whether all halted.
+    pub fn run_until_halted(&mut self, limit: Time) -> bool {
+        // Chunked so the halt check does not scan on every event.
+        while self.now < limit && !self.all_halted() {
+            let next = (self.now + Span::from_us(50)).min(limit);
+            self.run_until(next);
+        }
+        self.all_halted()
+    }
+
+    fn handle(&mut self, ev: Ev) {
+        match ev.kind {
+            EventKind::ProcWake(pid) => self.proc_wake(pid),
+            EventKind::MemIssue(pid) => self.mem_issue(pid),
+            EventKind::CtrlService => {
+                if ev.at >= self.ctrl_scheduled {
+                    self.ctrl_scheduled = Time::MAX;
+                }
+                self.kick_ctrl();
+            }
+            EventKind::Fill { req } => self.fill(req),
+        }
+    }
+
+    fn proc_wake(&mut self, pid: ProcId) {
+        if self.procs[pid].halted {
+            return;
+        }
+        self.procs[pid].stats.steps += 1;
+        let step = self.procs[pid].proc.step(self.now);
+        match step {
+            ProcessStep::Access(a) => {
+                self.procs[pid].pending_access = Some(a);
+                let at = self.now + a.think;
+                self.push(at, EventKind::MemIssue(pid));
+            }
+            ProcessStep::SleepUntil(t) => {
+                let at = t.max(self.now + Span::from_ps(1));
+                self.push(at, EventKind::ProcWake(pid));
+            }
+            ProcessStep::Halt => {
+                self.procs[pid].halted = true;
+            }
+        }
+    }
+
+    fn mem_issue(&mut self, pid: ProcId) {
+        let a = self.procs[pid]
+            .pending_access
+            .take()
+            .expect("MemIssue without a pending access");
+        let mut kicked = false;
+
+        if a.flush {
+            let dirty = self.caches[pid].flush(a.addr);
+            if dirty {
+                self.send_writeback(pid, a.addr);
+                kicked = true;
+            }
+        }
+
+        let lookup = self.caches[pid].access(a.addr, a.write);
+        if let Some(wb) = lookup.writeback {
+            self.send_writeback(pid, wb);
+            kicked = true;
+        }
+
+        match lookup.hit_latency {
+            Some(lat) => {
+                self.procs[pid].stats.cache_hits += 1;
+                let at = if a.blocking { self.now + lat } else { self.now };
+                self.push(at, EventKind::ProcWake(pid));
+            }
+            None => {
+                // Miss: fetch the line (write misses fetch for ownership
+                // and mark the line dirty at fill time).
+                self.procs[pid].stats.dram_reads += 1;
+                self.procs[pid].outstanding += 1;
+                let meta = Inflight {
+                    proc: pid,
+                    addr: a.addr,
+                    write: a.write,
+                    blocking: a.blocking,
+                    prefetch: false,
+                };
+                self.send_read(meta);
+                kicked = true;
+                if !a.blocking {
+                    if self.procs[pid].outstanding < self.procs[pid].mlp {
+                        self.push(self.now, EventKind::ProcWake(pid));
+                    } else {
+                        self.procs[pid].waiting_slot = true;
+                    }
+                }
+                // Train the prefetcher on the demand-miss stream.
+                if let Some(pf) = &mut self.prefetchers[pid] {
+                    if let Some(target) = pf.on_miss(a.addr) {
+                        if !self.caches[pid].contains(target) {
+                            let meta = Inflight {
+                                proc: pid,
+                                addr: target,
+                                write: false,
+                                blocking: false,
+                                prefetch: true,
+                            };
+                            self.send_read(meta);
+                        }
+                    }
+                }
+            }
+        }
+        if kicked {
+            self.kick_ctrl();
+        }
+    }
+
+    fn send_read(&mut self, meta: Inflight) {
+        let id = self.next_req;
+        self.next_req += 1;
+        let req = MemRequest {
+            id,
+            addr: self.mapping.decode(meta.addr),
+            kind: AccessKind::Read,
+            arrival: self.now,
+            source: meta.proc as u32,
+        };
+        self.inflight.insert(id, meta);
+        if let Err(req) = self.mc.enqueue(req) {
+            self.stalled.push_back((req, meta));
+        }
+    }
+
+    fn send_writeback(&mut self, pid: ProcId, addr: u64) {
+        let id = self.next_req;
+        self.next_req += 1;
+        self.procs[pid].stats.dram_writes += 1;
+        let req = MemRequest {
+            id,
+            addr: self.mapping.decode(addr),
+            kind: AccessKind::Write,
+            arrival: self.now,
+            source: pid as u32,
+        };
+        let meta =
+            Inflight { proc: pid, addr, write: true, blocking: false, prefetch: false };
+        if let Err(req) = self.mc.enqueue(req) {
+            self.stalled.push_back((req, meta));
+        }
+    }
+
+    /// Services the controller, forwards completions, retries stalled
+    /// requests, and schedules the next controller wake-up.
+    fn kick_ctrl(&mut self) {
+        loop {
+            let next = self.mc.service(self.now);
+            for c in self.mc.take_completed() {
+                match c.kind {
+                    AccessKind::Read => {
+                        self.push(c.finished, EventKind::Fill { req: c.id });
+                    }
+                    AccessKind::Write => {
+                        // Posted writebacks need no further action.
+                    }
+                }
+            }
+            // Retry stalled requests now that the queues may have space.
+            let mut progressed = false;
+            while let Some((req, meta)) = self.stalled.pop_front() {
+                let mut req = req;
+                req.arrival = self.now;
+                match self.mc.enqueue(req) {
+                    Ok(()) => {
+                        if req.kind == AccessKind::Read {
+                            self.inflight.insert(req.id, meta);
+                        }
+                        progressed = true;
+                    }
+                    Err(req) => {
+                        self.stalled.push_front((req, meta));
+                        break;
+                    }
+                }
+            }
+            if !progressed {
+                if next < self.ctrl_scheduled {
+                    self.ctrl_scheduled = next;
+                    self.push(next, EventKind::CtrlService);
+                }
+                return;
+            }
+        }
+    }
+
+    fn fill(&mut self, req: u64) {
+        let Some(meta) = self.inflight.remove(&req) else {
+            return;
+        };
+        let pid = meta.proc;
+        let wbs = if meta.prefetch {
+            self.caches[pid].fill_prefetch(meta.addr)
+        } else {
+            self.caches[pid].fill(meta.addr, meta.write)
+        };
+        let mut kicked = false;
+        for wb in wbs {
+            self.send_writeback(pid, wb);
+            kicked = true;
+        }
+        if let Some(pf) = &mut self.prefetchers[pid] {
+            pf.on_fill(meta.addr);
+        }
+        if !meta.prefetch {
+            self.procs[pid].outstanding = self.procs[pid].outstanding.saturating_sub(1);
+            if meta.blocking {
+                self.push(self.now, EventKind::ProcWake(pid));
+            } else if self.procs[pid].waiting_slot
+                && self.procs[pid].outstanding < self.procs[pid].mlp
+            {
+                self.procs[pid].waiting_slot = false;
+                self.push(self.now, EventKind::ProcWake(pid));
+            }
+        }
+        if kicked {
+            self.kick_ctrl();
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! §9.1: leaking a PRAC activation-counter *value* — multiple bits per
+//! observation instead of LeakyHammer's usual one.
+//!
+//! The attacker shares a row with the victim (row-granularity colocation,
+//! the rightmost column of Table 3). The victim activates the shared row
+//! some secret number of times; the attacker then activates the same row
+//! until the back-off fires and infers the victim's count as
+//! `NBO − own activations`. At `NBO` = 128 each measurement leaks up to
+//! 7 bits; the paper reports ~7 bits per 13.6 µs ≈ 501 Kbps.
+//!
+//! Run with: `cargo run --release --example counter_leak`
+
+use leakyhammer::experiment::counter_leak::run_counter_leak;
+use leakyhammer::report;
+
+fn main() {
+    println!("LeakyHammer sec. 9.1: activation-counter value leakage under PRAC\n");
+
+    let out = run_counter_leak(24, 7);
+    print!("{}", report::counter_leak_report(&out));
+
+    println!("\nper-trial detail (secret = victim activations, guess = NBO - attacker activations):");
+    for (i, t) in out.trials.iter().enumerate().take(12) {
+        println!(
+            "  trial {i:>2}: secret {:>3}  guess {:>3}  ({} in {:.1} us)",
+            t.secret,
+            t.estimate,
+            if t.secret == t.estimate { "exact" } else { "off" },
+            t.elapsed.as_us(),
+        );
+    }
+    println!(
+        "\nThe attacker reads ~log2(NBO) = 7 bits per back-off by priming the shared\n\
+         counter — a qualitatively stronger leak than the 1-bit presence channel,\n\
+         available only at row-granularity colocation (Table 3)."
+    );
+}

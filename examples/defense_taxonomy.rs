@@ -1,0 +1,48 @@
+//! §12: does *your* RowHammer defense leak? The trigger-algorithm
+//! taxonomy, tested experimentally.
+//!
+//! One covert-channel attempt runs against a representative of every
+//! defense class — exact tracking (PRAC), approximate tracking (Graphene,
+//! Hydra, CoMeT), rate throttling (BlockHammer), random triggering
+//! (PARA), time-based triggering (FR-RFM) and overlapped-latency
+//! mitigation (MINT) — and the realized capacity is compared with the
+//! taxonomy's qualitative prediction.
+//!
+//! Run with: `cargo run --release --example defense_taxonomy`
+//! (takes a few minutes; the BlockHammer windows are long)
+
+use leakyhammer::experiment::taxonomy::{run_taxonomy, TAXONOMY_NRH};
+use leakyhammer::{report, Scale};
+
+fn main() {
+    println!(
+        "LeakyHammer sec. 12: covert-channel capacity against every defense class\n\
+         (all defenses provisioned for NRH = {TAXONOMY_NRH}; 'noisy' adds the sec. 6.3\n\
+         noise microbenchmark at 40% intensity)\n"
+    );
+
+    let points = run_taxonomy(Scale::Quick, 1);
+    print!("{}", report::taxonomy_measured_report(&points));
+
+    println!();
+    for p in &points {
+        if !p.agrees() {
+            println!(
+                "NOTE: {} measured {:.1} Kbps, outside its predicted {:?} envelope.",
+                p.kind, p.quiet_kbps, p.predicted
+            );
+            if p.kind == lh_defenses::DefenseKind::BlockHammer {
+                println!(
+                    "      (BlockHammer's blacklist spans a 16 ms epoch: one decision\n\
+                     \u{20}     shadows hundreds of windows, capping modulation at ~1\n\
+                     \u{20}     bit/epoch - a measured temporal refinement of sec. 12.)"
+                );
+            }
+        }
+    }
+    println!(
+        "Exact observable triggers give the attacker a reliable channel; approximate\n\
+         trackers only add noise; fixed-rate and in-REF (overlapped) preventive\n\
+         actions give the receiver nothing that depends on the sender."
+    );
+}

@@ -1,0 +1,14 @@
+//! Umbrella crate for the LeakyHammer reproduction.
+//!
+//! This root package hosts the repository-wide integration tests
+//! (`tests/`) and the runnable examples (`examples/`). The actual library
+//! lives in the `leakyhammer` crate and its substrate crates; this crate
+//! simply re-exports the top-level API so examples can
+//! `use leakyhammer_repro::prelude::*`.
+
+pub use leakyhammer;
+
+/// Convenience re-exports for examples and integration tests.
+pub mod prelude {
+    pub use leakyhammer::*;
+}

@@ -1,0 +1,130 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants of the stack.
+
+use proptest::prelude::*;
+
+use lh_analysis::{binary_entropy, channel_capacity};
+use lh_dram::{BankId, CounterInit, DramAddr, Geometry, RowCounters, Span, Time};
+use lh_memctrl::{AddressMapping, MappingScheme};
+
+proptest! {
+    /// Time arithmetic: (t + a) + b == (t + b) + a and subtraction
+    /// round-trips.
+    #[test]
+    fn time_arithmetic_commutes(t in 0u64..u64::MAX / 4, a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let t0 = Time::from_ps(t);
+        let (sa, sb) = (Span::from_ps(a), Span::from_ps(b));
+        prop_assert_eq!((t0 + sa) + sb, (t0 + sb) + sa);
+        prop_assert_eq!((t0 + sa) - sa, t0);
+        prop_assert_eq!((t0 + sa) - t0, sa);
+    }
+
+    /// Address mapping: decode is total and encode∘decode is the identity
+    /// on line-aligned addresses, for both schemes.
+    #[test]
+    fn mapping_roundtrip(phys in 0u64..(1u64 << 40), xor in any::<bool>()) {
+        let scheme = if xor { MappingScheme::XorBank } else { MappingScheme::RowBankCol };
+        let m = AddressMapping::new(scheme, Geometry::paper_default());
+        let addr = m.decode(phys);
+        prop_assert!(m.geometry().contains(addr));
+        // Encode is exact on the decoded (wrapped) location.
+        let enc = m.encode(addr);
+        let dec2 = m.decode(enc);
+        prop_assert_eq!(addr, dec2);
+    }
+
+    /// Distinct line-aligned addresses within one channel map to distinct
+    /// DRAM locations (the mapping is injective on the channel).
+    #[test]
+    fn mapping_is_injective(a in 0u64..(1u64 << 30), b in 0u64..(1u64 << 30)) {
+        prop_assume!(a / 64 != b / 64);
+        let m = AddressMapping::new(MappingScheme::XorBank, Geometry::paper_default());
+        prop_assert_ne!(m.decode(a * 64 % (1 << 36)), m.decode(b * 64 % (1 << 36)));
+    }
+
+    /// Row counters: `increment` raises the value by exactly one and
+    /// `reset` brings Uniform-init values below the bound.
+    #[test]
+    fn counters_invariants(rows in proptest::collection::vec(0u32..1024, 1..64), max in 2u32..256) {
+        let mut c = RowCounters::new(4, CounterInit::Uniform { max }, 7);
+        for &row in &rows {
+            let before = c.value(0, row);
+            let after = c.increment(0, row);
+            prop_assert_eq!(after, before + 1);
+        }
+        for &row in &rows {
+            c.reset(0, row);
+            prop_assert!(c.value(0, row) < max);
+        }
+    }
+
+    /// Channel capacity: bounded by the raw rate, zero at e=0.5, and
+    /// monotonically non-increasing in e on [0, 0.5].
+    #[test]
+    fn capacity_bounds(rate in 1.0f64..1e6, e in 0.0f64..=0.5) {
+        let c = channel_capacity(rate, e);
+        prop_assert!(c >= -1e-9);
+        prop_assert!(c <= rate + 1e-9);
+        let c2 = channel_capacity(rate, (e + 0.05).min(0.5));
+        prop_assert!(c2 <= c + 1e-9, "capacity must not grow with error");
+        prop_assert!(binary_entropy(e) <= 1.0 + 1e-12);
+    }
+
+    /// Geometry flat-bank indexing is a bijection.
+    #[test]
+    fn flat_bank_bijection(rank in 0u32..2, bg in 0u32..8, bank in 0u32..4) {
+        let g = Geometry::paper_default();
+        let id = BankId::new(0, rank, bg, bank);
+        let flat = g.flat_bank(id);
+        prop_assert_eq!(g.bank_from_flat(0, flat), id);
+    }
+
+    /// Message codec: text → bits → text round-trips for ASCII.
+    #[test]
+    fn message_roundtrip(s in "[ -~]{1,32}") {
+        let bits = lh_analysis::bits_of_str(&s);
+        prop_assert_eq!(lh_analysis::str_of_bits(&bits), s);
+    }
+
+    /// Symbol codec round-trips for power-of-two bases.
+    #[test]
+    fn symbol_roundtrip(bits in proptest::collection::vec(0u8..2, 1..64), pow in 1u32..3) {
+        let base = 2u8.pow(pow);
+        let syms = lh_analysis::bits_to_symbols(&bits, base);
+        let back = lh_analysis::symbols_to_bits(&syms, base, bits.len());
+        prop_assert_eq!(back, bits);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The DRAM device never violates its own invariant: issuing any
+    /// random-but-legal single-bank command sequence keeps the open-row
+    /// bookkeeping consistent.
+    #[test]
+    fn device_state_machine_is_consistent(ops in proptest::collection::vec(0u8..3, 1..200)) {
+        use lh_dram::{Command, DeviceConfig, DramDevice};
+        let mut cfg = DeviceConfig::paper_default();
+        cfg.geometry = Geometry::tiny();
+        let mut dev = DramDevice::new(cfg).unwrap();
+        let bank = BankId::new(0, 0, 0, 0);
+        for (i, op) in ops.iter().enumerate() {
+            let cmd = match (op % 3, dev.open_row(bank)) {
+                (0, None) => Command::Activate { bank, row: (i as u32) % 64 },
+                (0, Some(_)) | (1, Some(_)) if *op == 1 => Command::Read { bank, col: 0 },
+                (_, Some(_)) => Command::Precharge { bank },
+                (_, None) => Command::Activate { bank, row: (i as u32) % 64 },
+            };
+            // Legality pre-check must make issue() succeed.
+            let at = dev.earliest_issue(&cmd, Time::ZERO).unwrap();
+            dev.issue(&cmd, at).unwrap();
+            match cmd {
+                Command::Activate { row, .. } => prop_assert_eq!(dev.open_row(bank), Some(row)),
+                Command::Precharge { .. } => prop_assert_eq!(dev.open_row(bank), None),
+                _ => {}
+            }
+        }
+        let _ = DramAddr::new(bank, 0, 0);
+    }
+}
