@@ -139,8 +139,16 @@ mod tests {
 
     #[test]
     fn merge_pools_errors_and_rates() {
-        let a = ChannelResult { bits: 100, bit_errors: 0, raw_bit_rate: 40_000.0 };
-        let b = ChannelResult { bits: 100, bit_errors: 10, raw_bit_rate: 40_000.0 };
+        let a = ChannelResult {
+            bits: 100,
+            bit_errors: 0,
+            raw_bit_rate: 40_000.0,
+        };
+        let b = ChannelResult {
+            bits: 100,
+            bit_errors: 10,
+            raw_bit_rate: 40_000.0,
+        };
         let m = ChannelResult::merge([&a, &b]);
         assert_eq!(m.bits, 200);
         assert_eq!(m.bit_errors, 10);

@@ -69,7 +69,10 @@ pub fn str_of_bits(bits: &[u8]) -> String {
 /// (§6.3): each symbol carries `log2(base)` bits; the bit string is
 /// consumed MSB-first in groups of `bits_per_symbol`.
 pub fn bits_to_symbols(bits: &[u8], base: u8) -> Vec<u8> {
-    assert!(base.is_power_of_two() && base >= 2, "base must be a power of two ≥ 2");
+    assert!(
+        base.is_power_of_two() && base >= 2,
+        "base must be a power of two ≥ 2"
+    );
     let k = base.trailing_zeros() as usize;
     bits.chunks(k)
         .map(|chunk| {

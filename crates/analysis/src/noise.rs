@@ -29,7 +29,10 @@ pub fn intensity_of_sleep(sleep_us: f64) -> f64 {
 ///
 /// Panics if `intensity` is outside `[1, 100]`.
 pub fn sleep_of_intensity(intensity: f64) -> f64 {
-    assert!((1.0..=100.0).contains(&intensity), "intensity {intensity}% out of range");
+    assert!(
+        (1.0..=100.0).contains(&intensity),
+        "intensity {intensity}% out of range"
+    );
     MIN_SLEEP_US + (1.0 - (intensity - 1.0) / 99.0) * (MAX_SLEEP_US - MIN_SLEEP_US)
 }
 

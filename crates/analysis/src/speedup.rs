@@ -43,7 +43,10 @@ pub fn weighted_speedup(shared: &[AppPerf], alone: &[AppPerf]) -> f64 {
 /// Normalized weighted speedup of a defended system relative to the
 /// undefended baseline (the y-axis of Fig. 13).
 pub fn normalized_ws(defended_ws: f64, baseline_ws: f64) -> f64 {
-    assert!(baseline_ws > 0.0, "baseline weighted speedup must be positive");
+    assert!(
+        baseline_ws > 0.0,
+        "baseline weighted speedup must be positive"
+    );
     defended_ws / baseline_ws
 }
 
@@ -52,7 +55,10 @@ mod tests {
     use super::*;
 
     fn perf(instr: u64, secs: f64) -> AppPerf {
-        AppPerf { instructions: instr, seconds: secs }
+        AppPerf {
+            instructions: instr,
+            seconds: secs,
+        }
     }
 
     #[test]

@@ -57,7 +57,13 @@ impl Histogram {
     /// Panics if `bins == 0` or `hi <= lo`.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Histogram {
         assert!(bins > 0 && hi > lo, "invalid histogram shape");
-        Histogram { lo, hi, counts: vec![0; bins], below: 0, above: 0 }
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            below: 0,
+            above: 0,
+        }
     }
 
     /// Adds a sample.

@@ -149,9 +149,6 @@ mod tests {
         let t = DramTiming::ddr5_4800();
         let small = LatencyClassifier::from_timing(&t, Span::from_ns(10));
         let large = LatencyClassifier::from_timing(&t, Span::from_ns(100));
-        assert_eq!(
-            large.conflict_max - small.conflict_max,
-            Span::from_ns(90)
-        );
+        assert_eq!(large.conflict_max - small.conflict_max, Span::from_ns(90));
     }
 }

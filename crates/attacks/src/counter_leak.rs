@@ -106,7 +106,11 @@ impl Process for CounterLeakAttacker {
                 return ProcessStep::Halt;
             }
         }
-        let addr = if self.i.is_multiple_of(2) { self.shared_row } else { self.conflict_row };
+        let addr = if self.i.is_multiple_of(2) {
+            self.shared_row
+        } else {
+            self.conflict_row
+        };
         self.i += 1;
         self.last = Some(now);
         ProcessStep::Access(MemAccess::flushed_load(addr, self.think))
@@ -141,7 +145,13 @@ impl CounterLeakVictim {
         activations: u32,
         think: Span,
     ) -> CounterLeakVictim {
-        CounterLeakVictim { shared_row, conflict_row, activations, think, i: 0 }
+        CounterLeakVictim {
+            shared_row,
+            conflict_row,
+            activations,
+            think,
+            i: 0,
+        }
     }
 }
 
@@ -150,7 +160,11 @@ impl Process for CounterLeakVictim {
         if self.i >= self.activations as u64 * 2 {
             return ProcessStep::Halt;
         }
-        let addr = if self.i.is_multiple_of(2) { self.shared_row } else { self.conflict_row };
+        let addr = if self.i.is_multiple_of(2) {
+            self.shared_row
+        } else {
+            self.conflict_row
+        };
         self.i += 1;
         ProcessStep::Access(MemAccess::flushed_load(addr, self.think))
     }

@@ -58,7 +58,10 @@ impl RefreshFilterConfig {
     /// A filter for the given timing's `tREFI` with a tolerance that
     /// absorbs scheduling slack but stays well under the interval.
     pub fn from_timing(t: &lh_dram::DramTiming) -> RefreshFilterConfig {
-        RefreshFilterConfig { period: t.t_refi, tolerance: t.t_rfc / 2 }
+        RefreshFilterConfig {
+            period: t.t_refi,
+            tolerance: t.t_rfc / 2,
+        }
     }
 }
 
@@ -350,10 +353,17 @@ impl CovertSender {
     /// Panics if a symbol has no entry in the intensity table.
     pub fn new(cfg: SenderConfig) -> CovertSender {
         assert!(
-            cfg.symbols.iter().all(|&s| (s as usize) < cfg.intensity.len()),
+            cfg.symbols
+                .iter()
+                .all(|&s| (s as usize) < cfg.intensity.len()),
             "every symbol needs an intensity entry"
         );
-        CovertSender { cfg, i: 0, last: None, detected_window: None }
+        CovertSender {
+            cfg,
+            i: 0,
+            last: None,
+            detected_window: None,
+        }
     }
 
     fn window_of(&self, t: Time) -> Option<usize> {
@@ -446,14 +456,17 @@ mod tests {
     #[test]
     fn receiver_waits_for_start() {
         let mut rx = CovertReceiver::new(rx_cfg(2));
-        assert_eq!(rx.step(Time::ZERO), ProcessStep::SleepUntil(Time::from_us(10)));
+        assert_eq!(
+            rx.step(Time::ZERO),
+            ProcessStep::SleepUntil(Time::from_us(10))
+        );
     }
 
     #[test]
     fn receiver_attributes_event_to_start_window() {
         let mut rx = CovertReceiver::new(rx_cfg(2));
         let _ = rx.step(Time::from_us(10)); // first access issued
-        // Completion 1.5 us later: above threshold → event in window 0.
+                                            // Completion 1.5 us later: above threshold → event in window 0.
         let _ = rx.step(Time::from_us(10) + Span::from_ns(1_500));
         assert_eq!(rx.observations()[0].events, 1);
         assert_eq!(rx.observations()[0].accesses_before_event, 0);
@@ -507,7 +520,10 @@ mod tests {
         );
         let mut tx = CovertSender::new(cfg);
         // Window 0: bit 0 → sleeps until window end.
-        assert_eq!(tx.step(Time::from_us(10)), ProcessStep::SleepUntil(Time::from_us(35)));
+        assert_eq!(
+            tx.step(Time::from_us(10)),
+            ProcessStep::SleepUntil(Time::from_us(35))
+        );
         // Window 1: bit 1 → alternating accesses.
         match tx.step(Time::from_us(35)) {
             ProcessStep::Access(a) => assert_eq!(a.addr, 0x2000),
@@ -606,10 +622,26 @@ mod tests {
     fn multibit_decode_maps_counts_to_symbols() {
         let mut rx = CovertReceiver::new(rx_cfg(4));
         rx.obs = vec![
-            WindowObservation { events: 0, accesses_before_event: 200, accesses: 200 },
-            WindowObservation { events: 1, accesses_before_event: 210, accesses: 220 },
-            WindowObservation { events: 1, accesses_before_event: 160, accesses: 200 },
-            WindowObservation { events: 1, accesses_before_event: 100, accesses: 150 },
+            WindowObservation {
+                events: 0,
+                accesses_before_event: 200,
+                accesses: 200,
+            },
+            WindowObservation {
+                events: 1,
+                accesses_before_event: 210,
+                accesses: 220,
+            },
+            WindowObservation {
+                events: 1,
+                accesses_before_event: 160,
+                accesses: 200,
+            },
+            WindowObservation {
+                events: 1,
+                accesses_before_event: 100,
+                accesses: 150,
+            },
         ];
         // Bins: ≥190 → symbol 1, ≥140 → symbol 2, below → symbol 3.
         let symbols = rx.decode_multibit(&[140, 190]);

@@ -124,7 +124,13 @@ impl DramaSender {
         think: Span,
         bits: Vec<u8>,
     ) -> DramaSender {
-        DramaSender { row_addr, window, start, think, bits }
+        DramaSender {
+            row_addr,
+            window,
+            start,
+            think,
+            bits,
+        }
     }
 }
 
@@ -185,9 +191,17 @@ mod tests {
 
     #[test]
     fn sender_sleeps_on_zero_bits() {
-        let mut tx =
-            DramaSender::new(0x40, Span::from_us(2), Time::ZERO, Span::from_ns(30), vec![0, 1]);
-        assert_eq!(tx.step(Time::ZERO), ProcessStep::SleepUntil(Time::from_us(2)));
+        let mut tx = DramaSender::new(
+            0x40,
+            Span::from_us(2),
+            Time::ZERO,
+            Span::from_ns(30),
+            vec![0, 1],
+        );
+        assert_eq!(
+            tx.step(Time::ZERO),
+            ProcessStep::SleepUntil(Time::from_us(2))
+        );
         assert!(matches!(tx.step(Time::from_us(2)), ProcessStep::Access(_)));
         assert_eq!(tx.step(Time::from_us(4)), ProcessStep::Halt);
     }

@@ -38,7 +38,10 @@ impl FingerprintProbe {
     ///
     /// Panics if `rows` is empty or `t_per_row` is zero.
     pub fn new(rows: Vec<u64>, t_per_row: u32, think: Span, until: Time) -> FingerprintProbe {
-        assert!(!rows.is_empty() && t_per_row > 0, "probe needs rows and a positive T");
+        assert!(
+            !rows.is_empty() && t_per_row > 0,
+            "probe needs rows and a positive T"
+        );
         FingerprintProbe {
             rows,
             t_per_row,
@@ -187,7 +190,10 @@ mod tests {
         };
         let f8 = fp.features(8);
         assert_eq!(f8.len(), 16);
-        let empty = Fingerprint { events: vec![], span: Span::from_us(10) };
+        let empty = Fingerprint {
+            events: vec![],
+            span: Span::from_us(10),
+        };
         assert_eq!(empty.features(8).len(), 16);
         // Window counts sum to the event count.
         let total: f64 = f8[..8].iter().sum();

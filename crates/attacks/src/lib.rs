@@ -118,7 +118,9 @@ mod tests {
         sys.add_process(Box::new(tx), 1, Time::ZERO);
         let rx_id = sys.add_process(Box::new(rx), 1, Time::ZERO);
         sys.run_until(Time::ZERO + window * (bits.len() as u64 + 1));
-        sys.process_as::<CovertReceiver>(rx_id).unwrap().decode_binary(trecv)
+        sys.process_as::<CovertReceiver>(rx_id)
+            .unwrap()
+            .decode_binary(trecv)
     }
 
     #[test]
@@ -133,7 +135,10 @@ mod tests {
             1,
             true,
         );
-        assert_eq!(decoded, bits, "PRAC covert channel must decode MICRO exactly");
+        assert_eq!(
+            decoded, bits,
+            "PRAC covert channel must decode MICRO exactly"
+        );
     }
 
     #[test]
@@ -149,7 +154,10 @@ mod tests {
             3,
             false,
         );
-        assert_eq!(decoded, bits, "RFM covert channel must decode MICRO exactly");
+        assert_eq!(
+            decoded, bits,
+            "RFM covert channel must decode MICRO exactly"
+        );
     }
 
     #[test]
@@ -190,7 +198,11 @@ mod tests {
             1,
             true,
         );
-        assert_eq!(prac_style, vec![0; 40], "FR-RFM must produce no back-off events");
+        assert_eq!(
+            prac_style,
+            vec![0; 40],
+            "FR-RFM must produce no back-off events"
+        );
         // 2) The RFM-band decoder's output carries (essentially) zero
         // information: error probability ≈ 0.5, i.e. the §11.4 claim that
         // FR-RFM reduces channel capacity by 100 %. (Whatever correlation
@@ -225,12 +237,8 @@ mod tests {
         let secret = 60u32;
         // Victim activates the shared row `secret` times, finishing well
         // before the attacker starts at 40 us.
-        let victim = CounterLeakVictim::new(
-            layout.sender_rows[0],
-            layout.sender_rows[1],
-            secret,
-            THINK,
-        );
+        let victim =
+            CounterLeakVictim::new(layout.sender_rows[0], layout.sender_rows[1], secret, THINK);
         let attacker = CounterLeakAttacker::new(
             layout.sender_rows[0],
             layout.receiver_row,
@@ -318,27 +326,20 @@ mod tests {
                 m.encode(lh_dram::DramAddr::new(a.bank, a.row + 7, 0)),
             ]
         };
-        let hammer =
-            NoiseProcess::new(victim_rows.to_vec(), Span::from_ns(30), Time::from_us(300));
+        let hammer = NoiseProcess::new(victim_rows.to_vec(), Span::from_ns(30), Time::from_us(300));
         // ...the probe observes them from its own bank (channel-wide
         // blocking).
-        let probe = FingerprintProbe::new(
-            vec![layout.receiver_row],
-            127,
-            THINK,
-            Time::from_us(300),
-        );
+        let probe =
+            FingerprintProbe::new(vec![layout.receiver_row], 127, THINK, Time::from_us(300));
         sys.add_process(Box::new(hammer), 1, Time::ZERO);
         let pid = sys.add_process(Box::new(probe), 1, Time::ZERO);
         sys.run_until(Time::from_us(350));
-        assert!(sys.controller().stats().backoffs > 0, "victim must trigger back-offs");
-        let trace = sys.process_as::<FingerprintProbe>(pid).unwrap().trace();
-        let fp = Fingerprint::from_trace(
-            trace,
-            &classifier(),
-            Time::ZERO,
-            Span::from_us(300),
+        assert!(
+            sys.controller().stats().backoffs > 0,
+            "victim must trigger back-offs"
         );
+        let trace = sys.process_as::<FingerprintProbe>(pid).unwrap().trace();
+        let fp = Fingerprint::from_trace(trace, &classifier(), Time::ZERO, Span::from_us(300));
         assert!(
             !fp.events.is_empty(),
             "the probe must observe the victim's back-offs cross-bank"

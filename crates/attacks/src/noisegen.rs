@@ -33,8 +33,16 @@ impl NoiseProcess {
     /// Panics if `rows` has fewer than two entries (a single row would
     /// produce row hits, not activations).
     pub fn new(rows: Vec<u64>, sleep: Span, until: Time) -> NoiseProcess {
-        assert!(rows.len() >= 2, "noise needs at least two rows to force activations");
-        NoiseProcess { rows, sleep, until, i: 0 }
+        assert!(
+            rows.len() >= 2,
+            "noise needs at least two rows to force activations"
+        );
+        NoiseProcess {
+            rows,
+            sleep,
+            until,
+            i: 0,
+        }
     }
 
     /// Builds the generator from a paper noise intensity (1–100 %).

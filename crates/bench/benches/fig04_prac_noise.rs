@@ -12,10 +12,8 @@ fn bench(c: &mut Criterion) {
     for intensity in [1.0f64, 100.0] {
         g.bench_function(format!("noise_{intensity}pct"), |b| {
             b.iter(|| {
-                let mut opts = CovertOptions::new(
-                    ChannelKind::Prac,
-                    MessagePattern::Checkered0.bits(16),
-                );
+                let mut opts =
+                    CovertOptions::new(ChannelKind::Prac, MessagePattern::Checkered0.bits(16));
                 opts.noise_intensity = Some(intensity);
                 run_covert(&opts)
             })

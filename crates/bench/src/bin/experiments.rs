@@ -1,213 +1,182 @@
-//! `lh-experiments` — regenerate any figure or table of the paper.
+//! `lh-experiments` — regenerate any figure or table of the paper on
+//! the `lh-harness` runner: parallel across sweep units, cached across
+//! reruns, with text/JSON/CSV output.
 //!
 //! ```text
-//! lh-experiments <id> [--scale quick|default|paper] [--seed N]
-//! lh-experiments all  [--scale quick]
-//! lh-experiments list
+//! lh-experiments <id|all|list> [options]
+//!
+//! options:
+//!   --scale quick|default|paper   experiment scale (default: default)
+//!   --seed N                      master seed (default: 1)
+//!   --jobs N                      worker threads (default: all cores)
+//!   --no-cache                    disable the on-disk result cache
+//!   --cache-dir PATH              cache location (default: .lh-cache)
+//!   --format text|json|csv        output format (default: text)
+//!   --quiet                       suppress progress lines on stderr
+//!   --help                        this message
 //! ```
 
-use lh_bench::{experiment, report, Scale, EXPERIMENTS};
+use lh_harness::{DiskCache, JobContext, OutputFormat, Runner, RunnerOptions, ScaleLevel};
 
-use experiment::covert::{run_covert, ChannelKind, CovertOptions};
-use lh_analysis::message::bits_of_str;
+const USAGE: &str = "\
+usage: lh-experiments <id|all|list> [options]
 
+commands:
+  <id>       run one experiment (see `lh-experiments list`)
+  all        run every experiment
+  list       list experiment ids and descriptions
+
+options:
+  --scale quick|default|paper   experiment scale (default: default)
+  --seed N                      master seed (default: 1)
+  --jobs N                      worker threads (default: all cores)
+  --no-cache                    disable the on-disk result cache
+  --cache-dir PATH              cache location (default: .lh-cache)
+  --format text|json|csv        output format (default: text)
+  --quiet                       suppress progress lines on stderr
+  --help                        this message
+";
+
+#[derive(Debug)]
 struct Args {
     id: String,
-    scale: Scale,
+    scale: ScaleLevel,
     seed: u64,
+    jobs: usize,
+    cache: bool,
+    cache_dir: String,
+    format: OutputFormat,
+    quiet: bool,
 }
 
-fn parse_args() -> Args {
-    let mut args = std::env::args().skip(1);
-    let id = args.next().unwrap_or_else(|| "list".to_owned());
-    let mut scale = Scale::Default;
-    let mut seed = 1u64;
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--scale" => {
-                let v = args.next().expect("--scale needs a value");
-                scale = v.parse().unwrap_or_else(|e| panic!("{e}"));
-            }
-            "--seed" => {
-                let v = args.next().expect("--seed needs a value");
-                seed = v.parse().expect("--seed needs an integer");
-            }
-            other => panic!("unknown argument '{other}'"),
+impl Default for Args {
+    fn default() -> Args {
+        Args {
+            id: "list".to_owned(),
+            scale: ScaleLevel::Default,
+            seed: 1,
+            jobs: 0,
+            cache: true,
+            cache_dir: ".lh-cache".to_owned(),
+            format: OutputFormat::Text,
+            quiet: false,
         }
     }
-    Args { id, scale, seed }
 }
 
-fn run_one(id: &str, scale: Scale, seed: u64) {
-    println!("== {id} ({scale:?}) ==");
-    match id {
-        "fig2" => {
-            let out = experiment::latency_trace::run_latency_trace(
-                lh_defenses::DefenseConfig::prac(128),
-                600,
-                lh_dram::Span::from_ns(30),
-            );
-            print!("{}", report::latency_trace_report(&out));
-            // Also the §7.2 PRFM observations.
-            let out = experiment::latency_trace::run_latency_trace(
-                lh_defenses::DefenseConfig::prfm(40),
-                500,
-                lh_dram::Span::from_ns(30),
-            );
-            println!("--- under PRFM (sec. 7.2) ---");
-            print!("{}", report::latency_trace_report(&out));
-        }
-        "fig3" => {
-            let opts = CovertOptions::new(ChannelKind::Prac, bits_of_str("MICRO"));
-            let out = run_covert(&opts);
-            print!("{}", report::covert_report("PRAC covert channel, 40-bit MICRO", &out));
-            println!("decoded: {:?}", lh_analysis::str_of_bits(&out.decoded));
-        }
-        "fig6" => {
-            let opts = CovertOptions::new(ChannelKind::Rfm, bits_of_str("MICRO"));
-            let out = run_covert(&opts);
-            print!("{}", report::covert_report("RFM covert channel, 40-bit MICRO", &out));
-            println!("decoded: {:?}", lh_analysis::str_of_bits(&out.decoded));
-        }
-        "fig4" => {
-            let sweep =
-                experiment::noise_sweep::run_noise_sweep(ChannelKind::Prac, scale, seed);
-            print!("{}", report::noise_sweep_report(&sweep));
-        }
-        "fig7" => {
-            let sweep =
-                experiment::noise_sweep::run_noise_sweep(ChannelKind::Rfm, scale, seed);
-            print!("{}", report::noise_sweep_report(&sweep));
-        }
-        "fig5" => {
-            let series = experiment::app_noise::run_app_noise(ChannelKind::Prac, scale, seed);
-            print!("{}", report::app_noise_report(&series));
-        }
-        "fig8" => {
-            let series = experiment::app_noise::run_app_noise(ChannelKind::Rfm, scale, seed);
-            print!("{}", report::app_noise_report(&series));
-        }
-        "fig9" => {
-            let mut opts = experiment::fingerprint::CollectOptions::for_scale(scale, seed);
-            opts.sites = opts.sites.min(3);
-            opts.traces_per_site = 2;
-            for site in 0..opts.sites {
-                for t in 0..opts.traces_per_site {
-                    let fp = experiment::fingerprint::collect_one(
-                        site,
-                        seed ^ ((site as u64) << 20) ^ t as u64,
-                        &opts,
-                    );
-                    let name = lh_workloads::WEBSITES[site];
-                    let marks: String = fp
-                        .events
-                        .iter()
-                        .map(|e| format!("{:.0}", e.as_us()))
-                        .collect::<Vec<_>>()
-                        .join(" ");
-                    println!("{name:>12} trace {t}: back-offs at us [{marks}]");
+/// Exit codes: 0 success, 1 runtime failure, 2 usage error.
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = argv.iter();
+    let mut saw_command = false;
+
+    fn value<'a>(flag: &str, it: &mut core::slice::Iter<'a, String>) -> Result<&'a String, String> {
+        it.next().ok_or_else(|| format!("{flag} needs a value"))
+    }
+
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--help" | "-h" => return Err(String::new()),
+            "--scale" => args.scale = value("--scale", &mut it)?.parse()?,
+            "--seed" => {
+                args.seed = value("--seed", &mut it)?
+                    .parse()
+                    .map_err(|_| "--seed needs an unsigned integer".to_owned())?;
+            }
+            "--jobs" | "-j" => {
+                args.jobs = value("--jobs", &mut it)?
+                    .parse()
+                    .map_err(|_| "--jobs needs a positive integer".to_owned())?;
+                if args.jobs == 0 {
+                    return Err("--jobs must be at least 1".to_owned());
                 }
             }
-        }
-        "fig10" | "table2" => {
-            let opts = experiment::fingerprint::CollectOptions::for_scale(scale, seed);
-            eprintln!(
-                "collecting {} sites x {} traces ...",
-                opts.sites, opts.traces_per_site
-            );
-            let traces = experiment::fingerprint::collect_dataset(&opts);
-            let data = experiment::fingerprint::to_dataset(&traces);
-            if id == "fig10" {
-                let folds = if scale == Scale::Quick { 3 } else { 5 };
-                let accs =
-                    experiment::fingerprint::run_model_comparison(&data, folds, seed);
-                print!("{}", report::classifier_report(&accs, opts.sites));
-            } else {
-                let scores = experiment::fingerprint::run_table2(&data, seed);
-                print!("{}", report::table2_report(&scores));
+            "--no-cache" => args.cache = false,
+            "--cache-dir" => args.cache_dir = value("--cache-dir", &mut it)?.clone(),
+            "--format" => args.format = value("--format", &mut it)?.parse()?,
+            "--quiet" | "-q" => args.quiet = true,
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown option '{flag}'"));
             }
-        }
-        "fig11" => {
-            for rfms in [2u32, 1] {
-                println!("--- {rfms} RFM(s) per back-off ---");
-                let sweep =
-                    experiment::noise_sweep::run_rfm_count_sweep(rfms, scale, seed);
-                print!("{}", report::noise_sweep_report(&sweep));
+            id if !saw_command => {
+                args.id = id.to_owned();
+                saw_command = true;
             }
-            println!("--- 1 RFM, sec. 10.1 modified attack (cadence-filtered) ---");
-            let sweep = experiment::noise_sweep::run_overlap_1rfm_sweep(true, scale, seed);
-            print!("{}", report::noise_sweep_report(&sweep));
-        }
-        "fig12" => {
-            let grid = experiment::latency_sweep::paper_grid();
-            let bits = scale.message_bits() / 8;
-            let points = experiment::latency_sweep::run_latency_sweep(&grid, bits, seed);
-            print!("{}", report::latency_sweep_report(&points));
-        }
-        "fig13" => {
-            let study = experiment::perf::run_performance(
-                &lh_defenses::DefenseKind::figure13_set(),
-                &experiment::perf::NRH_SWEEP,
-                scale,
-                seed,
-            );
-            print!("{}", report::perf_report(&study));
-        }
-        "table3" => {
-            print!("{}", report::table3_report());
-        }
-        "multibit" => {
-            let bytes = if scale == Scale::Quick { 6 } else { 32 };
-            let outs: Vec<_> =
-                [2u8, 3, 4].iter().map(|&b| experiment::multibit::run_multibit(b, bytes, seed)).collect();
-            print!("{}", report::multibit_report(&outs));
-        }
-        "counterleak" => {
-            let out = experiment::counter_leak::run_counter_leak(scale.leak_trials(), seed);
-            print!("{}", report::counter_leak_report(&out));
-        }
-        "cache" => {
-            let points = experiment::cache_sensitivity::run_cache_sensitivity(scale, seed);
-            print!("{}", report::cache_report(&points));
-        }
-        "mitigation" => {
-            let study = experiment::countermeasures::run_mitigation_study(scale, seed);
-            print!("{}", report::mitigation_report(&study));
-        }
-        "rowpolicy" => {
-            let bits = scale.message_bits() / 8;
-            let study = experiment::row_policy::run_row_policy_study(bits, seed);
-            print!("{}", report::row_policy_report(&study));
-        }
-        "taxonomy" => {
-            println!("--- qualitative (sec. 12) ---");
-            print!("{}", report::taxonomy_report());
-            println!("--- measured (covert-channel attempt per class) ---");
-            let points = experiment::taxonomy::run_taxonomy(scale, seed);
-            print!("{}", report::taxonomy_measured_report(&points));
-        }
-        other => {
-            eprintln!("unknown experiment '{other}'; run `lh-experiments list`");
-            std::process::exit(2);
+            extra => return Err(format!("unexpected argument '{extra}'")),
         }
     }
-    println!();
+    Ok(args)
+}
+
+/// Writes to stdout. A closed downstream pipe (`lh-experiments list |
+/// head`) is a normal way for a consumer to stop reading, so it exits
+/// quietly; any other write error (disk full, I/O fault) is reported
+/// and fails the run — a truncated report must not look successful.
+fn emit(text: &str) {
+    use std::io::Write;
+    if let Err(e) = std::io::stdout().write_all(text.as_bytes()) {
+        if e.kind() == std::io::ErrorKind::BrokenPipe {
+            std::process::exit(0);
+        }
+        eprintln!("error: writing output failed: {e}");
+        std::process::exit(1);
+    }
 }
 
 fn main() {
-    let args = parse_args();
-    match args.id.as_str() {
-        "list" => {
-            println!("available experiments:");
-            for (id, desc) in EXPERIMENTS {
-                println!("  {id:<12} {desc}");
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(msg) if msg.is_empty() => {
+            emit(USAGE);
+            return;
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    let registry = leakyhammer::registry();
+    if args.id == "list" {
+        emit("available experiments:\n");
+        for job in registry.jobs() {
+            emit(&format!("  {:<12} {}\n", job.id(), job.description()));
+        }
+        return;
+    }
+
+    let ids: Vec<&str> = if args.id == "all" {
+        registry.ids()
+    } else if registry.get(&args.id).is_some() {
+        vec![registry.get(&args.id).expect("checked").id()]
+    } else {
+        eprintln!(
+            "error: unknown experiment '{}'; run `lh-experiments list`",
+            args.id
+        );
+        std::process::exit(2);
+    };
+
+    let runner = Runner::new(RunnerOptions {
+        jobs: args.jobs,
+        cache: args.cache.then(|| DiskCache::new(&args.cache_dir)),
+        progress: !args.quiet,
+    });
+    let ctx = JobContext {
+        scale: args.scale,
+        seed: args.seed,
+    };
+
+    for id in ids {
+        let job = registry.get(id).expect("id comes from the registry");
+        match runner.run(job, &ctx) {
+            Ok(run) => emit(&lh_harness::sink::render(job, &run, &ctx, args.format)),
+            Err(msg) => {
+                eprintln!("error: {id}: {msg}");
+                std::process::exit(1);
             }
         }
-        "all" => {
-            for (id, _) in EXPERIMENTS {
-                run_one(id, args.scale, args.seed);
-            }
-        }
-        id => run_one(id, args.scale, args.seed),
     }
 }

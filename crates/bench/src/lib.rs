@@ -2,21 +2,27 @@
 //!
 //! Two entry points:
 //!
-//! * the `lh-experiments` binary — regenerates any figure or table of the
-//!   paper on demand (`lh-experiments fig4 --scale default`);
+//! * the `lh-experiments` binary — regenerates any figure or table of
+//!   the paper on demand through the `lh-harness` orchestrator
+//!   (`lh-experiments fig4 --scale default --jobs 8`), with sweep units
+//!   sharded across cores and cached on disk between runs;
 //! * the Criterion benches under `benches/` — one per table/figure, each
 //!   running a `Scale::Quick` version of the experiment so timing
 //!   regressions in the simulator show up in CI.
 //!
-//! The experiment logic itself lives in [`leakyhammer::experiment`]; this
-//! crate only orchestrates and prints.
+//! The experiment logic lives in [`leakyhammer::experiment`] and its
+//! harness adapters in [`leakyhammer::registry`]; this crate only
+//! orchestrates and prints.
 
 pub use leakyhammer::{experiment, report, Scale};
 
 /// All experiment identifiers the harness knows, with a one-line
 /// description (figure/table mapping per DESIGN.md §2).
 pub const EXPERIMENTS: &[(&str, &str)] = &[
-    ("fig2", "memory-request latencies: conflicts, refreshes, back-offs"),
+    (
+        "fig2",
+        "memory-request latencies: conflicts, refreshes, back-offs",
+    ),
     ("fig3", "PRAC covert channel: 40-bit MICRO transmission"),
     ("fig4", "PRAC covert channel vs noise intensity"),
     ("fig5", "PRAC covert channel vs SPEC-like interference"),
@@ -33,8 +39,14 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
     ("multibit", "binary/ternary/quaternary channels (sec. 6.3)"),
     ("counterleak", "activation-counter value leak (sec. 9.1)"),
     ("cache", "larger caches + prefetching (sec. 10.3)"),
-    ("mitigation", "countermeasure capacity reduction (sec. 11.4)"),
-    ("rowpolicy", "closed-row policy vs DRAMA and LeakyHammer (sec. 9)"),
+    (
+        "mitigation",
+        "countermeasure capacity reduction (sec. 11.4)",
+    ),
+    (
+        "rowpolicy",
+        "closed-row policy vs DRAMA and LeakyHammer (sec. 9)",
+    ),
     ("taxonomy", "defense taxonomy (sec. 12)"),
 ];
 
@@ -50,7 +62,20 @@ mod tests {
         }
         // Every figure and table of the evaluation is covered.
         for fig in ["fig2", "fig13", "table2", "table3"] {
-            assert!(EXPERIMENTS.iter().any(|(id, _)| id == &fig), "missing {fig}");
+            assert!(
+                EXPERIMENTS.iter().any(|(id, _)| id == &fig),
+                "missing {fig}"
+            );
         }
+    }
+
+    #[test]
+    fn catalog_matches_the_harness_registry() {
+        let ids: Vec<&str> = EXPERIMENTS.iter().map(|(id, _)| *id).collect();
+        assert_eq!(
+            leakyhammer::registry().ids(),
+            ids,
+            "EXPERIMENTS and the harness registry must list the same experiments in the same order"
+        );
     }
 }

@@ -1,0 +1,132 @@
+//! Offline stand-in for `criterion` 0.5.
+//!
+//! Supports the group-based API this repository's benches use:
+//! `criterion_group!` / `criterion_main!`, [`Criterion::benchmark_group`],
+//! `sample_size` / `warm_up_time` / `measurement_time`,
+//! [`BenchmarkGroup::bench_function`] and [`Bencher::iter`]. Each bench
+//! reports mean / min / max wall-clock time per iteration. There is no
+//! statistical analysis or HTML report — just enough to catch gross
+//! timing regressions and keep `cargo bench` compiling.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a benchmarked value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+}
+
+/// A named set of benchmarks sharing sampling settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many samples to record per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; warm-up is one untimed sample.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Caps the total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its timing summary. `id` accepts
+    /// both `&str` and `String`, like criterion's `IntoBenchmarkId`.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: AsRef<str>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.as_ref();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+        };
+        // One untimed warm-up sample.
+        f(&mut bencher);
+        bencher.samples.clear();
+        let started = Instant::now();
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+            if started.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+        let n = bencher.samples.len().max(1);
+        let total: Duration = bencher.samples.iter().sum();
+        let mean = total / n as u32;
+        let min = bencher.samples.iter().min().copied().unwrap_or_default();
+        let max = bencher.samples.iter().max().copied().unwrap_or_default();
+        println!(
+            "{id:<40} mean {mean:>12.3?}   min {min:>12.3?}   max {max:>12.3?}   ({n} samples)"
+        );
+        self
+    }
+
+    /// Ends the group (printing is already done incrementally).
+    pub fn finish(self) {}
+}
+
+/// Times closures for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times one execution of `routine` as one sample.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        black_box(routine());
+        self.samples.push(start.elapsed());
+    }
+}
+
+/// Declares a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a set of [`criterion_group!`]s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

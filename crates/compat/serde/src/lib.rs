@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` names as marker traits plus
+//! the re-exported derive macros, which is the entire serde surface this
+//! repository touches (`use serde::{Deserialize, Serialize}` + derives).
+//! Runtime serialization is handled by `lh-harness`'s JSON module.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

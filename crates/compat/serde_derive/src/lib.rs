@@ -1,0 +1,51 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The derives expand to marker-trait impls only. No code in this
+//! repository serializes through serde's data model (structured output
+//! goes through `lh-harness`'s JSON module), so the derives only have to
+//! make `#[derive(Serialize, Deserialize)]` compile.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name a derive was applied to.
+///
+/// Scans the item's tokens for the identifier following `struct` or
+/// `enum`, skipping attributes and visibility.
+fn type_name(input: &TokenStream) -> Option<String> {
+    let mut saw_kw = false;
+    for tt in input.clone() {
+        if let TokenTree::Ident(id) = tt {
+            let s = id.to_string();
+            if saw_kw {
+                return Some(s);
+            }
+            if s == "struct" || s == "enum" {
+                saw_kw = true;
+            }
+        }
+    }
+    None
+}
+
+/// Emits `impl <Trait> for <Type> {}`, ignoring generics: every type in
+/// this repository that derives the serde traits is non-generic.
+fn marker_impl(input: TokenStream, trait_path: &str) -> TokenStream {
+    match type_name(&input) {
+        Some(name) => format!("impl {trait_path} for {name} {{}}")
+            .parse()
+            .unwrap(),
+        None => TokenStream::new(),
+    }
+}
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Serialize")
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Deserialize<'static>")
+}

@@ -35,23 +35,34 @@ pub struct AppNoiseSeries {
 /// Runs the experiment for `kind` at `scale`.
 pub fn run_app_noise(kind: ChannelKind, scale: Scale, seed: u64) -> AppNoiseSeries {
     let bits_per_pattern = scale.message_bits() / 4;
-    let mut points = Vec::new();
-    for intensity in [Intensity::Low, Intensity::Medium, Intensity::High] {
-        let mut results = Vec::new();
-        for (i, pattern) in MessagePattern::paper_set().iter().enumerate() {
-            let mut opts = CovertOptions::new(kind, pattern.bits(bits_per_pattern));
-            opts.co_runners = vec![AppProfile::category(intensity)];
-            opts.seed = seed ^ ((i as u64) << 4);
-            results.push(run_covert(&opts).result);
-        }
-        let merged = ChannelResult::merge(results.iter());
-        points.push(AppNoisePoint {
-            intensity,
-            error_probability: merged.error_probability(),
-            capacity_kbps: merged.capacity_kbps(),
-        });
-    }
+    let points = [Intensity::Low, Intensity::Medium, Intensity::High]
+        .into_iter()
+        .map(|intensity| app_noise_point(kind, intensity, bits_per_pattern, seed))
+        .collect();
     AppNoiseSeries { kind, points }
+}
+
+/// One interference level of the Fig. 5 / Fig. 8 study; exposed so the
+/// harness can run the three levels in parallel.
+pub fn app_noise_point(
+    kind: ChannelKind,
+    intensity: Intensity,
+    bits_per_pattern: usize,
+    seed: u64,
+) -> AppNoisePoint {
+    let mut results = Vec::new();
+    for (i, pattern) in MessagePattern::paper_set().iter().enumerate() {
+        let mut opts = CovertOptions::new(kind, pattern.bits(bits_per_pattern));
+        opts.co_runners = vec![AppProfile::category(intensity)];
+        opts.seed = seed ^ ((i as u64) << 4);
+        results.push(run_covert(&opts).result);
+    }
+    let merged = ChannelResult::merge(results.iter());
+    AppNoisePoint {
+        intensity,
+        error_probability: merged.error_probability(),
+        capacity_kbps: merged.capacity_kbps(),
+    }
 }
 
 #[cfg(test)]

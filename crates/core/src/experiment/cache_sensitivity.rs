@@ -54,12 +54,18 @@ pub fn run_cache_sensitivity(scale: Scale, seed: u64) -> Vec<CachePoint> {
     let bits = scale.message_bits() / 4;
     [ChannelKind::Prac, ChannelKind::Rfm]
         .into_iter()
-        .map(|kind| CachePoint {
-            kind,
-            baseline_kbps: capacity(kind, false, bits, seed),
-            large_kbps: capacity(kind, true, bits, seed),
-        })
+        .map(|kind| cache_point(kind, bits, seed))
         .collect()
+}
+
+/// One channel's §10.3 measurement (both hierarchies); exposed so the
+/// harness can run the two channels in parallel.
+pub fn cache_point(kind: ChannelKind, bits_per_pattern: usize, seed: u64) -> CachePoint {
+    CachePoint {
+        kind,
+        baseline_kbps: capacity(kind, false, bits_per_pattern, seed),
+        large_kbps: capacity(kind, true, bits_per_pattern, seed),
+    }
 }
 
 #[cfg(test)]

@@ -94,7 +94,10 @@ pub fn leak_of(attack: AttackName, colocation: Colocation) -> Leak {
         .into_iter()
         .find(|(a, _)| *a == attack)
         .and_then(|(_, cells)| {
-            cells.iter().find(|(c, _)| *c == colocation).map(|&(_, l)| l)
+            cells
+                .iter()
+                .find(|(c, _)| *c == colocation)
+                .map(|&(_, l)| l)
         })
         .expect("matrix covers all attacks and granularities")
 }
@@ -125,7 +128,10 @@ pub fn taxonomy_table() -> Vec<TaxonomyRow> {
         DefenseKind::None,
     ]
     .into_iter()
-    .map(|d| TaxonomyRow { defense: d, risk: profile_of(d).map(|p| p.channel_risk()) })
+    .map(|d| TaxonomyRow {
+        defense: d,
+        risk: profile_of(d).map(|p| p.channel_risk()),
+    })
     .collect()
 }
 
@@ -138,7 +144,10 @@ mod tests {
         // Table 3's key claim: at channel/bank-group colocation DRAMA
         // leaks nothing while both LeakyHammer variants leak the access
         // pattern.
-        assert_eq!(leak_of(AttackName::Drama, Colocation::ChannelOrBankGroup), Leak::Nothing);
+        assert_eq!(
+            leak_of(AttackName::Drama, Colocation::ChannelOrBankGroup),
+            Leak::Nothing
+        );
         assert_eq!(
             leak_of(AttackName::LeakyHammerPrac, Colocation::ChannelOrBankGroup),
             Leak::PreventiveAction
@@ -164,9 +173,7 @@ mod tests {
     #[test]
     fn taxonomy_matches_section_12() {
         let table = taxonomy_table();
-        let risk = |d: DefenseKind| {
-            table.iter().find(|r| r.defense == d).and_then(|r| r.risk)
-        };
+        let risk = |d: DefenseKind| table.iter().find(|r| r.defense == d).and_then(|r| r.risk);
         assert_eq!(risk(DefenseKind::Prac), Some(ChannelRisk::Full));
         assert_eq!(risk(DefenseKind::FrRfm), Some(ChannelRisk::None));
         assert_eq!(risk(DefenseKind::PracRiac), Some(ChannelRisk::Degraded));

@@ -51,12 +51,8 @@ pub fn run_counter_leak(trials: usize, seed: u64) -> CounterLeakOutcome {
         let cls = LatencyClassifier::from_timing(&sim.device.timing, think);
         let mut sys = System::new(sim).expect("valid configuration");
         let layout = ChannelLayout::default_bank(sys.mapping());
-        let victim = CounterLeakVictim::new(
-            layout.sender_rows[0],
-            layout.sender_rows[1],
-            secret,
-            think,
-        );
+        let victim =
+            CounterLeakVictim::new(layout.sender_rows[0], layout.sender_rows[1], secret, think);
         let attacker = CounterLeakAttacker::new(
             layout.sender_rows[0],
             layout.receiver_row,
@@ -92,7 +88,13 @@ pub fn run_counter_leak(trials: usize, seed: u64) -> CounterLeakOutcome {
     } else {
         0.0
     };
-    CounterLeakOutcome { nbo, trials: out, mean_abs_error, mean_elapsed_us, throughput_kbps }
+    CounterLeakOutcome {
+        nbo,
+        trials: out,
+        mean_abs_error,
+        mean_elapsed_us,
+        throughput_kbps,
+    }
 }
 
 #[cfg(test)]
@@ -120,6 +122,10 @@ mod tests {
             "throughput {} Kbps",
             out.throughput_kbps
         );
-        assert!(out.mean_elapsed_us < 40.0, "elapsed {} µs", out.mean_elapsed_us);
+        assert!(
+            out.mean_elapsed_us < 40.0,
+            "elapsed {} µs",
+            out.mean_elapsed_us
+        );
     }
 }

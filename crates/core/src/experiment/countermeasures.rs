@@ -33,7 +33,11 @@ pub struct MitigationStudy {
     pub points: Vec<MitigationPoint>,
 }
 
-fn attack_capacity(defense: DefenseConfig, bits_per_pattern: usize, seed: u64) -> (f64, f64) {
+/// Error probability and capacity of the PRAC-style attack against one
+/// defense configuration; exposed so the harness can evaluate the
+/// countermeasures in parallel (the baseline-relative reductions are
+/// computed from the per-defense capacities afterwards).
+pub fn attack_capacity(defense: DefenseConfig, bits_per_pattern: usize, seed: u64) -> (f64, f64) {
     let mut results = Vec::new();
     for (i, pattern) in MessagePattern::paper_set().iter().enumerate() {
         let mut opts = CovertOptions::new(ChannelKind::Prac, pattern.bits(bits_per_pattern));
@@ -45,15 +49,21 @@ fn attack_capacity(defense: DefenseConfig, bits_per_pattern: usize, seed: u64) -
     (merged.error_probability(), merged.capacity_kbps())
 }
 
-/// Runs the study: PRAC (baseline), FR-RFM and PRAC-RIAC.
-pub fn run_mitigation_study(scale: Scale, seed: u64) -> MitigationStudy {
+/// The §11.4 defense configurations: PRAC (baseline), FR-RFM and
+/// PRAC-RIAC, in report order.
+pub fn mitigation_configs() -> [DefenseConfig; 3] {
     let t = DramTiming::ddr5_4800();
-    let bits = scale.message_bits() / 4;
-    let configs = [
+    [
         DefenseConfig::prac(128),
         DefenseConfig::fr_rfm(64, t.t_rc),
         DefenseConfig::riac(128),
-    ];
+    ]
+}
+
+/// Runs the study: PRAC (baseline), FR-RFM and PRAC-RIAC.
+pub fn run_mitigation_study(scale: Scale, seed: u64) -> MitigationStudy {
+    let bits = scale.message_bits() / 4;
+    let configs = mitigation_configs();
     let mut points = Vec::new();
     let mut baseline = 0.0;
     for cfg in configs {
@@ -80,7 +90,10 @@ pub fn run_mitigation_study(scale: Scale, seed: u64) -> MitigationStudy {
 impl MitigationStudy {
     /// The capacity reduction (percent) of one defense, if present.
     pub fn reduction_of(&self, kind: DefenseKind) -> Option<f64> {
-        self.points.iter().find(|p| p.defense == kind).map(|p| p.reduction_pct)
+        self.points
+            .iter()
+            .find(|p| p.defense == kind)
+            .map(|p| p.reduction_pct)
     }
 }
 
@@ -91,8 +104,16 @@ mod tests {
     #[test]
     fn fr_rfm_eliminates_and_riac_degrades() {
         let study = run_mitigation_study(Scale::Quick, 13);
-        let prac = study.points.iter().find(|p| p.defense == DefenseKind::Prac).unwrap();
-        assert!(prac.capacity_kbps > 20.0, "baseline capacity {}", prac.capacity_kbps);
+        let prac = study
+            .points
+            .iter()
+            .find(|p| p.defense == DefenseKind::Prac)
+            .unwrap();
+        assert!(
+            prac.capacity_kbps > 20.0,
+            "baseline capacity {}",
+            prac.capacity_kbps
+        );
         let frrfm = study.reduction_of(DefenseKind::FrRfm).unwrap();
         assert!(
             frrfm > 95.0,

@@ -141,7 +141,9 @@ pub struct CovertOutcome {
 pub fn run_covert(opts: &CovertOptions) -> CovertOutcome {
     let mut sys = System::new(opts.sim.clone()).expect("valid system configuration");
     let cls = LatencyClassifier::from_timing(&opts.sim.device.timing, opts.think);
-    let (detect, detect_max) = opts.detection_band.unwrap_or_else(|| opts.kind.detection_band(&cls));
+    let (detect, detect_max) = opts
+        .detection_band
+        .unwrap_or_else(|| opts.kind.detection_band(&cls));
     let trecv = opts.trecv.unwrap_or_else(|| opts.kind.trecv());
     let layout = ChannelLayout::default_bank(sys.mapping());
     let start = Time::ZERO;
@@ -177,21 +179,21 @@ pub fn run_covert(opts: &CovertOptions) -> CovertOutcome {
     let rx_id = sys.add_process(Box::new(rx), 1, start);
 
     if let Some(intensity) = opts.noise_intensity {
-        let noise =
-            NoiseProcess::from_intensity(layout.noise_rows.to_vec(), intensity, end);
+        let noise = NoiseProcess::from_intensity(layout.noise_rows.to_vec(), intensity, end);
         sys.add_process(Box::new(noise), 1, start);
     }
     let mapping: AddressMapping = *sys.mapping();
     for (i, profile) in opts.co_runners.iter().enumerate() {
-        let app =
-            SyntheticApp::new(profile.clone(), mapping, opts.seed ^ (i as u64 + 7), end);
+        let app = SyntheticApp::new(profile.clone(), mapping, opts.seed ^ (i as u64 + 7), end);
         let mlp = app.mlp();
         sys.add_process(Box::new(app), mlp, start);
     }
 
     sys.run_until(end);
 
-    let rx_proc = sys.process_as::<CovertReceiver>(rx_id).expect("receiver present");
+    let rx_proc = sys
+        .process_as::<CovertReceiver>(rx_id)
+        .expect("receiver present");
     let decoded = rx_proc.decode_binary(trecv);
     let per_window_events = rx_proc.observations().iter().map(|o| o.events).collect();
     let seconds = (opts.window * opts.bits.len() as u64).as_secs();
@@ -240,7 +242,11 @@ mod tests {
         // Raw bit rate: 1 bit / 25 µs = 40 Kbps (paper reports 39.0 after
         // sync overheads).
         assert!((out.result.raw_kbps() - 40.0).abs() < 1.0);
-        assert!(out.backoffs >= 15, "one back-off per 1-bit, got {}", out.backoffs);
+        assert!(
+            out.backoffs >= 15,
+            "one back-off per 1-bit, got {}",
+            out.backoffs
+        );
     }
 
     #[test]
@@ -275,7 +281,10 @@ mod tests {
             e_loud > e_quiet,
             "max noise must hurt more: quiet e={e_quiet}, loud e={e_loud}"
         );
-        assert!(e_quiet < 0.15, "1% noise keeps the channel usable, e={e_quiet}");
+        assert!(
+            e_quiet < 0.15,
+            "1% noise keeps the channel usable, e={e_quiet}"
+        );
     }
 
     #[test]

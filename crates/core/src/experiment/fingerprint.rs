@@ -63,14 +63,9 @@ impl CollectOptions {
 }
 
 /// Collects one fingerprint: browser load + probe in one system.
-pub fn collect_one(
-    site: usize,
-    trace_seed: u64,
-    opts: &CollectOptions,
-) -> Fingerprint {
+pub fn collect_one(site: usize, trace_seed: u64, opts: &CollectOptions) -> Fingerprint {
     // §8 evaluates at NRH = 64.
-    let defense =
-        DefenseConfig::for_threshold(DefenseKind::Prac, 64, &DramTiming::ddr5_4800());
+    let defense = DefenseConfig::for_threshold(DefenseKind::Prac, 64, &DramTiming::ddr5_4800());
     let think = Span::from_ns(30);
     let nbo = defense.prac.expect("PRAC enabled").nbo;
     let mut sim = SimConfig::paper_default(defense);
@@ -131,8 +126,10 @@ pub fn collect_dataset(opts: &CollectOptions) -> Vec<CollectedTrace> {
 
 /// Converts collected traces into an ML dataset (standardized features).
 pub fn to_dataset(traces: &[CollectedTrace]) -> Dataset {
-    let features: Vec<Vec<f64>> =
-        traces.iter().map(|t| t.fingerprint.features(FEATURE_WINDOWS)).collect();
+    let features: Vec<Vec<f64>> = traces
+        .iter()
+        .map(|t| t.fingerprint.features(FEATURE_WINDOWS))
+        .collect();
     let labels: Vec<usize> = traces.iter().map(|t| t.site).collect();
     let mut d = Dataset::new(features, labels);
     d.standardize();
@@ -154,7 +151,10 @@ pub fn run_model_comparison(data: &Dataset, folds: usize, seed: u64) -> Vec<Clas
         .into_iter()
         .map(|mut model| {
             let scores = cross_validate(model.as_mut(), data, folds, seed);
-            ClassifierAccuracy { model: model.name().to_owned(), accuracy: scores.accuracy }
+            ClassifierAccuracy {
+                model: model.name().to_owned(),
+                accuracy: scores.accuracy,
+            }
         })
         .collect()
 }

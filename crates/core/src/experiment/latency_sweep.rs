@@ -28,42 +28,49 @@ pub struct LatencyPoint {
 pub const MIN_REFRESH_ACTION_NS: [u64; 2] = [96, 192];
 
 /// Runs the sweep over `latencies_ns` with `bits` per pattern.
-pub fn run_latency_sweep(latencies_ns: &[u64], bits_per_pattern: usize, seed: u64) -> Vec<LatencyPoint> {
-    let mut points = Vec::new();
-    for &lat in latencies_ns {
-        let mut results = Vec::new();
-        for (i, pattern) in MessagePattern::paper_set().iter().enumerate() {
-            let mut opts =
-                CovertOptions::new(ChannelKind::Prac, pattern.bits(bits_per_pattern));
-            opts.seed = seed ^ ((i as u64) << 9) ^ lat;
-            // Single-RFM back-off with tRFM = the swept action latency.
-            opts.sim.device.timing.t_rfm = Span::from_ns(lat.max(1));
-            if let Some(prac) = opts.sim.defense.prac.as_mut() {
-                prac.rfms_per_backoff = 1;
-            }
-            // Detection: anything above the contended-conflict ceiling
-            // (the receiver may wait behind one sender request) and below
-            // the doubled periodic-refresh latency counts as the
-            // preventive action. The ceiling is wider than the paper's
-            // ~10 ns resolution because our synthetic loop has queueing
-            // variance; the shape (channel survives down to tens of ns)
-            // is preserved.
-            let t = &opts.sim.device.timing;
-            let conflict_contended = opts.think
-                + (t.read_latency() + t.t_rp + t.t_rcd) * 2
-                + Span::from_ns(40);
-            let refresh_floor = opts.think + t.t_rfc * 2 - Span::from_ns(20);
-            opts.detection_band = Some((conflict_contended, refresh_floor));
-            results.push(run_covert(&opts).result);
+pub fn run_latency_sweep(
+    latencies_ns: &[u64],
+    bits_per_pattern: usize,
+    seed: u64,
+) -> Vec<LatencyPoint> {
+    latencies_ns
+        .iter()
+        .map(|&lat| latency_sweep_point(lat, bits_per_pattern, seed))
+        .collect()
+}
+
+/// One Fig. 12 sweep point; exposed so the harness can shard the grid
+/// across cores.
+pub fn latency_sweep_point(lat: u64, bits_per_pattern: usize, seed: u64) -> LatencyPoint {
+    let mut results = Vec::new();
+    for (i, pattern) in MessagePattern::paper_set().iter().enumerate() {
+        let mut opts = CovertOptions::new(ChannelKind::Prac, pattern.bits(bits_per_pattern));
+        opts.seed = seed ^ ((i as u64) << 9) ^ lat;
+        // Single-RFM back-off with tRFM = the swept action latency.
+        opts.sim.device.timing.t_rfm = Span::from_ns(lat.max(1));
+        if let Some(prac) = opts.sim.defense.prac.as_mut() {
+            prac.rfms_per_backoff = 1;
         }
-        let merged = ChannelResult::merge(results.iter());
-        points.push(LatencyPoint {
-            action_latency_ns: lat,
-            error_probability: merged.error_probability(),
-            capacity_kbps: merged.capacity_kbps(),
-        });
+        // Detection: anything above the contended-conflict ceiling
+        // (the receiver may wait behind one sender request) and below
+        // the doubled periodic-refresh latency counts as the
+        // preventive action. The ceiling is wider than the paper's
+        // ~10 ns resolution because our synthetic loop has queueing
+        // variance; the shape (channel survives down to tens of ns)
+        // is preserved.
+        let t = &opts.sim.device.timing;
+        let conflict_contended =
+            opts.think + (t.read_latency() + t.t_rp + t.t_rcd) * 2 + Span::from_ns(40);
+        let refresh_floor = opts.think + t.t_rfc * 2 - Span::from_ns(20);
+        opts.detection_band = Some((conflict_contended, refresh_floor));
+        results.push(run_covert(&opts).result);
     }
-    points
+    let merged = ChannelResult::merge(results.iter());
+    LatencyPoint {
+        action_latency_ns: lat,
+        error_probability: merged.error_probability(),
+        capacity_kbps: merged.capacity_kbps(),
+    }
 }
 
 /// The default sweep grid of Fig. 12 (0–250 ns).

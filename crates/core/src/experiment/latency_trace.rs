@@ -29,7 +29,10 @@ pub struct LatencyTraceOutcome {
 impl LatencyTraceOutcome {
     /// Mean latency of one class, if observed.
     pub fn class_mean_ns(&self, class: LatencyClass) -> Option<f64> {
-        self.mean_ns.iter().find(|(c, _, _)| *c == class).map(|&(_, m, _)| m)
+        self.mean_ns
+            .iter()
+            .find(|(c, _, _)| *c == class)
+            .map(|&(_, m, _)| m)
     }
 
     /// The §6.2 headline: back-off latency relative to the next-highest
@@ -60,7 +63,10 @@ pub fn run_latency_trace(
     let pid = sys.add_process(Box::new(probe), 1, Time::ZERO);
     // Generous horizon: ~2 µs per iteration covers many back-offs.
     sys.run_until_halted(Time::ZERO + Span::from_us(2) * iterations as u64);
-    let trace = sys.process_as::<LoopProcess>(pid).expect("probe present").trace();
+    let trace = sys
+        .process_as::<LoopProcess>(pid)
+        .expect("probe present")
+        .trace();
 
     let mut sums: Vec<(LatencyClass, f64, usize)> = Vec::new();
     for s in trace.samples() {
@@ -73,18 +79,23 @@ pub fn run_latency_trace(
             None => sums.push((class, s.latency.as_ns(), 1)),
         }
     }
-    let mean_ns: Vec<(LatencyClass, f64, usize)> =
-        sums.into_iter().map(|(c, sum, n)| (c, sum / n as f64, n)).collect();
+    let mean_ns: Vec<(LatencyClass, f64, usize)> = sums
+        .into_iter()
+        .map(|(c, sum, n)| (c, sum / n as f64, n))
+        .collect();
     let count = |class: LatencyClass| {
-        mean_ns.iter().find(|(c, _, _)| *c == class).map(|&(_, _, n)| n).unwrap_or(0)
+        mean_ns
+            .iter()
+            .find(|(c, _, _)| *c == class)
+            .map(|&(_, _, n)| n)
+            .unwrap_or(0)
     };
     let backoffs = count(LatencyClass::BackOff);
     let rfms = count(LatencyClass::Rfm);
     LatencyTraceOutcome {
         samples: trace.samples().to_vec(),
         classifier,
-        requests_per_backoff: (backoffs > 0)
-            .then(|| trace.len() as f64 / backoffs as f64),
+        requests_per_backoff: (backoffs > 0).then(|| trace.len() as f64 / backoffs as f64),
         requests_per_rfm: (rfms > 0).then(|| trace.len() as f64 / rfms as f64),
         mean_ns,
     }
@@ -98,10 +109,15 @@ mod tests {
     fn fig2_shape_prac() {
         let out = run_latency_trace(DefenseConfig::prac(128), 600, Span::from_ns(30));
         // All three Fig. 2 bands present.
-        let conflict =
-            out.class_mean_ns(LatencyClass::Conflict).expect("conflicts observed");
-        let refresh = out.class_mean_ns(LatencyClass::Refresh).expect("refreshes observed");
-        let backoff = out.class_mean_ns(LatencyClass::BackOff).expect("back-offs observed");
+        let conflict = out
+            .class_mean_ns(LatencyClass::Conflict)
+            .expect("conflicts observed");
+        let refresh = out
+            .class_mean_ns(LatencyClass::Refresh)
+            .expect("refreshes observed");
+        let backoff = out
+            .class_mean_ns(LatencyClass::BackOff)
+            .expect("back-offs observed");
         assert!(conflict < refresh && refresh < backoff);
         // §6.2: back-offs every ~255 requests at NBO=128 (two rows share
         // the activations).
@@ -112,7 +128,10 @@ mod tests {
         );
         // §6.2: back-off ≈1.9× the refresh latency.
         let ratio = out.backoff_over_refresh().unwrap();
-        assert!((1.4..2.6).contains(&ratio), "back-off/refresh ratio {ratio}");
+        assert!(
+            (1.4..2.6).contains(&ratio),
+            "back-off/refresh ratio {ratio}"
+        );
     }
 
     #[test]
@@ -120,10 +139,16 @@ mod tests {
         let out = run_latency_trace(DefenseConfig::prfm(40), 500, Span::from_ns(30));
         // RFM events every ≈41.8 accesses (TRFM=40 plus slack).
         let rpr = out.requests_per_rfm.expect("RFM events observed");
-        assert!((35.0..55.0).contains(&rpr), "requests per RFM {rpr}, expected ≈41.8");
+        assert!(
+            (35.0..55.0).contains(&rpr),
+            "requests per RFM {rpr}, expected ≈41.8"
+        );
         let rfm = out.class_mean_ns(LatencyClass::Rfm).unwrap();
         let conflict = out.class_mean_ns(LatencyClass::Conflict).unwrap();
-        assert!(rfm > conflict + 200.0, "RFM band {rfm} vs conflict {conflict}");
+        assert!(
+            rfm > conflict + 200.0,
+            "RFM band {rfm} vs conflict {conflict}"
+        );
     }
 
     #[test]

@@ -138,10 +138,17 @@ pub fn run_multibit(base: u8, message_bytes: usize, seed: u64) -> MultibitOutcom
     // For base 3 (not a power of two) re-map: use base-4 symbol stream
     // folded into {0,1,2} — the paper's 1.58 bits/symbol is approximated
     // by log2(3).
-    let symbols: Vec<u8> =
-        if base == 3 { symbols.iter().map(|&s| s % 3).collect() } else { symbols };
+    let symbols: Vec<u8> = if base == 3 {
+        symbols.iter().map(|&s| s % 3).collect()
+    } else {
+        symbols
+    };
 
-    let bins = if base > 2 { calibrate_bins(base, think, 6, seed ^ 0xCA11) } else { vec![] };
+    let bins = if base > 2 {
+        calibrate_bins(base, think, 6, seed ^ 0xCA11)
+    } else {
+        vec![]
+    };
     let obs = transmit(&symbols, base, think, seed);
     let decoded: Vec<u8> = if base == 2 {
         obs.iter().map(|o| (o.events >= 1) as u8).collect()

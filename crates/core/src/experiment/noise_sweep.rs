@@ -70,36 +70,53 @@ pub fn run_rfm_count_sweep(rfms_per_backoff: u32, scale: Scale, seed: u64) -> No
 /// lowest noise intensity.
 pub fn run_overlap_1rfm_sweep(filtered: bool, scale: Scale, seed: u64) -> NoiseSweep {
     let bits_per_pattern = scale.message_bits() / 8;
-    let kind = ChannelKind::Prac;
-    let mut points = Vec::new();
-    for intensity in scale.noise_points() {
-        let mut results = Vec::new();
-        for (i, pattern) in MessagePattern::paper_set().iter().enumerate() {
-            let mut opts = CovertOptions::new(kind, pattern.bits(bits_per_pattern));
-            opts.noise_intensity = Some(intensity);
-            opts.seed = seed ^ ((i as u64) << 12) ^ (intensity as u64);
-            opts.sim.ctrl.refresh_postpone = false;
-            if let Some(prac) = opts.sim.defense.prac.as_mut() {
-                prac.rfms_per_backoff = 1;
-            }
-            // Double window; detect anything above a conflict. Without
-            // the cadence filter, periodic refreshes are miscounted as
-            // events — the overlap problem the filter solves.
-            opts.window = kind.window() * 2;
-            let cls = LatencyClassifier::from_timing(&opts.sim.device.timing, opts.think);
-            opts.detection_band = Some((cls.conflict_max + Span::from_ns(120), Span::MAX));
-            opts.refresh_filter = filtered
-                .then(|| lh_attacks::RefreshFilterConfig::from_timing(&opts.sim.device.timing));
-            results.push(run_covert(&opts).result);
-        }
-        let merged = ChannelResult::merge(results.iter());
-        points.push(NoisePoint {
-            intensity,
-            error_probability: merged.error_probability(),
-            capacity_kbps: merged.capacity_kbps(),
-        });
+    let points = scale
+        .noise_points()
+        .into_iter()
+        .map(|intensity| overlap_1rfm_point(filtered, intensity, bits_per_pattern, seed))
+        .collect();
+    NoiseSweep {
+        kind: ChannelKind::Prac,
+        rfms_per_backoff: 1,
+        points,
     }
-    NoiseSweep { kind, rfms_per_backoff: 1, points }
+}
+
+/// One §10.1 modified-attack sweep point (see
+/// [`run_overlap_1rfm_sweep`]); exposed so the harness can shard the
+/// sweep across cores.
+pub fn overlap_1rfm_point(
+    filtered: bool,
+    intensity: f64,
+    bits_per_pattern: usize,
+    seed: u64,
+) -> NoisePoint {
+    let kind = ChannelKind::Prac;
+    let mut results = Vec::new();
+    for (i, pattern) in MessagePattern::paper_set().iter().enumerate() {
+        let mut opts = CovertOptions::new(kind, pattern.bits(bits_per_pattern));
+        opts.noise_intensity = Some(intensity);
+        opts.seed = seed ^ ((i as u64) << 12) ^ (intensity as u64);
+        opts.sim.ctrl.refresh_postpone = false;
+        if let Some(prac) = opts.sim.defense.prac.as_mut() {
+            prac.rfms_per_backoff = 1;
+        }
+        // Double window; detect anything above a conflict. Without
+        // the cadence filter, periodic refreshes are miscounted as
+        // events — the overlap problem the filter solves.
+        opts.window = kind.window() * 2;
+        let cls = LatencyClassifier::from_timing(&opts.sim.device.timing, opts.think);
+        opts.detection_band = Some((cls.conflict_max + Span::from_ns(120), Span::MAX));
+        opts.refresh_filter =
+            filtered.then(|| lh_attacks::RefreshFilterConfig::from_timing(&opts.sim.device.timing));
+        results.push(run_covert(&opts).result);
+    }
+    let merged = ChannelResult::merge(results.iter());
+    NoisePoint {
+        intensity,
+        error_probability: merged.error_probability(),
+        capacity_kbps: merged.capacity_kbps(),
+    }
 }
 
 fn sweep_with(
@@ -110,35 +127,64 @@ fn sweep_with(
     seed: u64,
 ) -> NoiseSweep {
     let bits_per_pattern = scale.message_bits() / 4;
-    let mut points = Vec::new();
-    for intensity in scale.noise_points() {
-        let mut results = Vec::new();
-        for (i, pattern) in MessagePattern::paper_set().iter().enumerate() {
-            let mut opts = CovertOptions::new(kind, pattern.bits(bits_per_pattern));
-            opts.noise_intensity = Some(intensity);
-            opts.seed = seed ^ ((i as u64) << 12) ^ (intensity as u64);
-            opts.sim.ctrl.refresh_postpone = postpone_refresh;
-            if let Some(prac) = opts.sim.defense.prac.as_mut() {
-                prac.rfms_per_backoff = rfms_per_backoff;
-            }
-            if rfms_per_backoff < 4 || !postpone_refresh {
-                opts.detection_band = Some(short_backoff_band(
-                    rfms_per_backoff,
-                    postpone_refresh,
-                    opts.think,
-                    &opts.sim,
-                ));
-            }
-            results.push(run_covert(&opts).result);
-        }
-        let merged = ChannelResult::merge(results.iter());
-        points.push(NoisePoint {
-            intensity,
-            error_probability: merged.error_probability(),
-            capacity_kbps: merged.capacity_kbps(),
-        });
+    let points = scale
+        .noise_points()
+        .into_iter()
+        .map(|intensity| {
+            sweep_point(
+                kind,
+                rfms_per_backoff,
+                postpone_refresh,
+                intensity,
+                bits_per_pattern,
+                seed,
+            )
+        })
+        .collect();
+    NoiseSweep {
+        kind,
+        rfms_per_backoff,
+        points,
     }
-    NoiseSweep { kind, rfms_per_backoff, points }
+}
+
+/// One noise-sweep point: the four paper message patterns at one
+/// intensity, merged. Exposed so the harness can shard sweeps across
+/// cores; the per-pattern seeds depend only on the arguments, so a
+/// sharded sweep is bit-identical to a serial one.
+pub fn sweep_point(
+    kind: ChannelKind,
+    rfms_per_backoff: u32,
+    postpone_refresh: bool,
+    intensity: f64,
+    bits_per_pattern: usize,
+    seed: u64,
+) -> NoisePoint {
+    let mut results = Vec::new();
+    for (i, pattern) in MessagePattern::paper_set().iter().enumerate() {
+        let mut opts = CovertOptions::new(kind, pattern.bits(bits_per_pattern));
+        opts.noise_intensity = Some(intensity);
+        opts.seed = seed ^ ((i as u64) << 12) ^ (intensity as u64);
+        opts.sim.ctrl.refresh_postpone = postpone_refresh;
+        if let Some(prac) = opts.sim.defense.prac.as_mut() {
+            prac.rfms_per_backoff = rfms_per_backoff;
+        }
+        if rfms_per_backoff < 4 || !postpone_refresh {
+            opts.detection_band = Some(short_backoff_band(
+                rfms_per_backoff,
+                postpone_refresh,
+                opts.think,
+                &opts.sim,
+            ));
+        }
+        results.push(run_covert(&opts).result);
+    }
+    let merged = ChannelResult::merge(results.iter());
+    NoisePoint {
+        intensity,
+        error_probability: merged.error_probability(),
+        capacity_kbps: merged.capacity_kbps(),
+    }
 }
 
 /// Detection band for shortened back-offs (§10.1): the threshold sits just
@@ -169,7 +215,11 @@ mod tests {
         assert_eq!(sweep.points.len(), 3);
         let lo = &sweep.points[0];
         let hi = sweep.points.last().unwrap();
-        assert!(lo.error_probability < 0.12, "e at 1% noise: {}", lo.error_probability);
+        assert!(
+            lo.error_probability < 0.12,
+            "e at 1% noise: {}",
+            lo.error_probability
+        );
         assert!(
             hi.error_probability > lo.error_probability,
             "error must grow with noise: {} -> {}",
@@ -209,7 +259,11 @@ mod tests {
             f0.capacity_kbps,
             n0.capacity_kbps
         );
-        assert!(f0.capacity_kbps > 5.0, "filtered capacity {:.1}", f0.capacity_kbps);
+        assert!(
+            f0.capacity_kbps > 5.0,
+            "filtered capacity {:.1}",
+            f0.capacity_kbps
+        );
     }
 
     #[test]
@@ -218,9 +272,21 @@ mod tests {
             kind: ChannelKind::Prac,
             rfms_per_backoff: 4,
             points: vec![
-                NoisePoint { intensity: 1.0, error_probability: 0.02, capacity_kbps: 30.0 },
-                NoisePoint { intensity: 50.0, error_probability: 0.08, capacity_kbps: 25.0 },
-                NoisePoint { intensity: 100.0, error_probability: 0.4, capacity_kbps: 2.0 },
+                NoisePoint {
+                    intensity: 1.0,
+                    error_probability: 0.02,
+                    capacity_kbps: 30.0,
+                },
+                NoisePoint {
+                    intensity: 50.0,
+                    error_probability: 0.08,
+                    capacity_kbps: 25.0,
+                },
+                NoisePoint {
+                    intensity: 100.0,
+                    error_probability: 0.4,
+                    capacity_kbps: 2.0,
+                },
             ],
         };
         assert_eq!(sweep.knee_intensity(0.1), Some(50.0));

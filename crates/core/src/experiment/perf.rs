@@ -49,12 +49,7 @@ impl PerfStudy {
 
 /// Runs one four-core mix under `defense` for `span`; returns per-app
 /// performance.
-fn run_mix(
-    mix: &[AppProfile; 4],
-    defense: DefenseConfig,
-    span: Span,
-    seed: u64,
-) -> Vec<AppPerf> {
+fn run_mix(mix: &[AppProfile; 4], defense: DefenseConfig, span: Span, seed: u64) -> Vec<AppPerf> {
     let mut sim = SimConfig::paper_default(defense);
     sim.seed = seed;
     // Performance runs do not need disturb ground truth; skipping it
@@ -73,7 +68,10 @@ fn run_mix(
     pids.iter()
         .map(|&pid| {
             let app = sys.process_as::<SyntheticApp>(pid).expect("app present");
-            AppPerf { instructions: app.instructions(), seconds: span.as_secs() }
+            AppPerf {
+                instructions: app.instructions(),
+                seconds: span.as_secs(),
+            }
         })
         .collect()
 }
@@ -89,15 +87,74 @@ fn run_alone(mix: &[AppProfile; 4], span: Span, seed: u64) -> Vec<AppPerf> {
             sys.controller_mut().device_mut().set_disturb_enabled(false);
             let mapping: AddressMapping = *sys.mapping();
             let end = Time::ZERO + span;
-            let app =
-                SyntheticApp::new(profile.clone(), mapping, seed ^ (i as u64 * 31), end);
+            let app = SyntheticApp::new(profile.clone(), mapping, seed ^ (i as u64 * 31), end);
             let mlp = app.mlp();
             let pid = sys.add_process(Box::new(app), mlp, Time::ZERO);
             sys.run_until(end + Span::from_us(5));
             let app = sys.process_as::<SyntheticApp>(pid).expect("app present");
-            AppPerf { instructions: app.instructions(), seconds: span.as_secs() }
+            AppPerf {
+                instructions: app.instructions(),
+                seconds: span.as_secs(),
+            }
         })
         .collect()
+}
+
+/// One mix's contribution to Fig. 13: normalized weighted speedup per
+/// `(defense, nrh)` cell, in `defenses` × `nrh_values` order.
+///
+/// The mix list is derived from `mixes_seed` (the study's master seed,
+/// identical across shards) while the simulations run on `sim_seed`, so
+/// the harness can give every mix an independently derived seed and
+/// shard the study across cores bit-identically.
+pub fn run_perf_mix(
+    mix_index: usize,
+    mixes_seed: u64,
+    sim_seed: u64,
+    defenses: &[DefenseKind],
+    nrh_values: &[u32],
+    scale: Scale,
+) -> Vec<PerfPoint> {
+    let span = Span::from_us(scale.perf_span_us());
+    let mixes = four_core_mixes(scale.mixes(), mixes_seed);
+    let mix = &mixes[mix_index];
+    let timing = lh_dram::DramTiming::ddr5_4800();
+
+    let alone = run_alone(mix, span, sim_seed);
+    let shared = run_mix(mix, DefenseConfig::none(), span, sim_seed);
+    let base_ws = weighted_speedup(&shared, &alone);
+
+    let mut points = Vec::new();
+    for &defense in defenses {
+        for &nrh in nrh_values {
+            let cfg = DefenseConfig::for_threshold(defense, nrh, &timing);
+            let shared = run_mix(mix, cfg, span, sim_seed);
+            let ws = weighted_speedup(&shared, &alone);
+            points.push(PerfPoint {
+                defense,
+                nrh,
+                normalized_ws: normalized_ws(ws, base_ws),
+            });
+        }
+    }
+    points
+}
+
+/// Averages per-mix cell values (from [`run_perf_mix`], all with the
+/// same `defenses` × `nrh_values` layout) into the Fig. 13 study.
+pub fn merge_perf_mixes(per_mix: &[Vec<PerfPoint>]) -> PerfStudy {
+    let mixes = per_mix.len();
+    let cells = per_mix.first().map_or(0, Vec::len);
+    let points = (0..cells)
+        .map(|c| {
+            let values: Vec<f64> = per_mix.iter().map(|m| m[c].normalized_ws).collect();
+            PerfPoint {
+                normalized_ws: mean(&values),
+                ..per_mix[0][c]
+            }
+        })
+        .collect();
+    PerfStudy { points, mixes }
 }
 
 /// Runs the study over `defenses` × `nrh_values`.
@@ -107,34 +164,19 @@ pub fn run_performance(
     scale: Scale,
     seed: u64,
 ) -> PerfStudy {
-    let span = Span::from_us(scale.perf_span_us());
-    let mixes = four_core_mixes(scale.mixes(), seed);
-    let timing = lh_dram::DramTiming::ddr5_4800();
-
-    // Per-mix baselines.
-    let mut baseline_ws = Vec::new();
-    for (m, mix) in mixes.iter().enumerate() {
-        let alone = run_alone(mix, span, seed ^ (m as u64) << 16);
-        let shared = run_mix(mix, DefenseConfig::none(), span, seed ^ (m as u64) << 16);
-        let ws = weighted_speedup(&shared, &alone);
-        baseline_ws.push((alone, ws));
-    }
-
-    let mut points = Vec::new();
-    for &defense in defenses {
-        for &nrh in nrh_values {
-            let cfg = DefenseConfig::for_threshold(defense, nrh, &timing);
-            let mut normalized = Vec::new();
-            for (m, mix) in mixes.iter().enumerate() {
-                let (alone, base_ws) = &baseline_ws[m];
-                let shared = run_mix(mix, cfg.clone(), span, seed ^ (m as u64) << 16);
-                let ws = weighted_speedup(&shared, alone);
-                normalized.push(normalized_ws(ws, *base_ws));
-            }
-            points.push(PerfPoint { defense, nrh, normalized_ws: mean(&normalized) });
-        }
-    }
-    PerfStudy { points, mixes: mixes.len() }
+    let per_mix: Vec<Vec<PerfPoint>> = (0..scale.mixes())
+        .map(|m| {
+            run_perf_mix(
+                m,
+                seed,
+                seed ^ (m as u64) << 16,
+                defenses,
+                nrh_values,
+                scale,
+            )
+        })
+        .collect();
+    merge_perf_mixes(&per_mix)
 }
 
 #[cfg(test)]

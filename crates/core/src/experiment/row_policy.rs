@@ -47,7 +47,13 @@ fn drama_capacity(policy: RowPolicy, bits: &[u8], seed: u64) -> f64 {
     let cls = LatencyClassifier::from_timing(&sim.device.timing, rx_think);
     let mut sys = System::new(sim).expect("valid configuration");
     let layout = ChannelLayout::default_bank(sys.mapping());
-    let tx = DramaSender::new(layout.sender_rows[0], window, Time::ZERO, tx_think, bits.to_vec());
+    let tx = DramaSender::new(
+        layout.sender_rows[0],
+        window,
+        Time::ZERO,
+        tx_think,
+        bits.to_vec(),
+    );
     let rx = DramaReceiver::new(DramaConfig {
         row_addr: layout.receiver_row,
         window,
@@ -86,15 +92,21 @@ fn leakyhammer_capacity(policy: RowPolicy, bits: &[u8], seed: u64) -> f64 {
 
 /// The §9 comparison: both channels under both row policies.
 pub fn run_row_policy_study(bits_per_channel: usize, seed: u64) -> Vec<RowPolicyPoint> {
-    let bits = lh_analysis::MessagePattern::Checkered0.bits(bits_per_channel);
     [RowPolicy::Open, RowPolicy::Closed]
         .into_iter()
-        .map(|policy| RowPolicyPoint {
-            policy,
-            drama_kbps: drama_capacity(policy, &bits, seed),
-            leakyhammer_kbps: leakyhammer_capacity(policy, &bits, seed),
-        })
+        .map(|policy| row_policy_point(policy, bits_per_channel, seed))
         .collect()
+}
+
+/// Both channels under one row policy; exposed so the harness can run
+/// the two policies in parallel.
+pub fn row_policy_point(policy: RowPolicy, bits_per_channel: usize, seed: u64) -> RowPolicyPoint {
+    let bits = lh_analysis::MessagePattern::Checkered0.bits(bits_per_channel);
+    RowPolicyPoint {
+        policy,
+        drama_kbps: drama_capacity(policy, &bits, seed),
+        leakyhammer_kbps: leakyhammer_capacity(policy, &bits, seed),
+    }
 }
 
 #[cfg(test)]
@@ -105,10 +117,17 @@ mod tests {
     fn closed_page_kills_drama_but_not_leakyhammer() {
         let study = run_row_policy_study(24, 7);
         let open = study.iter().find(|p| p.policy == RowPolicy::Open).unwrap();
-        let closed = study.iter().find(|p| p.policy == RowPolicy::Closed).unwrap();
+        let closed = study
+            .iter()
+            .find(|p| p.policy == RowPolicy::Closed)
+            .unwrap();
         // DRAMA needs the open-row state: works under Open, dies under
         // Closed.
-        assert!(open.drama_kbps > 50.0, "DRAMA open-page {}", open.drama_kbps);
+        assert!(
+            open.drama_kbps > 50.0,
+            "DRAMA open-page {}",
+            open.drama_kbps
+        );
         assert!(
             closed.drama_kbps < open.drama_kbps * 0.2,
             "closed page must kill DRAMA: {} vs {}",

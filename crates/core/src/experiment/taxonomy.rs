@@ -91,7 +91,11 @@ impl TaxonomyPoint {
 fn options_for(kind: DefenseKind, bits: Vec<u8>, seed: u64) -> CovertOptions {
     let timing = DramTiming::ddr5_4800();
     let defense = DefenseConfig::for_threshold(kind, TAXONOMY_NRH, &timing);
-    let base_kind = if kind == DefenseKind::Prac { ChannelKind::Prac } else { ChannelKind::Rfm };
+    let base_kind = if kind == DefenseKind::Prac {
+        ChannelKind::Prac
+    } else {
+        ChannelKind::Rfm
+    };
     let mut opts = CovertOptions::new(base_kind, bits);
     let cls = LatencyClassifier::from_timing(&timing, opts.think);
     opts.sim = SimConfig::paper_default(defense);
@@ -133,13 +137,22 @@ fn options_for(kind: DefenseKind, bits: Vec<u8>, seed: u64) -> CovertOptions {
     opts
 }
 
-fn measure(kind: DefenseKind, bits_per_pattern: usize, noise: Option<f64>, seed: u64) -> ChannelResult {
+fn measure(
+    kind: DefenseKind,
+    bits_per_pattern: usize,
+    noise: Option<f64>,
+    seed: u64,
+) -> ChannelResult {
     let mut results = Vec::new();
     for (i, pattern) in [MessagePattern::Checkered0, MessagePattern::Checkered1]
         .iter()
         .enumerate()
     {
-        let mut opts = options_for(kind, pattern.bits(bits_per_pattern), seed ^ ((i as u64) << 9));
+        let mut opts = options_for(
+            kind,
+            pattern.bits(bits_per_pattern),
+            seed ^ ((i as u64) << 9),
+        );
         opts.noise_intensity = noise;
         results.push(run_covert(&opts).result);
     }
@@ -168,32 +181,44 @@ fn measure(kind: DefenseKind, bits_per_pattern: usize, noise: Option<f64>, seed:
 /// add noise" is right about observability but misses this *temporal*
 /// dimension; the report keeps the disagreement visible on purpose.
 pub fn run_taxonomy(scale: Scale, seed: u64) -> Vec<TaxonomyPoint> {
-    // BlockHammer's 10× window would otherwise dominate runtime.
-    let bits = |kind: DefenseKind| {
-        let b = scale.message_bits() / 4;
-        if kind == DefenseKind::BlockHammer {
-            (b / 4).max(8)
-        } else {
-            b
-        }
-    };
+    taxonomy_kinds()
+        .into_iter()
+        .map(|kind| taxonomy_point(kind, taxonomy_bits(kind, scale), seed))
+        .collect()
+}
+
+/// The defense classes the measured taxonomy covers, control row first.
+pub fn taxonomy_kinds() -> Vec<DefenseKind> {
     let mut kinds = vec![DefenseKind::None];
     kinds.extend(DefenseKind::taxonomy_set());
     kinds
-        .into_iter()
-        .map(|kind| {
-            let quiet = measure(kind, bits(kind), None, seed);
-            let noisy = measure(kind, bits(kind), Some(40.0), seed ^ 0xff);
-            TaxonomyPoint {
-                kind,
-                predicted: profile_of(kind).map(|p| p.channel_risk()),
-                quiet_kbps: quiet.capacity_kbps(),
-                quiet_error: quiet.error_probability(),
-                noisy_kbps: noisy.capacity_kbps(),
-                noisy_error: noisy.error_probability(),
-            }
-        })
-        .collect()
+}
+
+/// Measures one defense class (quiet + 40 % noise); exposed so the
+/// harness can run the classes in parallel. `bits_per_pattern` should
+/// come from [`run_taxonomy`]'s per-kind budget (BlockHammer runs a
+/// quarter of the bits because of its 10× window).
+pub fn taxonomy_point(kind: DefenseKind, bits_per_pattern: usize, seed: u64) -> TaxonomyPoint {
+    let quiet = measure(kind, bits_per_pattern, None, seed);
+    let noisy = measure(kind, bits_per_pattern, Some(40.0), seed ^ 0xff);
+    TaxonomyPoint {
+        kind,
+        predicted: profile_of(kind).map(|p| p.channel_risk()),
+        quiet_kbps: quiet.capacity_kbps(),
+        quiet_error: quiet.error_probability(),
+        noisy_kbps: noisy.capacity_kbps(),
+        noisy_error: noisy.error_probability(),
+    }
+}
+
+/// The per-kind message budget [`run_taxonomy`] uses at `scale`.
+pub fn taxonomy_bits(kind: DefenseKind, scale: Scale) -> usize {
+    let b = scale.message_bits() / 4;
+    if kind == DefenseKind::BlockHammer {
+        (b / 4).max(8)
+    } else {
+        b
+    }
 }
 
 #[cfg(test)]

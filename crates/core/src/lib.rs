@@ -32,9 +32,11 @@
 #![warn(missing_debug_implementations)]
 
 pub mod experiment;
+pub mod registry;
 pub mod report;
 mod scale;
 
+pub use registry::registry;
 pub use scale::Scale;
 
 // Re-export the substrate crates so downstream users need only one

@@ -1,0 +1,112 @@
+//! Harness adapters: every paper experiment as an [`lh_harness::Job`].
+//!
+//! Each adapter decomposes its experiment into independently runnable
+//! *units* (sweep points, fingerprint traces, workload mixes), runs a
+//! unit from a derived seed, and renders the merged JSON result as the
+//! same plain-text report the figure/table runner has always printed.
+//! [`registry`] returns the full catalog in paper order; the
+//! `lh-experiments` binary and the integration tests run everything
+//! through it.
+//!
+//! Determinism contract: a unit's result depends only on
+//! `(experiment id, unit index, scale, derived seed)` — never on
+//! execution order — so `--jobs N` output is bit-identical to
+//! `--jobs 1`, and the harness's content-addressed cache can replay any
+//! unit safely.
+
+mod channels;
+mod fingerprint;
+mod perf;
+mod sweeps;
+
+use lh_harness::{JobContext, Json, Registry, ScaleLevel};
+
+use crate::Scale;
+
+/// Converts the harness's scale mirror into the simulator's [`Scale`].
+pub fn scale_of(ctx: &JobContext) -> Scale {
+    match ctx.scale {
+        ScaleLevel::Quick => Scale::Quick,
+        ScaleLevel::Default => Scale::Default,
+        ScaleLevel::Paper => Scale::Paper,
+    }
+}
+
+/// The full experiment catalog, in paper order.
+pub fn registry() -> Registry {
+    let mut r = Registry::new();
+    r.register(Box::new(channels::LatencyTraceJob));
+    r.register(Box::new(channels::CovertJob::PRAC));
+    r.register(Box::new(sweeps::NoiseSweepJob::PRAC));
+    r.register(Box::new(sweeps::AppNoiseJob::PRAC));
+    r.register(Box::new(channels::CovertJob::RFM));
+    r.register(Box::new(sweeps::NoiseSweepJob::RFM));
+    r.register(Box::new(sweeps::AppNoiseJob::RFM));
+    r.register(Box::new(fingerprint::TraceGalleryJob));
+    r.register(Box::new(fingerprint::ClassifierJob));
+    r.register(Box::new(sweeps::RfmCountJob));
+    r.register(Box::new(sweeps::LatencySweepJob));
+    r.register(Box::new(perf::PerfJob));
+    r.register(Box::new(fingerprint::Table2Job));
+    r.register(Box::new(channels::Table3Job));
+    r.register(Box::new(channels::MultibitJob));
+    r.register(Box::new(channels::CounterLeakJob));
+    r.register(Box::new(channels::CacheSensitivityJob));
+    r.register(Box::new(channels::MitigationJob));
+    r.register(Box::new(channels::RowPolicyJob));
+    r.register(Box::new(channels::TaxonomyJob));
+    r
+}
+
+/// Reads a numeric field, tolerating ints and missing values (NaN).
+pub(crate) fn num(j: &Json, key: &str) -> f64 {
+    j[key].as_f64().unwrap_or(f64::NAN)
+}
+
+/// Reads a string field (empty when missing).
+pub(crate) fn text(j: &Json, key: &str) -> String {
+    j[key].as_str().unwrap_or_default().to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_matches_the_paper() {
+        let r = registry();
+        assert_eq!(r.len(), 20);
+        for id in ["fig2", "fig13", "table2", "table3", "taxonomy"] {
+            assert!(r.get(id).is_some(), "missing {id}");
+        }
+        // Registration ids are unique and descriptions non-empty.
+        for job in r.jobs() {
+            assert!(
+                !job.description().is_empty(),
+                "{} lacks a description",
+                job.id()
+            );
+        }
+    }
+
+    #[test]
+    fn every_job_enumerates_units_at_quick_scale() {
+        let ctx = JobContext {
+            scale: ScaleLevel::Quick,
+            seed: 1,
+        };
+        for job in registry().jobs() {
+            let units = job.units(&ctx);
+            assert!(!units.is_empty(), "{} has no units", job.id());
+            let mut sorted = units.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(
+                sorted.len(),
+                units.len(),
+                "{} has duplicate unit labels",
+                job.id()
+            );
+        }
+    }
+}

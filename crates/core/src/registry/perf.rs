@@ -1,0 +1,133 @@
+//! Adapter for the Fig. 13 performance study. One harness unit per
+//! four-core mix: each unit simulates its mix's alone/no-defense
+//! baselines plus every `(defense, NRH)` cell, and `finish` averages
+//! the normalized weighted speedups across mixes — the same math as the
+//! serial study, sharded along the dimension with the most parallelism.
+
+use lh_harness::{Job, JobContext, Json};
+
+use crate::experiment::perf::{merge_perf_mixes, run_perf_mix, PerfPoint, NRH_SWEEP};
+use crate::registry::{num, scale_of, text};
+use crate::report;
+
+use lh_defenses::DefenseKind;
+
+/// Fig. 13: weighted speedup of defenses over NRH.
+pub(crate) struct PerfJob;
+
+impl Job for PerfJob {
+    fn id(&self) -> &'static str {
+        "fig13"
+    }
+
+    fn description(&self) -> &'static str {
+        "weighted speedup of defenses over NRH"
+    }
+
+    fn units(&self, ctx: &JobContext) -> Vec<String> {
+        (0..scale_of(ctx).mixes())
+            .map(|m| format!("mix:{m}"))
+            .collect()
+    }
+
+    fn run_unit(&self, unit: usize, seed: u64, ctx: &JobContext) -> Json {
+        let cells = run_perf_mix(
+            unit,
+            ctx.seed,
+            seed,
+            &DefenseKind::figure13_set(),
+            &NRH_SWEEP,
+            scale_of(ctx),
+        );
+        Json::object().with("mix", unit).with(
+            "cells",
+            Json::Array(
+                cells
+                    .iter()
+                    .map(|c| {
+                        Json::object()
+                            .with("defense", c.defense.label())
+                            .with("nrh", c.nrh)
+                            .with("normalized_ws", c.normalized_ws)
+                    })
+                    .collect(),
+            ),
+        )
+    }
+
+    fn finish(&self, units: Vec<Json>, _ctx: &JobContext) -> Json {
+        // Decode each mix's cells back into `PerfPoint`s (the layout is
+        // `figure13_set()` × `NRH_SWEEP`, the order `run_unit` produced)
+        // and reuse the study's own merge so the harness path can never
+        // drift from `run_performance`'s aggregation.
+        let defenses = DefenseKind::figure13_set();
+        let per_mix: Vec<Vec<PerfPoint>> = units
+            .iter()
+            .map(|u| {
+                u["cells"]
+                    .as_array()
+                    .iter()
+                    .enumerate()
+                    .map(|(c, cell)| PerfPoint {
+                        defense: defenses[c / NRH_SWEEP.len()],
+                        nrh: NRH_SWEEP[c % NRH_SWEEP.len()],
+                        normalized_ws: num(cell, "normalized_ws"),
+                    })
+                    .collect()
+            })
+            .collect();
+        let study = merge_perf_mixes(&per_mix);
+        Json::object().with("mixes", study.mixes).with(
+            "cells",
+            Json::Array(
+                study
+                    .points
+                    .iter()
+                    .map(|p| {
+                        Json::object()
+                            .with("defense", p.defense.label())
+                            .with("nrh", p.nrh)
+                            .with("normalized_ws", p.normalized_ws)
+                    })
+                    .collect(),
+            ),
+        )
+    }
+
+    fn render_text(&self, merged: &Json, _ctx: &JobContext) -> String {
+        let cells = merged["cells"].as_array();
+        // NRH columns, descending (NRH_SWEEP order); defense rows in
+        // first-seen order.
+        let mut defenses: Vec<String> = Vec::new();
+        for c in cells {
+            let d = text(c, "defense");
+            if !defenses.contains(&d) {
+                defenses.push(d);
+            }
+        }
+        let mut headers: Vec<String> = vec!["defense".to_owned()];
+        headers.extend(NRH_SWEEP.iter().map(|n| format!("NRH={n}")));
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let rows: Vec<Vec<String>> = defenses
+            .iter()
+            .map(|d| {
+                let mut row = vec![d.clone()];
+                for &n in &NRH_SWEEP {
+                    let cell = cells.iter().find(|c| {
+                        c["defense"].as_str() == Some(d) && c["nrh"].as_u64() == Some(u64::from(n))
+                    });
+                    row.push(cell.map_or("-".to_owned(), |c| {
+                        format!("{:.2}", num(c, "normalized_ws"))
+                    }));
+                }
+                row
+            })
+            .collect();
+        let mut s = report::table(&header_refs, &rows);
+        s.push_str(&format!(
+            "(normalized weighted speedup; {} mixes; 1.00 = no defense)\n",
+            merged["mixes"].as_u64().unwrap_or(0)
+        ));
+        s
+    }
+}

@@ -38,7 +38,11 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
     };
     let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
     let _ = writeln!(out, "{}", fmt_row(&header_cells, &widths));
-    let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    let _ = writeln!(
+        out,
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         let _ = writeln!(out, "{}", fmt_row(row, &widths));
     }
@@ -50,9 +54,7 @@ pub fn latency_trace_report(out: &LatencyTraceOutcome) -> String {
     let mut rows: Vec<Vec<String>> = out
         .mean_ns
         .iter()
-        .map(|(class, mean, n)| {
-            vec![format!("{class:?}"), format!("{mean:.1}"), n.to_string()]
-        })
+        .map(|(class, mean, n)| vec![format!("{class:?}"), format!("{mean:.1}"), n.to_string()])
         .collect();
     rows.sort_by(|a, b| a[0].cmp(&b[0]));
     let mut s = table(&["latency class", "mean (ns)", "samples"], &rows);
@@ -152,7 +154,10 @@ pub fn table2_report(scores: &CvScores) -> String {
         format!("{:.1} ({:.1})", scores.precision.0, scores.precision.1),
         format!("{:.1} ({:.1})", scores.recall.0, scores.recall.1),
     ]];
-    table(&["model", "F1 % (std)", "precision % (std)", "recall % (std)"], &rows)
+    table(
+        &["model", "F1 % (std)", "precision % (std)", "recall % (std)"],
+        &rows,
+    )
 }
 
 /// Table 3 report.
@@ -218,12 +223,24 @@ pub fn taxonomy_measured_report(points: &[TaxonomyPoint]) -> String {
                 p.predicted.map_or("-".to_owned(), |r| format!("{r:?}")),
                 format!("{:.1}", p.quiet_kbps),
                 format!("{:.1}", p.noisy_kbps),
-                if p.agrees() { "yes".to_owned() } else { "NO".to_owned() },
+                if p.agrees() {
+                    "yes".to_owned()
+                } else {
+                    "NO".to_owned()
+                },
             ]
         })
         .collect();
     table(
-        &["defense", "trigger", "visibility", "predicted", "quiet Kbps", "noisy Kbps", "agrees"],
+        &[
+            "defense",
+            "trigger",
+            "visibility",
+            "predicted",
+            "quiet Kbps",
+            "noisy Kbps",
+            "agrees",
+        ],
         &rows,
     )
 }
@@ -274,7 +291,10 @@ pub fn cache_report(points: &[CachePoint]) -> String {
             ]
         })
         .collect();
-    table(&["channel", "Table-1 Kbps", "large+BOP Kbps", "change"], &rows)
+    table(
+        &["channel", "Table-1 Kbps", "large+BOP Kbps", "change"],
+        &rows,
+    )
 }
 
 /// §11.4 report.
@@ -291,7 +311,10 @@ pub fn mitigation_report(study: &MitigationStudy) -> String {
             ]
         })
         .collect();
-    table(&["defense", "error prob", "capacity Kbps", "reduction"], &rows)
+    table(
+        &["defense", "error prob", "capacity Kbps", "reduction"],
+        &rows,
+    )
 }
 
 /// §9 row-policy report.
@@ -334,7 +357,11 @@ pub fn perf_report(study: &PerfStudy) -> String {
         })
         .collect();
     let mut s = table(&header_refs, &rows);
-    let _ = writeln!(s, "(normalized weighted speedup; {} mixes; 1.00 = no defense)", study.mixes);
+    let _ = writeln!(
+        s,
+        "(normalized weighted speedup; {} mixes; 1.00 = no defense)",
+        study.mixes
+    );
     s
 }
 
@@ -359,7 +386,10 @@ mod tests {
         let s = table3_report();
         assert!(s.contains("LeakyHammer-PRAC"));
         assert!(s.contains("DRAMA"));
-        assert!(s.contains("N/A"), "DRAMA leaks nothing at channel granularity");
+        assert!(
+            s.contains("N/A"),
+            "DRAMA leaks nothing at channel granularity"
+        );
         assert!(s.contains("preventive action"));
     }
 

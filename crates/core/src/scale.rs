@@ -7,8 +7,7 @@
 use serde::{Deserialize, Serialize};
 
 /// How much work an experiment performs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum Scale {
     /// Seconds-scale smoke runs (CI / Criterion).
     Quick,
@@ -86,7 +85,6 @@ impl Scale {
         }
     }
 }
-
 
 impl core::str::FromStr for Scale {
     type Err = String;

@@ -209,7 +209,10 @@ impl DefenseConfig {
     /// use `nbo` = 128).
     pub fn prac(nbo: u32) -> DefenseConfig {
         DefenseConfig {
-            prac: Some(PracConfig { nbo, ..PracConfig::paper_default() }),
+            prac: Some(PracConfig {
+                nbo,
+                ..PracConfig::paper_default()
+            }),
             ..DefenseConfig::base(DefenseKind::Prac, nbo * 2)
         }
     }
@@ -257,7 +260,11 @@ impl DefenseConfig {
     /// Graphene-style tracker provisioned for `nrh` (§12 taxonomy).
     pub fn graphene(nrh: u32, timing: &lh_dram::DramTiming) -> DefenseConfig {
         DefenseConfig {
-            graphene: Some(GrapheneConfig::for_threshold(nrh, timing.t_rc, timing.t_refw)),
+            graphene: Some(GrapheneConfig::for_threshold(
+                nrh,
+                timing.t_rc,
+                timing.t_refw,
+            )),
             ..DefenseConfig::base(DefenseKind::Graphene, nrh)
         }
     }
@@ -273,7 +280,12 @@ impl DefenseConfig {
     /// CoMeT-style sketch provisioned for `nrh` (§12 taxonomy).
     pub fn comet(nrh: u32, timing: &lh_dram::DramTiming, seed: u64) -> DefenseConfig {
         DefenseConfig {
-            comet: Some(CometConfig::for_threshold(nrh, timing.t_rc, timing.t_refw, seed)),
+            comet: Some(CometConfig::for_threshold(
+                nrh,
+                timing.t_rc,
+                timing.t_refw,
+                seed,
+            )),
             ..DefenseConfig::base(DefenseKind::Comet, nrh)
         }
     }
@@ -311,7 +323,11 @@ impl DefenseConfig {
     /// * PRFM / FR-RFM: `TRFM = max(2, nrh / 16)`, which lands on the
     ///   standard's 32–80 range at `nrh` = 1024 and shrinks proportionally.
     /// * PARA: `p = min(1, 8 / nrh)`.
-    pub fn for_threshold(kind: DefenseKind, nrh: u32, timing: &lh_dram::DramTiming) -> DefenseConfig {
+    pub fn for_threshold(
+        kind: DefenseKind,
+        nrh: u32,
+        timing: &lh_dram::DramTiming,
+    ) -> DefenseConfig {
         let nbo = scaled_nbo(nrh);
         let trfm = scaled_trfm(nrh);
         let mut cfg = match kind {

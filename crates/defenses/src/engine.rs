@@ -155,7 +155,11 @@ impl MitigationEngine {
             .mint
             .map(|m| {
                 (0..banks)
-                    .map(|b| MintBank::new(MintConfig { seed: m.seed ^ ((b as u64 + 1) << 32) }))
+                    .map(|b| {
+                        MintBank::new(MintConfig {
+                            seed: m.seed ^ ((b as u64 + 1) << 32),
+                        })
+                    })
                     .collect()
             })
             .unwrap_or_default();
@@ -226,19 +230,28 @@ impl MitigationEngine {
             DefenseKind::Graphene => {
                 if let Some(aggressor) = self.graphene[flat].on_activate(row, now) {
                     self.stats.tracker_refreshes += 1;
-                    actions.push(DefenseAction::RefreshNeighbors { bank, row: aggressor });
+                    actions.push(DefenseAction::RefreshNeighbors {
+                        bank,
+                        row: aggressor,
+                    });
                 }
             }
             DefenseKind::Hydra => {
                 if let Some(aggressor) = self.hydra[flat].on_activate(row, now) {
                     self.stats.tracker_refreshes += 1;
-                    actions.push(DefenseAction::RefreshNeighbors { bank, row: aggressor });
+                    actions.push(DefenseAction::RefreshNeighbors {
+                        bank,
+                        row: aggressor,
+                    });
                 }
             }
             DefenseKind::Comet => {
                 if let Some(aggressor) = self.comet[flat].on_activate(row, now) {
                     self.stats.tracker_refreshes += 1;
-                    actions.push(DefenseAction::RefreshNeighbors { bank, row: aggressor });
+                    actions.push(DefenseAction::RefreshNeighbors {
+                        bank,
+                        row: aggressor,
+                    });
                 }
             }
             DefenseKind::Mint => {
@@ -336,7 +349,10 @@ mod tests {
         let a = eng.on_activate(bank(0, 0), 1, Time::ZERO);
         assert_eq!(
             a,
-            vec![DefenseAction::IssueRfm { rank: 0, scope: RfmScope::SameBank { bank: 0 } }]
+            vec![DefenseAction::IssueRfm {
+                rank: 0,
+                scope: RfmScope::SameBank { bank: 0 }
+            }]
         );
         assert_eq!(eng.prfm_counter(bank(0, 0)), 0);
         assert_eq!(eng.prfm_counter(bank(1, 1)), 2);
@@ -411,7 +427,10 @@ mod tests {
         }
         assert_eq!(
             fired,
-            vec![DefenseAction::RefreshNeighbors { bank: bank(0, 0), row: 42 }]
+            vec![DefenseAction::RefreshNeighbors {
+                bank: bank(0, 0),
+                row: 42
+            }]
         );
         assert_eq!(eng.stats().tracker_refreshes, 1);
     }
@@ -437,7 +456,10 @@ mod tests {
     fn hydra_and_comet_engines_fire_eventually_under_hammering() {
         let g = Geometry::tiny();
         let t = lh_dram::DramTiming::ddr5_4800();
-        for cfg in [DefenseConfig::hydra(64, &t), DefenseConfig::comet(64, &t, 9)] {
+        for cfg in [
+            DefenseConfig::hydra(64, &t),
+            DefenseConfig::comet(64, &t, 9),
+        ] {
             let kind = cfg.kind;
             let mut eng = MitigationEngine::new(cfg, &g, 0);
             let mut fired = 0;
@@ -459,10 +481,9 @@ mod tests {
             throttles.extend(eng.on_activate(bank(0, 0), 3, Time::ZERO));
         }
         assert!(!throttles.is_empty(), "hammered row must be throttled");
-        assert!(throttles.iter().all(|a| matches!(
-            a,
-            DefenseAction::ThrottleRow { row: 3, .. }
-        )));
+        assert!(throttles
+            .iter()
+            .all(|a| matches!(a, DefenseAction::ThrottleRow { row: 3, .. })));
         // A cold row on the same bank is not throttled.
         assert!(eng.on_activate(bank(0, 0), 999, Time::ZERO).is_empty());
         assert_eq!(eng.stats().throttles, throttles.len() as u64);

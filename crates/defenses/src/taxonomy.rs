@@ -101,7 +101,9 @@ pub fn profile_of(kind: DefenseKind) -> Option<DefenseProfile> {
         // (other processes advance or steal the attacker's tracker state)
         // but a channel remains. BlockHammer's preventive action is a
         // *delay*, still observable latency.
-        DefenseKind::Graphene | DefenseKind::Hydra | DefenseKind::Comet
+        DefenseKind::Graphene
+        | DefenseKind::Hydra
+        | DefenseKind::Comet
         | DefenseKind::BlockHammer => Some(DefenseProfile {
             trigger: TriggerClass::Approximate,
             visibility: ActionVisibility::Observable,
@@ -149,7 +151,10 @@ mod tests {
             TriggerClass::Random,
             TriggerClass::TimeBased,
         ] {
-            let p = DefenseProfile { trigger, visibility: ActionVisibility::Overlapped };
+            let p = DefenseProfile {
+                trigger,
+                visibility: ActionVisibility::Overlapped,
+            };
             assert_eq!(p.channel_risk(), ChannelRisk::None);
         }
     }

@@ -66,7 +66,11 @@ impl GrapheneConfig {
         let threshold = crate::scaled_nbo(nrh);
         let acts_per_epoch = (t_refw / t_rc).max(1);
         let entries = (acts_per_epoch / threshold as u64 + 1) as usize;
-        GrapheneConfig { entries, threshold, epoch: t_refw }
+        GrapheneConfig {
+            entries,
+            threshold,
+            epoch: t_refw,
+        }
     }
 }
 
@@ -358,7 +362,13 @@ impl CometConfig {
         // Expected collision contribution per cell ≈ acts/width; keep it
         // below an eighth of the threshold.
         let width = (acts_per_epoch / (threshold as u64 / 8).max(1)).next_power_of_two() as usize;
-        CometConfig { width: width.max(64), depth: 4, threshold, epoch: t_refw, seed }
+        CometConfig {
+            width: width.max(64),
+            depth: 4,
+            threshold,
+            epoch: t_refw,
+            seed,
+        }
     }
 }
 
@@ -524,7 +534,11 @@ pub struct MintBank {
 impl MintBank {
     /// Creates an empty sampler.
     pub fn new(cfg: MintConfig) -> MintBank {
-        MintBank { rng: cfg.seed | 1, candidate: None, acts: 0 }
+        MintBank {
+            rng: cfg.seed | 1,
+            candidate: None,
+            acts: 0,
+        }
     }
 
     fn next_u64(&mut self) -> u64 {
@@ -590,8 +604,8 @@ impl BlockHammerConfig {
         let remaining = (nrh - blacklist_threshold).max(1) as u64;
         let delay = (window / remaining).max(t_rc);
         let acts_per_window = (window / t_rc).max(1);
-        let width =
-            (acts_per_window / (blacklist_threshold as u64 / 8).max(1)).next_power_of_two() as usize;
+        let width = (acts_per_window / (blacklist_threshold as u64 / 8).max(1)).next_power_of_two()
+            as usize;
         BlockHammerConfig {
             width: width.max(64),
             depth: 4,
@@ -729,7 +743,11 @@ mod tests {
     // --- Graphene ---------------------------------------------------------
 
     fn graphene(entries: usize, threshold: u32) -> GrapheneBank {
-        GrapheneBank::new(GrapheneConfig { entries, threshold, epoch: Span::from_ms(32) })
+        GrapheneBank::new(GrapheneConfig {
+            entries,
+            threshold,
+            epoch: Span::from_ms(32),
+        })
     }
 
     #[test]
@@ -755,7 +773,11 @@ mod tests {
         }
         for r in 0..3u32 {
             if let Some(est) = g.estimate(r) {
-                assert!(est >= truth[r as usize], "row {r}: est {est} < true {}", truth[r as usize]);
+                assert!(
+                    est >= truth[r as usize],
+                    "row {r}: est {est} < true {}",
+                    truth[r as usize]
+                );
             }
         }
     }

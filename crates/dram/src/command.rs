@@ -164,7 +164,11 @@ impl fmt::Display for Command {
             Command::Read { bank, col } => write!(f, "RD {bank} col{col}"),
             Command::Write { bank, col } => write!(f, "WR {bank} col{col}"),
             Command::Refresh { channel, rank } => write!(f, "REF ch{channel}/ra{rank}"),
-            Command::Rfm { channel, rank, scope } => write!(f, "RFM{scope} ch{channel}/ra{rank}"),
+            Command::Rfm {
+                channel,
+                rank,
+                scope,
+            } => write!(f, "RFM{scope} ch{channel}/ra{rank}"),
         }
     }
 }
@@ -180,33 +184,62 @@ mod tests {
     #[test]
     fn channel_and_rank_extraction() {
         let cmds = [
-            Command::Activate { bank: bank(), row: 7 },
+            Command::Activate {
+                bank: bank(),
+                row: 7,
+            },
             Command::Precharge { bank: bank() },
-            Command::Read { bank: bank(), col: 1 },
-            Command::Write { bank: bank(), col: 1 },
+            Command::Read {
+                bank: bank(),
+                col: 1,
+            },
+            Command::Write {
+                bank: bank(),
+                col: 1,
+            },
         ];
         for c in cmds {
             assert_eq!(c.channel(), 0);
             assert_eq!(c.rank(), 1);
             assert_eq!(c.bank(), Some(bank()));
         }
-        let ref_cmd = Command::Refresh { channel: 0, rank: 1 };
+        let ref_cmd = Command::Refresh {
+            channel: 0,
+            rank: 1,
+        };
         assert_eq!(ref_cmd.rank(), 1);
         assert_eq!(ref_cmd.bank(), None);
     }
 
     #[test]
     fn column_classification() {
-        assert!(Command::Read { bank: bank(), col: 0 }.is_column());
-        assert!(Command::Write { bank: bank(), col: 0 }.is_column());
+        assert!(Command::Read {
+            bank: bank(),
+            col: 0
+        }
+        .is_column());
+        assert!(Command::Write {
+            bank: bank(),
+            col: 0
+        }
+        .is_column());
         assert!(!Command::Precharge { bank: bank() }.is_column());
     }
 
     #[test]
     fn display_mnemonics() {
-        let rfm = Command::Rfm { channel: 0, rank: 0, scope: RfmScope::SameBank { bank: 2 } };
+        let rfm = Command::Rfm {
+            channel: 0,
+            rank: 0,
+            scope: RfmScope::SameBank { bank: 2 },
+        };
         assert_eq!(rfm.mnemonic(), "RFM");
         assert!(rfm.to_string().contains("sb2"));
-        assert!(Command::Activate { bank: bank(), row: 9 }.to_string().contains("row9"));
+        assert!(Command::Activate {
+            bank: bank(),
+            row: 9
+        }
+        .to_string()
+        .contains("row9"));
     }
 }

@@ -187,8 +187,7 @@ mod tests {
     #[test]
     fn uniform_values_are_spread_out() {
         let c = RowCounters::new(1, CounterInit::Uniform { max: 128 }, 9);
-        let mean: f64 =
-            (0..1000).map(|row| c.value(0, row) as f64).sum::<f64>() / 1000.0;
+        let mean: f64 = (0..1000).map(|row| c.value(0, row) as f64).sum::<f64>() / 1000.0;
         assert!((40.0..90.0).contains(&mean), "mean {mean} not near 63.5");
     }
 

@@ -124,10 +124,8 @@ impl DramDevice {
         config.timing.validate()?;
         let g = config.geometry;
         let num_banks = g.banks_per_channel() as usize;
-        let refs_per_window =
-            (config.timing.t_refw / config.timing.t_refi).max(1);
-        let rows_per_ref =
-            (g.rows_per_bank() as u64).div_ceil(refs_per_window) as u32;
+        let refs_per_window = (config.timing.t_refw / config.timing.t_refi).max(1);
+        let rows_per_ref = (g.rows_per_bank() as u64).div_ceil(refs_per_window) as u32;
         let counter_init = config
             .prac
             .as_ref()
@@ -135,8 +133,7 @@ impl DramDevice {
             .unwrap_or(CounterInit::Zero);
         let prac = config.prac.map(PracState::new);
         let counters = RowCounters::new(num_banks, counter_init, config.seed);
-        let disturb =
-            DisturbTracker::new(num_banks, g.rows_per_bank(), config.blast_radius);
+        let disturb = DisturbTracker::new(num_banks, g.rows_per_bank(), config.blast_radius);
         Ok(DramDevice {
             config,
             banks: vec![Bank::new(); num_banks],
@@ -280,10 +277,18 @@ impl DramDevice {
                     });
                 }
                 earliest = earliest
-                    .max(if is_read { b.earliest_rd() } else { b.earliest_wr() })
+                    .max(if is_read {
+                        b.earliest_rd()
+                    } else {
+                        b.earliest_wr()
+                    })
                     .max(self.ranks[bank.rank as usize].earliest_any());
                 if let Some((last, bg)) = self.last_col {
-                    let ccd = if bg == bank.bank_group { t.t_ccd_l } else { t.t_ccd_s };
+                    let ccd = if bg == bank.bank_group {
+                        t.t_ccd_l
+                    } else {
+                        t.t_ccd_s
+                    };
                     earliest = earliest.max(last + ccd);
                 }
                 // The data burst must not start before the data bus frees.
@@ -321,18 +326,19 @@ impl DramDevice {
     fn check_address(&self, cmd: &Command) -> Result<(), DramError> {
         let g = &self.config.geometry;
         let ok = match *cmd {
-            Command::Activate { bank, row } => {
-                g.contains_bank(bank) && row < g.rows_per_bank()
-            }
+            Command::Activate { bank, row } => g.contains_bank(bank) && row < g.rows_per_bank(),
             Command::Precharge { bank } => g.contains_bank(bank),
             Command::Read { bank, col } | Command::Write { bank, col } => {
                 g.contains_bank(bank) && col < g.cols_per_row()
             }
-            Command::PrechargeAll { channel, rank }
-            | Command::Refresh { channel, rank } => {
+            Command::PrechargeAll { channel, rank } | Command::Refresh { channel, rank } => {
                 channel < g.channels() && rank < g.ranks_per_channel()
             }
-            Command::Rfm { channel, rank, scope } => {
+            Command::Rfm {
+                channel,
+                rank,
+                scope,
+            } => {
                 let scope_ok = match scope {
                     RfmScope::AllBank => true,
                     RfmScope::SameBank { bank } => bank < g.banks_per_group(),
@@ -360,7 +366,11 @@ impl DramDevice {
     pub fn issue(&mut self, cmd: &Command, now: Time) -> Result<IssueOutcome, DramError> {
         let earliest = self.earliest_issue(cmd, now)?;
         if now < earliest {
-            return Err(DramError::TimingViolation { command: *cmd, issued_at: now, earliest });
+            return Err(DramError::TimingViolation {
+                command: *cmd,
+                issued_at: now,
+                earliest,
+            });
         }
         let t = self.config.timing;
         self.cmd_free = now + t.t_cmd;
@@ -386,10 +396,7 @@ impl DramDevice {
                 for flat in banks {
                     if let Some((row, dwell)) = self.banks[flat].apply_pre(now, &t) {
                         self.stats.precharges += 1;
-                        let bank = self
-                            .config
-                            .geometry
-                            .bank_from_flat(cmd.channel(), flat);
+                        let bank = self.config.geometry.bank_from_flat(cmd.channel(), flat);
                         if let Some(alert) = self.close_row(bank, flat, row, dwell, now) {
                             best = best.or(Some(alert));
                         }
@@ -553,7 +560,13 @@ mod tests {
     fn read_needs_open_row() {
         let dev = tiny_device(None);
         let err = dev
-            .earliest_issue(&Command::Read { bank: bank0(), col: 0 }, Time::ZERO)
+            .earliest_issue(
+                &Command::Read {
+                    bank: bank0(),
+                    col: 0,
+                },
+                Time::ZERO,
+            )
             .unwrap_err();
         assert!(matches!(err, DramError::ProtocolViolation { .. }));
     }
@@ -561,8 +574,20 @@ mod tests {
     #[test]
     fn act_read_pre_sequence_produces_data() {
         let mut dev = tiny_device(None);
-        issue_asap(&mut dev, Command::Activate { bank: bank0(), row: 3 });
-        let (rd_at, out) = issue_asap(&mut dev, Command::Read { bank: bank0(), col: 1 });
+        issue_asap(
+            &mut dev,
+            Command::Activate {
+                bank: bank0(),
+                row: 3,
+            },
+        );
+        let (rd_at, out) = issue_asap(
+            &mut dev,
+            Command::Read {
+                bank: bank0(),
+                col: 1,
+            },
+        );
         let data = out.data_ready.unwrap();
         assert_eq!(data, rd_at + dev.timing().read_latency());
         issue_asap(&mut dev, Command::Precharge { bank: bank0() });
@@ -575,9 +600,21 @@ mod tests {
     #[test]
     fn double_activate_is_protocol_violation() {
         let mut dev = tiny_device(None);
-        issue_asap(&mut dev, Command::Activate { bank: bank0(), row: 3 });
+        issue_asap(
+            &mut dev,
+            Command::Activate {
+                bank: bank0(),
+                row: 3,
+            },
+        );
         let err = dev
-            .earliest_issue(&Command::Activate { bank: bank0(), row: 4 }, Time::ZERO)
+            .earliest_issue(
+                &Command::Activate {
+                    bank: bank0(),
+                    row: 4,
+                },
+                Time::ZERO,
+            )
             .unwrap_err();
         assert!(matches!(err, DramError::ProtocolViolation { .. }));
     }
@@ -585,16 +622,31 @@ mod tests {
     #[test]
     fn early_issue_is_timing_violation() {
         let mut dev = tiny_device(None);
-        issue_asap(&mut dev, Command::Activate { bank: bank0(), row: 3 });
+        issue_asap(
+            &mut dev,
+            Command::Activate {
+                bank: bank0(),
+                row: 3,
+            },
+        );
         // RD before tRCD elapses must be rejected.
-        let err = dev.issue(&Command::Read { bank: bank0(), col: 0 }, Time::from_ns(1));
+        let err = dev.issue(
+            &Command::Read {
+                bank: bank0(),
+                col: 0,
+            },
+            Time::from_ns(1),
+        );
         assert!(matches!(err, Err(DramError::TimingViolation { .. })));
     }
 
     #[test]
     fn out_of_range_address_is_rejected() {
         let mut dev = tiny_device(None);
-        let bad = Command::Activate { bank: bank0(), row: 1_000_000 };
+        let bad = Command::Activate {
+            bank: bank0(),
+            row: 1_000_000,
+        };
         assert!(matches!(
             dev.issue(&bad, Time::ZERO),
             Err(DramError::AddressOutOfRange { .. })
@@ -608,12 +660,21 @@ mod tests {
         let mut dev = tiny_device(Some(prac));
         let mut alert = None;
         for i in 0..4 {
-            issue_asap(&mut dev, Command::Activate { bank: bank0(), row: 5 });
+            issue_asap(
+                &mut dev,
+                Command::Activate {
+                    bank: bank0(),
+                    row: 5,
+                },
+            );
             let (pre_at, out) = issue_asap(&mut dev, Command::Precharge { bank: bank0() });
             if out.alert.is_some() {
                 alert = out.alert;
                 assert_eq!(i, 3, "alert exactly at the 4th close");
-                assert_eq!(alert.unwrap().asserted_at, pre_at + dev.timing().t_abo_delay);
+                assert_eq!(
+                    alert.unwrap().asserted_at,
+                    pre_at + dev.timing().t_abo_delay
+                );
             }
         }
         assert!(alert.is_some());
@@ -627,7 +688,13 @@ mod tests {
         prac.nbo = 1000; // do not alert in this test
         let mut dev = tiny_device(Some(prac));
         for _ in 0..6 {
-            issue_asap(&mut dev, Command::Activate { bank: bank0(), row: 9 });
+            issue_asap(
+                &mut dev,
+                Command::Activate {
+                    bank: bank0(),
+                    row: 9,
+                },
+            );
             issue_asap(&mut dev, Command::Precharge { bank: bank0() });
         }
         assert_eq!(dev.counters().value(0, 9), 6);
@@ -635,7 +702,11 @@ mod tests {
         assert_eq!(victim_pressure_before, 6);
         issue_asap(
             &mut dev,
-            Command::Rfm { channel: 0, rank: 0, scope: RfmScope::AllBank },
+            Command::Rfm {
+                channel: 0,
+                rank: 0,
+                scope: RfmScope::AllBank,
+            },
         );
         assert_eq!(dev.counters().value(0, 9), 0, "aggressor counter reset");
         assert_eq!(dev.disturb().pressure(0, 10), 0, "victim refreshed");
@@ -645,8 +716,17 @@ mod tests {
     #[test]
     fn refresh_blocks_whole_rank() {
         let mut dev = tiny_device(None);
-        let (ref_at, _) = issue_asap(&mut dev, Command::Refresh { channel: 0, rank: 0 });
-        let act = Command::Activate { bank: bank0(), row: 1 };
+        let (ref_at, _) = issue_asap(
+            &mut dev,
+            Command::Refresh {
+                channel: 0,
+                rank: 0,
+            },
+        );
+        let act = Command::Activate {
+            bank: bank0(),
+            row: 1,
+        };
         let earliest = dev.earliest_issue(&act, Time::ZERO).unwrap();
         assert!(earliest >= ref_at + dev.timing().t_rfc);
         assert_eq!(dev.stats().refreshes, 1);
@@ -655,9 +735,21 @@ mod tests {
     #[test]
     fn refresh_requires_precharged_banks() {
         let mut dev = tiny_device(None);
-        issue_asap(&mut dev, Command::Activate { bank: bank0(), row: 1 });
+        issue_asap(
+            &mut dev,
+            Command::Activate {
+                bank: bank0(),
+                row: 1,
+            },
+        );
         let err = dev
-            .earliest_issue(&Command::Refresh { channel: 0, rank: 0 }, Time::ZERO)
+            .earliest_issue(
+                &Command::Refresh {
+                    channel: 0,
+                    rank: 0,
+                },
+                Time::ZERO,
+            )
             .unwrap_err();
         assert!(matches!(err, DramError::ProtocolViolation { .. }));
     }
@@ -667,16 +759,29 @@ mod tests {
         let mut dev = tiny_device(None);
         let (rfm_at, _) = issue_asap(
             &mut dev,
-            Command::Rfm { channel: 0, rank: 0, scope: RfmScope::SameBank { bank: 0 } },
+            Command::Rfm {
+                channel: 0,
+                rank: 0,
+                scope: RfmScope::SameBank { bank: 0 },
+            },
         );
         // Bank index 0 of both groups is blocked...
         for bg in 0..2 {
-            let blocked = Command::Activate { bank: BankId::new(0, 0, bg, 0), row: 1 };
+            let blocked = Command::Activate {
+                bank: BankId::new(0, 0, bg, 0),
+                row: 1,
+            };
             let e = dev.earliest_issue(&blocked, Time::ZERO).unwrap();
-            assert!(e >= rfm_at + dev.timing().t_rfm, "bg{bg} bank0 must be blocked");
+            assert!(
+                e >= rfm_at + dev.timing().t_rfm,
+                "bg{bg} bank0 must be blocked"
+            );
         }
         // ...but bank index 1 is not.
-        let free = Command::Activate { bank: BankId::new(0, 0, 0, 1), row: 1 };
+        let free = Command::Activate {
+            bank: BankId::new(0, 0, 0, 1),
+            row: 1,
+        };
         let e = dev.earliest_issue(&free, Time::ZERO).unwrap();
         assert!(e < rfm_at + dev.timing().t_rfm);
     }
@@ -688,11 +793,20 @@ mod tests {
             for b in 0..2 {
                 issue_asap(
                     &mut dev,
-                    Command::Activate { bank: BankId::new(0, 0, bg, b), row: 7 },
+                    Command::Activate {
+                        bank: BankId::new(0, 0, bg, b),
+                        row: 7,
+                    },
                 );
             }
         }
-        issue_asap(&mut dev, Command::PrechargeAll { channel: 0, rank: 0 });
+        issue_asap(
+            &mut dev,
+            Command::PrechargeAll {
+                channel: 0,
+                rank: 0,
+            },
+        );
         for bg in 0..2 {
             for b in 0..2 {
                 assert!(dev.open_row(BankId::new(0, 0, bg, b)).is_none());
@@ -706,13 +820,25 @@ mod tests {
         let mut dev = tiny_device(None);
         // Hammer row 0 so row 1 accumulates pressure.
         for _ in 0..5 {
-            issue_asap(&mut dev, Command::Activate { bank: bank0(), row: 0 });
+            issue_asap(
+                &mut dev,
+                Command::Activate {
+                    bank: bank0(),
+                    row: 0,
+                },
+            );
             issue_asap(&mut dev, Command::Precharge { bank: bank0() });
         }
         assert!(dev.disturb().pressure(0, 1) > 0);
         // The tiny geometry has 1024 rows and ~8205 REFs per tREFW, so one
         // REF sweeps at least one row; sweep from row 0 upward.
-        issue_asap(&mut dev, Command::Refresh { channel: 0, rank: 0 });
+        issue_asap(
+            &mut dev,
+            Command::Refresh {
+                channel: 0,
+                rank: 0,
+            },
+        );
         assert_eq!(dev.disturb().pressure(0, 0), 0);
     }
 
@@ -736,7 +862,13 @@ mod tests {
         // absorb ~5 extra units of RowPress pressure on top of the one
         // activation.
         let mut dev = tiny_device(None);
-        issue_asap(&mut dev, Command::Activate { bank: bank0(), row: 9 });
+        issue_asap(
+            &mut dev,
+            Command::Activate {
+                bank: bank0(),
+                row: 9,
+            },
+        );
         let pre = Command::Precharge { bank: bank0() };
         dev.issue(&pre, Time::from_us(5)).unwrap();
         let pressure = dev.disturb().pressure(0, 10);
@@ -747,7 +879,13 @@ mod tests {
 
         // A quick ACT+PRE adds only the single activation unit.
         let mut dev = tiny_device(None);
-        issue_asap(&mut dev, Command::Activate { bank: bank0(), row: 9 });
+        issue_asap(
+            &mut dev,
+            Command::Activate {
+                bank: bank0(),
+                row: 9,
+            },
+        );
         issue_asap(&mut dev, Command::Precharge { bank: bank0() });
         assert_eq!(dev.disturb().pressure(0, 10), 1);
     }
@@ -764,16 +902,30 @@ mod tests {
             seed: 1,
         };
         let mut dev = DramDevice::new(config).unwrap();
-        issue_asap(&mut dev, Command::Activate { bank: bank0(), row: 9 });
-        dev.issue(&Command::Precharge { bank: bank0() }, Time::from_us(5)).unwrap();
-        assert_eq!(dev.disturb().pressure(0, 10), 1, "dwell ignored when disabled");
+        issue_asap(
+            &mut dev,
+            Command::Activate {
+                bank: bank0(),
+                row: 9,
+            },
+        );
+        dev.issue(&Command::Precharge { bank: bank0() }, Time::from_us(5))
+            .unwrap();
+        assert_eq!(
+            dev.disturb().pressure(0, 10),
+            1,
+            "dwell ignored when disabled"
+        );
     }
 
     #[test]
     fn riac_counters_start_randomized() {
         let dev = tiny_device(Some(PracConfig::riac(128)));
         let spread: Vec<u32> = (0..50).map(|row| dev.counters().value(0, row)).collect();
-        assert!(spread.iter().any(|&v| v > 0), "some counter starts above zero");
+        assert!(
+            spread.iter().any(|&v| v > 0),
+            "some counter starts above zero"
+        );
         assert!(spread.iter().all(|&v| v < 128));
     }
 }

@@ -53,7 +53,11 @@ impl fmt::Display for DramError {
             DramError::AddressOutOfRange { command } => {
                 write!(f, "address out of range for command {command:?}")
             }
-            DramError::TimingViolation { command, issued_at, earliest } => write!(
+            DramError::TimingViolation {
+                command,
+                issued_at,
+                earliest,
+            } => write!(
                 f,
                 "command {command:?} issued at {issued_at} before earliest legal time {earliest}"
             ),
@@ -76,7 +80,9 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<DramError>();
         let err = DramError::ProtocolViolation {
-            command: Command::Precharge { bank: BankId::default() },
+            command: Command::Precharge {
+                bank: BankId::default(),
+            },
             reason: "bank already closed",
         };
         assert!(err.to_string().contains("protocol violation"));

@@ -145,7 +145,10 @@ impl Geometry {
     ///
     /// Panics if the bank's coordinates are outside this geometry.
     pub fn flat_bank(&self, bank: BankId) -> usize {
-        assert!(self.contains_bank(bank), "bank {bank} out of range for {self:?}");
+        assert!(
+            self.contains_bank(bank),
+            "bank {bank} out of range for {self:?}"
+        );
         (bank.rank * self.banks_per_rank() + bank.bank_group * self.banks_per_group + bank.bank)
             as usize
     }
@@ -173,7 +176,9 @@ impl Geometry {
 
     /// Whether `addr` (bank, row and column) is valid in this geometry.
     pub fn contains(&self, addr: DramAddr) -> bool {
-        self.contains_bank(addr.bank) && addr.row < self.rows_per_bank && addr.col < self.cols_per_row
+        self.contains_bank(addr.bank)
+            && addr.row < self.rows_per_bank
+            && addr.col < self.cols_per_row
     }
 
     /// Iterates over every bank coordinate of one channel.
@@ -206,13 +211,22 @@ pub struct BankId {
 impl BankId {
     /// Creates a bank coordinate.
     pub fn new(channel: u32, rank: u32, bank_group: u32, bank: u32) -> BankId {
-        BankId { channel, rank, bank_group, bank }
+        BankId {
+            channel,
+            rank,
+            bank_group,
+            bank,
+        }
     }
 }
 
 impl fmt::Display for BankId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "ch{}/ra{}/bg{}/ba{}", self.channel, self.rank, self.bank_group, self.bank)
+        write!(
+            f,
+            "ch{}/ra{}/bg{}/ba{}",
+            self.channel, self.rank, self.bank_group, self.bank
+        )
     }
 }
 

@@ -76,7 +76,11 @@ impl PracConfig {
 
     /// Bank-Level PRAC (per-bank alert signalling).
     pub fn bank_level(nbo: u32) -> PracConfig {
-        PracConfig { nbo, scope: AlertScope::Bank, ..PracConfig::paper_default() }
+        PracConfig {
+            nbo,
+            scope: AlertScope::Bank,
+            ..PracConfig::paper_default()
+        }
     }
 }
 
@@ -107,7 +111,11 @@ pub struct PracState {
 impl PracState {
     /// Creates PRAC state from a configuration.
     pub fn new(config: PracConfig) -> PracState {
-        PracState { config, cooldown_until: Time::ZERO, alert_in_flight: false }
+        PracState {
+            config,
+            cooldown_until: Time::ZERO,
+            alert_in_flight: false,
+        }
     }
 
     /// The configuration.
@@ -138,7 +146,10 @@ impl PracState {
     ) -> Option<Alert> {
         if count >= self.config.nbo && !self.alert_in_flight && now >= self.cooldown_until {
             self.alert_in_flight = true;
-            Some(Alert { bank, asserted_at: now + abo_delay })
+            Some(Alert {
+                bank,
+                asserted_at: now + abo_delay,
+            })
         } else {
             None
         }
@@ -185,9 +196,13 @@ mod tests {
         assert!(s.on_row_closed(bank(), 128, Time::from_ns(1), d).is_some());
         s.recovery_complete(Time::from_ns(1500));
         // Within cool-down (180 ns): suppressed.
-        assert!(s.on_row_closed(bank(), 500, Time::from_ns(1600), d).is_none());
+        assert!(s
+            .on_row_closed(bank(), 500, Time::from_ns(1600), d)
+            .is_none());
         // After cool-down: fires again.
-        assert!(s.on_row_closed(bank(), 500, Time::from_ns(1700), d).is_some());
+        assert!(s
+            .on_row_closed(bank(), 500, Time::from_ns(1700), d)
+            .is_some());
     }
 
     #[test]

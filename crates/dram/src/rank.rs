@@ -39,7 +39,11 @@ impl RankState {
             earliest = earliest.max(self.recent_acts[0] + t.t_faw);
         }
         if let Some((last, bg)) = self.last_act {
-            let rrd = if bg == bank_group { t.t_rrd_l } else { t.t_rrd_s };
+            let rrd = if bg == bank_group {
+                t.t_rrd_l
+            } else {
+                t.t_rrd_s
+            };
             earliest = earliest.max(last + rrd);
         }
         earliest

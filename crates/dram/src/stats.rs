@@ -53,7 +53,12 @@ mod tests {
     fn columns_per_act_handles_zero() {
         let s = DeviceStats::default();
         assert_eq!(s.columns_per_act(), 0.0);
-        let s = DeviceStats { activates: 2, reads: 5, writes: 1, ..Default::default() };
+        let s = DeviceStats {
+            activates: 2,
+            reads: 5,
+            writes: 1,
+            ..Default::default()
+        };
         assert_eq!(s.columns_per_act(), 3.0);
     }
 }

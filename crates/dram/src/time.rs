@@ -157,7 +157,10 @@ impl Span {
     ///
     /// Panics if `ns` is negative or not finite.
     pub fn from_ns_f64(ns: f64) -> Span {
-        assert!(ns.is_finite() && ns >= 0.0, "span must be a finite, non-negative ns count");
+        assert!(
+            ns.is_finite() && ns >= 0.0,
+            "span must be a finite, non-negative ns count"
+        );
         Span((ns * 1e3).round() as u64)
     }
 
@@ -377,7 +380,10 @@ mod tests {
         let late = Time::from_ns(20);
         assert_eq!(early.saturating_since(late), Span::ZERO);
         assert_eq!(late.saturating_since(early), Span::from_ns(10));
-        assert_eq!(Span::from_ns(5).saturating_sub(Span::from_ns(9)), Span::ZERO);
+        assert_eq!(
+            Span::from_ns(5).saturating_sub(Span::from_ns(9)),
+            Span::ZERO
+        );
     }
 
     #[test]

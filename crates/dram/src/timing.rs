@@ -144,7 +144,9 @@ impl DramTiming {
         ];
         for (name, v) in nonzero {
             if v.is_zero() {
-                return Err(DramError::InvalidTiming { relation: format!("{name} must be > 0") });
+                return Err(DramError::InvalidTiming {
+                    relation: format!("{name} must be > 0"),
+                });
             }
         }
         if self.t_rc < self.t_ras + self.t_rp {

@@ -1,0 +1,205 @@
+//! The [`Job`] trait every experiment implements, and the [`Registry`]
+//! the CLI runs from.
+
+use crate::json::Json;
+
+/// Experiment scale, mirroring the simulator's `Scale` without
+/// depending on it (the harness sits below the experiment crates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ScaleLevel {
+    /// Seconds-scale smoke runs.
+    Quick,
+    /// Minutes-scale runs with the paper's qualitative shape.
+    #[default]
+    Default,
+    /// The paper's full sample sizes.
+    Paper,
+}
+
+impl ScaleLevel {
+    /// Stable identifier used in cache keys and structured output.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ScaleLevel::Quick => "quick",
+            ScaleLevel::Default => "default",
+            ScaleLevel::Paper => "paper",
+        }
+    }
+}
+
+impl core::str::FromStr for ScaleLevel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<ScaleLevel, String> {
+        match s {
+            "quick" => Ok(ScaleLevel::Quick),
+            "default" => Ok(ScaleLevel::Default),
+            "paper" | "full" => Ok(ScaleLevel::Paper),
+            other => Err(format!("unknown scale '{other}' (quick|default|paper)")),
+        }
+    }
+}
+
+/// Everything a job may condition its work on.
+///
+/// A unit's behavior must be a pure function of the context, its unit
+/// index, and its derived seed — that is what makes parallel runs
+/// bit-identical to serial runs and cached results valid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobContext {
+    /// Experiment scale.
+    pub scale: ScaleLevel,
+    /// Master seed; per-unit seeds are derived from it.
+    pub seed: u64,
+}
+
+/// One experiment, decomposed into independently runnable units.
+///
+/// Implementations must be stateless (`Send + Sync`, no interior
+/// mutability observable across units): the runner calls `run_unit`
+/// concurrently from worker threads.
+pub trait Job: Send + Sync {
+    /// Stable experiment identifier (`fig4`, `table2`, ...).
+    fn id(&self) -> &'static str;
+
+    /// One-line description for `lh-experiments list`.
+    fn description(&self) -> &'static str;
+
+    /// Labels of the units this job splits into under `ctx`, in
+    /// canonical order. The label doubles as the unit's configuration
+    /// fingerprint for cache addressing, so it must encode every
+    /// parameter that distinguishes the unit within the experiment.
+    fn units(&self, ctx: &JobContext) -> Vec<String>;
+
+    /// Runs unit `unit` with its derived seed, returning a JSON result.
+    ///
+    /// Must not read mutable state shared with other units, and must
+    /// use `seed` (not `ctx.seed` directly) for all randomness.
+    fn run_unit(&self, unit: usize, seed: u64, ctx: &JobContext) -> Json;
+
+    /// Merges unit results — given in unit order — into the final
+    /// result. Runs serially; may be expensive (e.g. classifier
+    /// training over collected traces) because the merged result is
+    /// cached too.
+    fn finish(&self, units: Vec<Json>, ctx: &JobContext) -> Json;
+
+    /// Renders the merged result as the human-readable report.
+    fn render_text(&self, merged: &Json, ctx: &JobContext) -> String;
+
+    /// Renders the merged result as CSV, if the job has a natural
+    /// tabular form. `None` falls back to the generic flattener in
+    /// [`crate::sink`].
+    fn render_csv(&self, merged: &Json, ctx: &JobContext) -> Option<String> {
+        let _ = (merged, ctx);
+        None
+    }
+
+    /// Result-schema version; bump when changing this job's unit
+    /// decomposition or result layout to invalidate its cache entries.
+    fn version(&self) -> u32 {
+        1
+    }
+}
+
+impl std::fmt::Debug for dyn Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Job({})", self.id())
+    }
+}
+
+/// An ordered collection of jobs, looked up by experiment id.
+#[derive(Debug, Default)]
+pub struct Registry {
+    jobs: Vec<Box<dyn Job>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry { jobs: Vec::new() }
+    }
+
+    /// Adds a job. Panics on duplicate ids — that is always a
+    /// programming error in the experiment catalog.
+    pub fn register(&mut self, job: Box<dyn Job>) {
+        assert!(
+            self.get(job.id()).is_none(),
+            "duplicate experiment id '{}'",
+            job.id()
+        );
+        self.jobs.push(job);
+    }
+
+    /// Looks an experiment up by id.
+    pub fn get(&self, id: &str) -> Option<&dyn Job> {
+        self.jobs.iter().find(|j| j.id() == id).map(AsRef::as_ref)
+    }
+
+    /// All jobs in registration order.
+    pub fn jobs(&self) -> impl Iterator<Item = &dyn Job> {
+        self.jobs.iter().map(AsRef::as_ref)
+    }
+
+    /// All experiment ids in registration order.
+    pub fn ids(&self) -> Vec<&'static str> {
+        self.jobs.iter().map(|j| j.id()).collect()
+    }
+
+    /// Number of registered experiments.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy(&'static str);
+
+    impl Job for Dummy {
+        fn id(&self) -> &'static str {
+            self.0
+        }
+        fn description(&self) -> &'static str {
+            "dummy"
+        }
+        fn units(&self, _ctx: &JobContext) -> Vec<String> {
+            vec!["only".into()]
+        }
+        fn run_unit(&self, _unit: usize, seed: u64, _ctx: &JobContext) -> Json {
+            Json::object().with("seed", seed)
+        }
+        fn finish(&self, mut units: Vec<Json>, _ctx: &JobContext) -> Json {
+            units.pop().unwrap()
+        }
+        fn render_text(&self, merged: &Json, _ctx: &JobContext) -> String {
+            merged.to_compact()
+        }
+    }
+
+    #[test]
+    fn registry_preserves_order_and_rejects_duplicates() {
+        let mut r = Registry::new();
+        r.register(Box::new(Dummy("a")));
+        r.register(Box::new(Dummy("b")));
+        assert_eq!(r.ids(), vec!["a", "b"]);
+        assert!(r.get("a").is_some() && r.get("c").is_none());
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            r.register(Box::new(Dummy("a")))
+        }))
+        .is_err());
+    }
+
+    #[test]
+    fn scale_level_parses() {
+        assert_eq!("quick".parse::<ScaleLevel>().unwrap(), ScaleLevel::Quick);
+        assert_eq!("full".parse::<ScaleLevel>().unwrap(), ScaleLevel::Paper);
+        assert!("nope".parse::<ScaleLevel>().is_err());
+    }
+}

@@ -1,0 +1,617 @@
+//! A hand-rolled JSON value type with an exact-round-trip writer and
+//! parser.
+//!
+//! The repository intentionally has no external dependencies, so this
+//! module is the serialization substrate for the harness: experiment
+//! results are built as [`Json`] values, cached to disk as JSON text,
+//! and read back bit-identically. `f64` values are written with Rust's
+//! shortest-round-trip formatting (plus a trailing `.0` when the value
+//! is integral), so `parse(write(x)) == x` for every finite float.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value.
+///
+/// Objects preserve insertion order so rendered output is deterministic
+/// and diffs stay readable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer, stored as `i128` so the full `u64` range
+    /// (derived seeds) round-trips losslessly.
+    Int(i128),
+    /// A finite double. Non-finite values must not be stored; use
+    /// [`Json::from_f64`] to map them to `null`.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object.
+    pub fn object() -> Json {
+        Json::Object(Vec::new())
+    }
+
+    /// Builder-style field insertion (replaces an existing key).
+    pub fn with(mut self, key: &str, value: impl Into<Json>) -> Json {
+        self.set(key, value);
+        self
+    }
+
+    /// Inserts or replaces `key` in an object. Panics on non-objects.
+    pub fn set(&mut self, key: &str, value: impl Into<Json>) {
+        match self {
+            Json::Object(fields) => {
+                let value = value.into();
+                if let Some(slot) = fields.iter_mut().find(|(k, _)| k == key) {
+                    slot.1 = value;
+                } else {
+                    fields.push((key.to_owned(), value));
+                }
+            }
+            other => panic!("Json::set on non-object {other:?}"),
+        }
+    }
+
+    /// Field lookup; returns [`Json::Null`] for missing keys or
+    /// non-objects.
+    pub fn get(&self, key: &str) -> &Json {
+        const NULL: Json = Json::Null;
+        match self {
+            Json::Object(fields) => fields
+                .iter()
+                .find_map(|(k, v)| (k == key).then_some(v))
+                .unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+
+    /// The value as f64 (ints are widened); `None` otherwise.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The value as i64; `None` for non-integers and out-of-range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => i64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as u64; `None` for negatives and non-integers.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as &str; `None` otherwise.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as bool; `None` otherwise.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements if this is an array, else an empty slice.
+    pub fn as_array(&self) -> &[Json] {
+        match self {
+            Json::Array(items) => items,
+            _ => &[],
+        }
+    }
+
+    /// The fields if this is an object, else an empty slice.
+    pub fn as_object(&self) -> &[(String, Json)] {
+        match self {
+            Json::Object(fields) => fields,
+            _ => &[],
+        }
+    }
+
+    /// Maps non-finite floats to `null` instead of panicking.
+    pub fn from_f64(f: f64) -> Json {
+        if f.is_finite() {
+            Json::Float(f)
+        } else {
+            Json::Null
+        }
+    }
+
+    /// Serializes compactly (no whitespace).
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Serializes with two-space indentation.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = fmt::Write::write_fmt(out, format_args!("{i}"));
+            }
+            Json::Float(f) => out.push_str(&format_f64(*f)),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => write_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
+                items[i].write(out, indent, depth + 1)
+            }),
+            Json::Object(fields) => {
+                write_seq(out, indent, depth, '{', '}', fields.len(), |out, i| {
+                    let (k, v) = &fields[i];
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1)
+                })
+            }
+        }
+    }
+}
+
+/// Formats a finite f64 so it parses back bit-identically and always
+/// reads as a float (`40` becomes `40.0`).
+fn format_f64(f: f64) -> String {
+    assert!(f.is_finite(), "non-finite float in Json::Float");
+    let s = format!("{f}");
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if len > 0 {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * depth));
+        }
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_compact())
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::Int(v.into())
+    }
+}
+
+impl From<i32> for Json {
+    fn from(v: i32) -> Json {
+        Json::Int(v.into())
+    }
+}
+
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::Int(v.into())
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::Int(v.into())
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::Int(v as i128)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::from_f64(v)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Json {
+        Json::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl std::ops::Index<&str> for Json {
+    type Output = Json;
+
+    fn index(&self, key: &str) -> &Json {
+        self.get(key)
+    }
+}
+
+impl std::ops::Index<usize> for Json {
+    type Output = Json;
+
+    fn index(&self, idx: usize) -> &Json {
+        const NULL: Json = Json::Null;
+        self.as_array().get(idx).unwrap_or(&NULL)
+    }
+}
+
+/// A JSON parse error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a JSON document.
+pub fn parse(input: &str) -> Result<Json, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> ParseError {
+        ParseError {
+            message: message.to_owned(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while matches!(self.peek(), Some(b) if b != b'"' && b != b'\\') {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("dangling escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex =
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("surrogate \\u escape"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Json::Float)
+                .map_err(|_| self.err("invalid float"))
+        } else {
+            text.parse::<i128>()
+                .map(Json::Int)
+                .map_err(|_| self.err("invalid integer"))
+        }
+    }
+}
+
+/// Deterministically sorts object keys (for fingerprinting tests).
+pub fn sort_keys(value: &Json) -> Json {
+    match value {
+        Json::Object(fields) => {
+            let sorted: BTreeMap<&String, &Json> = fields.iter().map(|(k, v)| (k, v)).collect();
+            Json::Object(
+                sorted
+                    .into_iter()
+                    .map(|(k, v)| (k.clone(), sort_keys(v)))
+                    .collect(),
+            )
+        }
+        Json::Array(items) => Json::Array(items.iter().map(sort_keys).collect()),
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for &f in &[0.1, 1.0 / 3.0, 40.0, -2.5e-7, 1e300, f64::MIN_POSITIVE, 0.0] {
+            let v = Json::Float(f);
+            let back = parse(&v.to_compact()).unwrap();
+            match back {
+                Json::Float(g) => assert_eq!(f.to_bits(), g.to_bits(), "{f}"),
+                other => panic!("{f} parsed as {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn documents_round_trip() {
+        let doc = Json::object()
+            .with("id", "fig4")
+            .with("n", 3i64)
+            .with("e", 0.125)
+            .with("flags", Json::Array(vec![Json::Bool(true), Json::Null]))
+            .with("nested", Json::object().with("s", "a \"quoted\"\nline"));
+        for text in [doc.to_compact(), doc.to_pretty()] {
+            assert_eq!(parse(&text).unwrap(), doc);
+        }
+    }
+
+    #[test]
+    fn indexing_is_total() {
+        let doc = Json::object().with("points", Json::Array(vec![Json::Int(4)]));
+        assert_eq!(doc["points"][0].as_i64(), Some(4));
+        assert_eq!(doc["missing"]["also missing"][7], Json::Null);
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        let err = parse("{\"a\": }").unwrap_err();
+        assert_eq!(err.offset, 6);
+        assert!(parse("[1, 2").is_err());
+        assert!(parse("01x").is_err());
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::from_f64(f64::NAN), Json::Null);
+        assert_eq!(Json::from_f64(f64::INFINITY), Json::Null);
+    }
+}

@@ -1,0 +1,81 @@
+//! # lh-harness — deterministic, parallel, result-caching orchestration
+//!
+//! The experiment orchestration subsystem of the LeakyHammer
+//! reproduction. Every figure/table experiment plugs into this crate's
+//! [`Job`] trait and registers in a [`Registry`]; the [`Runner`] then
+//! executes any subset of experiments
+//!
+//! * **in parallel** — each job is split into independent *units*
+//!   (sweep points, fingerprint traces, workload mixes) that a chunked
+//!   work-claiming thread pool shards across cores ([`pool`]);
+//! * **deterministically** — the RNG seed of every unit is derived with
+//!   SplitMix64 from `(experiment id, unit index, master seed)`
+//!   ([`seed`]), and unit results are merged in unit order, so the
+//!   output of `--jobs 8` is bit-identical to `--jobs 1`;
+//! * **incrementally** — unit and merged results are stored in a
+//!   content-addressed on-disk cache keyed by a hash of
+//!   `(experiment id, unit config, scale, seed, code version)`
+//!   ([`cache`]), so unchanged sweep points are skipped on rerun;
+//! * **observably** — structured output sinks render any result as
+//!   text, JSON or CSV ([`sink`]), with live progress on stderr
+//!   ([`progress`]).
+//!
+//! The crate is dependency-free (std only) and knows nothing about the
+//! simulator: jobs communicate through the hand-rolled [`json::Json`]
+//! value type.
+//!
+//! ## Example
+//!
+//! ```
+//! use lh_harness::{Job, JobContext, Json, Registry, Runner, RunnerOptions, ScaleLevel};
+//!
+//! struct Squares;
+//!
+//! impl Job for Squares {
+//!     fn id(&self) -> &'static str { "squares" }
+//!     fn description(&self) -> &'static str { "squares of the first N integers" }
+//!     fn units(&self, _ctx: &JobContext) -> Vec<String> {
+//!         (0..4).map(|i| format!("square:{i}")).collect()
+//!     }
+//!     fn run_unit(&self, unit: usize, _seed: u64, _ctx: &JobContext) -> Json {
+//!         Json::object().with("n", unit as i64).with("sq", (unit * unit) as i64)
+//!     }
+//!     fn finish(&self, units: Vec<Json>, _ctx: &JobContext) -> Json {
+//!         Json::object().with("points", Json::Array(units))
+//!     }
+//!     fn render_text(&self, merged: &Json, _ctx: &JobContext) -> String {
+//!         format!("{} squares\n", merged["points"].as_array().len())
+//!     }
+//! }
+//!
+//! let mut registry = Registry::new();
+//! registry.register(Box::new(Squares));
+//! let runner = Runner::new(RunnerOptions { jobs: 2, ..RunnerOptions::default() });
+//! let ctx = JobContext { scale: ScaleLevel::Quick, seed: 1 };
+//! let run = runner.run(registry.get("squares").unwrap(), &ctx).unwrap();
+//! assert_eq!(run.merged["points"].as_array().len(), 4);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod hash;
+pub mod job;
+pub mod json;
+pub mod pool;
+pub mod progress;
+pub mod runner;
+pub mod seed;
+pub mod sink;
+
+pub use cache::{CacheKey, DiskCache};
+pub use job::{Job, JobContext, Registry, ScaleLevel};
+pub use json::Json;
+pub use runner::{ExperimentRun, RunStats, Runner, RunnerOptions};
+pub use seed::derive_seed;
+pub use sink::OutputFormat;
+
+/// Bump to invalidate every cached result after a change to experiment
+/// code whose outputs the cache key cannot see.
+pub const CODE_VERSION: u32 = 1;

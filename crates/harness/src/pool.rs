@@ -1,0 +1,119 @@
+//! A work-claiming thread pool for embarrassingly parallel unit sets.
+//!
+//! Workers claim unit indices from a shared atomic counter — the
+//! cheapest form of work stealing, with perfect load balance for units
+//! of unequal cost — and write results into their unit's slot, so the
+//! returned vector is always in unit order regardless of completion
+//! order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `work(i, &items[i])` for every item, on up to `jobs` threads,
+/// returning results in item order.
+///
+/// Panics in `work` are propagated (the pool finishes outstanding
+/// claims, then re-panics on the caller thread).
+pub fn run_indexed<T, R, F>(jobs: usize, items: &[T], work: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(items.len().max(1));
+    if jobs <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| work(i, item))
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let result = work(i, &items[i]);
+                    *slots[i].lock().expect("result slot poisoned") = Some(result);
+                })
+            })
+            .collect();
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("all units claimed and completed")
+        })
+        .collect()
+}
+
+/// A reasonable default worker count for this machine.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_for_any_job_count() {
+        let items: Vec<usize> = (0..97).collect();
+        let serial = run_indexed(1, &items, |i, &x| i * 1000 + x * x);
+        for jobs in [2, 3, 8, 64] {
+            assert_eq!(serial, run_indexed(jobs, &items, |i, &x| i * 1000 + x * x));
+        }
+    }
+
+    #[test]
+    fn empty_and_single_items_work() {
+        let none: Vec<u32> = Vec::new();
+        assert!(run_indexed(8, &none, |_, &x| x).is_empty());
+        assert_eq!(run_indexed(8, &[5u32], |_, &x| x * 2), vec![10]);
+    }
+
+    #[test]
+    fn work_actually_runs_concurrently() {
+        use std::sync::atomic::AtomicUsize;
+        let peak = AtomicUsize::new(0);
+        let live = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..16).collect();
+        run_indexed(4, &items, |_, _| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            live.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(
+            peak.load(Ordering::SeqCst) > 1,
+            "expected concurrent execution"
+        );
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let items: Vec<u32> = (0..8).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_indexed(4, &items, |i, _| {
+                if i == 3 {
+                    panic!("unit 3 failed");
+                }
+                i
+            })
+        }));
+        assert!(result.is_err());
+    }
+}

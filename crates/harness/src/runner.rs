@@ -1,0 +1,276 @@
+//! The orchestrator: cache lookup → parallel unit execution → ordered
+//! merge, with per-run statistics.
+
+use std::time::Instant;
+
+use crate::cache::{CacheKey, DiskCache};
+use crate::job::{Job, JobContext};
+use crate::json::Json;
+use crate::pool;
+use crate::progress::{Progress, UnitOutcome};
+use crate::seed::derive_seed;
+
+/// Unit fingerprint of a job's merged (post-`finish`) result. Includes
+/// the unit list digest so a changed decomposition invalidates the
+/// merged entry even at an unchanged job version.
+fn merged_fingerprint(units: &[String]) -> String {
+    let mut h = crate::hash::Hasher::new();
+    for u in units {
+        h.field(u);
+    }
+    format!("merged:{}", h.digest())
+}
+
+/// Execution options for a [`Runner`].
+#[derive(Debug, Clone, Default)]
+pub struct RunnerOptions {
+    /// Worker threads for unit execution (0 = autodetect).
+    pub jobs: usize,
+    /// Result cache; `None` disables caching entirely.
+    pub cache: Option<DiskCache>,
+    /// Emit progress lines on stderr.
+    pub progress: bool,
+}
+
+/// Statistics of one experiment run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Units the job decomposed into.
+    pub units_total: usize,
+    /// Units served from the cache.
+    pub units_cached: usize,
+    /// Units executed in this run.
+    pub units_executed: usize,
+    /// Whether the merged result was served from the cache (in which
+    /// case no units were even enumerated for execution).
+    pub merged_cached: bool,
+    /// Wall-clock milliseconds for the whole experiment.
+    pub wall_ms: u128,
+}
+
+/// One experiment's merged result plus run statistics.
+#[derive(Debug, Clone)]
+pub struct ExperimentRun {
+    /// Experiment id.
+    pub id: &'static str,
+    /// The merged (post-`finish`) result.
+    pub merged: Json,
+    /// What it took.
+    pub stats: RunStats,
+}
+
+/// Executes jobs according to [`RunnerOptions`].
+#[derive(Debug, Default)]
+pub struct Runner {
+    options: RunnerOptions,
+}
+
+impl Runner {
+    /// A runner with the given options.
+    pub fn new(options: RunnerOptions) -> Runner {
+        Runner { options }
+    }
+
+    /// The effective worker count.
+    pub fn jobs(&self) -> usize {
+        if self.options.jobs == 0 {
+            pool::default_jobs()
+        } else {
+            self.options.jobs
+        }
+    }
+
+    fn key(&self, job: &dyn Job, unit: &str, ctx: &JobContext) -> CacheKey {
+        CacheKey {
+            experiment: job.id().to_owned(),
+            unit: unit.to_owned(),
+            scale: ctx.scale.as_str().to_owned(),
+            seed: ctx.seed,
+            job_version: job.version(),
+        }
+    }
+
+    /// Runs one experiment end to end.
+    ///
+    /// Returns an error string if a cache write fails (results are
+    /// still computed and returned on a read-only cache directory —
+    /// write failures are reported, not fatal — so the only error path
+    /// is a poisoned unit execution, which panics instead).
+    pub fn run(&self, job: &dyn Job, ctx: &JobContext) -> Result<ExperimentRun, String> {
+        let started = Instant::now();
+        let units = job.units(ctx);
+        let merged_key = self.key(job, &merged_fingerprint(&units), ctx);
+
+        if let Some(cache) = &self.options.cache {
+            if let Some(merged) = cache.get(&merged_key) {
+                let stats = RunStats {
+                    units_total: units.len(),
+                    units_cached: units.len(),
+                    units_executed: 0,
+                    merged_cached: true,
+                    wall_ms: started.elapsed().as_millis(),
+                };
+                if self.options.progress {
+                    crate::progress::note(format_args!(
+                        "{}: merged result cached, nothing to do",
+                        job.id()
+                    ));
+                }
+                return Ok(ExperimentRun {
+                    id: job.id(),
+                    merged,
+                    stats,
+                });
+            }
+        }
+
+        let progress = Progress::new(job.id(), units.len(), self.options.progress);
+        let cache = self.options.cache.as_ref();
+        let results: Vec<(Json, bool)> = pool::run_indexed(self.jobs(), &units, |i, unit| {
+            let key = self.key(job, unit, ctx);
+            if let Some(hit) = cache.and_then(|c| c.get(&key)) {
+                progress.unit_done(unit, UnitOutcome::Cached);
+                return (hit, true);
+            }
+            let unit_started = Instant::now();
+            let result = job.run_unit(i, derive_seed(job.id(), i, ctx.seed), ctx);
+            if let Some(c) = cache {
+                if let Err(e) = c.put(&key, &result) {
+                    crate::progress::note(format_args!(
+                        "warning: cache write failed for {}/{unit}: {e}",
+                        job.id()
+                    ));
+                }
+            }
+            progress.unit_done(unit, UnitOutcome::Ran(unit_started.elapsed().as_millis()));
+            (result, false)
+        });
+
+        let units_cached = results.iter().filter(|(_, cached)| *cached).count();
+        let units_executed = results.len() - units_cached;
+        let merged = job.finish(results.into_iter().map(|(r, _)| r).collect(), ctx);
+        if let Some(c) = cache {
+            if let Err(e) = c.put(&merged_key, &merged) {
+                crate::progress::note(format_args!(
+                    "warning: cache write failed for {} merge: {e}",
+                    job.id()
+                ));
+            }
+        }
+        progress.finished(units_cached, units_executed);
+
+        Ok(ExperimentRun {
+            id: job.id(),
+            merged,
+            stats: RunStats {
+                units_total: units.len(),
+                units_cached,
+                units_executed,
+                merged_cached: false,
+                wall_ms: started.elapsed().as_millis(),
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::ScaleLevel;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// A job whose unit results depend only on (index, seed), with an
+    /// execution counter to observe cache skips.
+    struct Counting {
+        executions: AtomicUsize,
+    }
+
+    impl Job for Counting {
+        fn id(&self) -> &'static str {
+            "counting"
+        }
+        fn description(&self) -> &'static str {
+            "cache/parallel test job"
+        }
+        fn units(&self, _ctx: &JobContext) -> Vec<String> {
+            (0..12).map(|i| format!("unit:{i}")).collect()
+        }
+        fn run_unit(&self, unit: usize, seed: u64, _ctx: &JobContext) -> Json {
+            self.executions.fetch_add(1, Ordering::SeqCst);
+            Json::object().with("unit", unit).with("seed", seed)
+        }
+        fn finish(&self, units: Vec<Json>, _ctx: &JobContext) -> Json {
+            Json::object().with("points", Json::Array(units))
+        }
+        fn render_text(&self, merged: &Json, _ctx: &JobContext) -> String {
+            merged.to_compact()
+        }
+    }
+
+    fn ctx() -> JobContext {
+        JobContext {
+            scale: ScaleLevel::Quick,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn parallel_output_is_bit_identical_to_serial() {
+        let job = Counting {
+            executions: AtomicUsize::new(0),
+        };
+        let serial = Runner::new(RunnerOptions {
+            jobs: 1,
+            ..Default::default()
+        })
+        .run(&job, &ctx())
+        .unwrap();
+        for jobs in [2, 8] {
+            let parallel = Runner::new(RunnerOptions {
+                jobs,
+                ..Default::default()
+            })
+            .run(&job, &ctx())
+            .unwrap();
+            assert_eq!(serial.merged, parallel.merged);
+        }
+    }
+
+    #[test]
+    fn warm_cache_skips_execution_and_preserves_output() {
+        let dir =
+            std::env::temp_dir().join(format!("lh-harness-runner-test-{}", std::process::id()));
+        let cache = DiskCache::new(&dir);
+        cache.clear().unwrap();
+
+        let job = Counting {
+            executions: AtomicUsize::new(0),
+        };
+        let mk = |jobs| {
+            Runner::new(RunnerOptions {
+                jobs,
+                cache: Some(cache.clone()),
+                progress: false,
+            })
+        };
+        let cold = mk(4).run(&job, &ctx()).unwrap();
+        assert_eq!(job.executions.load(Ordering::SeqCst), 12);
+        assert_eq!(cold.stats.units_executed, 12);
+        assert!(!cold.stats.merged_cached);
+
+        let warm = mk(4).run(&job, &ctx()).unwrap();
+        assert_eq!(
+            job.executions.load(Ordering::SeqCst),
+            12,
+            "warm run must not execute"
+        );
+        assert!(warm.stats.merged_cached);
+        assert_eq!(warm.merged, cold.merged);
+
+        // A different seed misses the cache.
+        let other = mk(4).run(&job, &JobContext { seed: 8, ..ctx() }).unwrap();
+        assert_eq!(job.executions.load(Ordering::SeqCst), 24);
+        assert_ne!(other.merged, cold.merged);
+        cache.clear().unwrap();
+    }
+}

@@ -1,0 +1,60 @@
+//! Per-unit RNG seed derivation.
+//!
+//! Parallel execution must be bit-identical to serial execution, so a
+//! unit's seed may depend only on *what* the unit is — never on when or
+//! where it runs. [`derive_seed`] mixes `(experiment id, unit index,
+//! master seed)` through SplitMix64, giving every unit a fixed,
+//! well-separated stream.
+
+/// One SplitMix64 step.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a hash of a string (used to fold the experiment id into the
+/// seed state).
+pub fn fnv1a(text: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in text.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Derives the RNG seed for one unit of one experiment.
+///
+/// The derivation is position-dependent only: reordering or parallelizing
+/// unit execution cannot change any unit's seed.
+pub fn derive_seed(experiment_id: &str, unit: usize, master_seed: u64) -> u64 {
+    let mut state = fnv1a(experiment_id) ^ master_seed.rotate_left(17);
+    let _ = splitmix64(&mut state);
+    state = state.wrapping_add((unit as u64).wrapping_mul(0xA076_1D64_78BD_642F));
+    splitmix64(&mut state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        let a = derive_seed("fig4", 0, 1);
+        assert_eq!(a, derive_seed("fig4", 0, 1), "derivation must be pure");
+        assert_ne!(a, derive_seed("fig4", 1, 1), "unit index must matter");
+        assert_ne!(a, derive_seed("fig7", 0, 1), "experiment id must matter");
+        assert_ne!(a, derive_seed("fig4", 0, 2), "master seed must matter");
+    }
+
+    #[test]
+    fn nearby_units_are_well_separated() {
+        let mut seen = std::collections::HashSet::new();
+        for unit in 0..1000 {
+            assert!(seen.insert(derive_seed("fig10", unit, 42)));
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Structured output sinks: text, JSON and CSV rendering of run
+//! results.
+
+use core::str::FromStr;
+
+use crate::job::{Job, JobContext};
+use crate::json::Json;
+use crate::runner::ExperimentRun;
+
+/// Output format of the CLI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputFormat {
+    /// The paper-style plain-text reports.
+    #[default]
+    Text,
+    /// One JSON envelope per experiment.
+    Json,
+    /// One CSV block per experiment.
+    Csv,
+}
+
+impl FromStr for OutputFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<OutputFormat, String> {
+        match s {
+            "text" => Ok(OutputFormat::Text),
+            "json" => Ok(OutputFormat::Json),
+            "csv" => Ok(OutputFormat::Csv),
+            other => Err(format!("unknown format '{other}' (text|json|csv)")),
+        }
+    }
+}
+
+/// Renders one finished experiment in the requested format.
+pub fn render(
+    job: &dyn Job,
+    run: &ExperimentRun,
+    ctx: &JobContext,
+    format: OutputFormat,
+) -> String {
+    match format {
+        OutputFormat::Text => {
+            format!(
+                "== {} ({}) ==\n{}\n",
+                job.id(),
+                ctx.scale.as_str(),
+                job.render_text(&run.merged, ctx)
+            )
+        }
+        OutputFormat::Json => envelope(job, run, ctx).to_pretty() + "\n",
+        OutputFormat::Csv => {
+            let body = job
+                .render_csv(&run.merged, ctx)
+                .unwrap_or_else(|| csv_from_json(&run.merged));
+            format!("# {} ({})\n{body}", job.id(), ctx.scale.as_str())
+        }
+    }
+}
+
+/// The JSON envelope for one experiment run.
+pub fn envelope(job: &dyn Job, run: &ExperimentRun, ctx: &JobContext) -> Json {
+    Json::object()
+        .with("experiment", job.id())
+        .with("description", job.description())
+        .with("scale", ctx.scale.as_str())
+        .with("seed", ctx.seed)
+        .with("units", run.stats.units_total)
+        .with("cached_units", run.stats.units_cached)
+        .with("result", run.merged.clone())
+}
+
+/// Generic CSV fallback: uses the first array-of-objects field of the
+/// merged result as rows (header = union of keys in first-seen order);
+/// if none exists, emits the scalar fields as a single row.
+pub fn csv_from_json(merged: &Json) -> String {
+    let rows: &[Json] = merged
+        .as_object()
+        .iter()
+        .find_map(|(_, v)| {
+            let items = v.as_array();
+            (!items.is_empty() && items.iter().all(|i| !i.as_object().is_empty())).then_some(items)
+        })
+        .unwrap_or(&[]);
+
+    let records: Vec<&Json> = if rows.is_empty() {
+        vec![merged]
+    } else {
+        rows.iter().collect()
+    };
+    let mut header: Vec<&str> = Vec::new();
+    for record in &records {
+        for (k, v) in record.as_object() {
+            if scalar(v) && !header.contains(&k.as_str()) {
+                header.push(k);
+            }
+        }
+    }
+    let mut out = header.join(",");
+    out.push('\n');
+    for record in &records {
+        let cells: Vec<String> = header.iter().map(|k| scalar_cell(record.get(k))).collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+fn scalar(v: &Json) -> bool {
+    !matches!(v, Json::Array(_) | Json::Object(_))
+}
+
+fn scalar_cell(v: &Json) -> String {
+    match v {
+        Json::Str(s) => {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.clone()
+            }
+        }
+        Json::Null => String::new(),
+        other => other.to_compact(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_parses() {
+        assert_eq!("csv".parse::<OutputFormat>().unwrap(), OutputFormat::Csv);
+        assert!("xml".parse::<OutputFormat>().is_err());
+    }
+
+    #[test]
+    fn csv_flattens_point_arrays() {
+        let merged = Json::object().with(
+            "points",
+            Json::Array(vec![
+                Json::object().with("intensity", 1.0).with("capacity", 39.5),
+                Json::object()
+                    .with("intensity", 50.0)
+                    .with("capacity", 20.25),
+            ]),
+        );
+        let csv = csv_from_json(&merged);
+        assert_eq!(csv, "intensity,capacity\n1.0,39.5\n50.0,20.25\n");
+    }
+
+    #[test]
+    fn csv_falls_back_to_scalars_and_escapes() {
+        let merged = Json::object().with("label", "a,b").with("n", 3i64);
+        assert_eq!(csv_from_json(&merged), "label,n\n\"a,b\",3\n");
+    }
+}

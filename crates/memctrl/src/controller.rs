@@ -259,7 +259,9 @@ impl MemoryController {
             read_q: VecDeque::new(),
             write_q: VecDeque::new(),
             completed: Vec::new(),
-            ref_due: (0..ranks).map(|r| Time::ZERO + t.t_refi + t.t_refi * r as u64 / ranks as u64).collect(),
+            ref_due: (0..ranks)
+                .map(|r| Time::ZERO + t.t_refi + t.t_refi * r as u64 / ranks as u64)
+                .collect(),
             ref_owed: vec![0; ranks],
             ref_pending: vec![0; ranks],
             rfm_end: vec![Time::ZERO; ranks],
@@ -427,7 +429,13 @@ impl MemoryController {
     fn abo_channel_stall(&self) -> bool {
         matches!(
             (&self.abo, self.device.prac_config().map(|p| p.scope)),
-            (Some(AboState { phase: AboPhase::Recover, .. }), Some(AlertScope::Channel))
+            (
+                Some(AboState {
+                    phase: AboPhase::Recover,
+                    ..
+                }),
+                Some(AlertScope::Channel)
+            )
         )
     }
 
@@ -496,11 +504,13 @@ impl MemoryController {
                                 .any(|b| self.device.open_row(b).is_some());
                             any_open.then_some(Command::PrechargeAll { channel: 0, rank })
                         }
-                        AlertScope::Bank => self
-                            .device
-                            .open_row(abo.alert.bank)
-                            .is_some()
-                            .then_some(Command::Precharge { bank: abo.alert.bank }),
+                        AlertScope::Bank => {
+                            self.device.open_row(abo.alert.bank).is_some().then_some(
+                                Command::Precharge {
+                                    bank: abo.alert.bank,
+                                },
+                            )
+                        }
                     };
                     if let Some(cmd) = close_cmd {
                         match self.device.earliest_issue(&cmd, now) {
@@ -516,7 +526,11 @@ impl MemoryController {
                                 bank: abo.alert.bank.bank,
                             },
                         };
-                        let cmd = Command::Rfm { channel: 0, rank, scope: rfm_scope };
+                        let cmd = Command::Rfm {
+                            channel: 0,
+                            rank,
+                            scope: rfm_scope,
+                        };
                         match self.device.earliest_issue(&cmd, now) {
                             Ok(at) if at <= now => return Step::Issue(cmd, None),
                             Ok(at) => wake = wake.min(at),
@@ -562,7 +576,12 @@ impl MemoryController {
             // can never fit between two RFMs forgo the rule — refresh
             // must still happen, and the stacking is deterministic.
             if let Some(deadline) = self.defense.fr_rfm_deadline(rank) {
-                let period = self.defense.config().fr_rfm.expect("deadline implies config").period;
+                let period = self
+                    .defense
+                    .config()
+                    .fr_rfm
+                    .expect("deadline implies config")
+                    .period;
                 let fits_between_rfms = t.t_rfm + t.t_rfc + t.t_cmd * 2 <= period;
                 if fits_between_rfms && now + t.t_rfc + t.t_cmd > deadline {
                     wake = wake.min(deadline);
@@ -608,7 +627,11 @@ impl MemoryController {
                             Err(_) => {}
                         }
                     } else if now >= deadline {
-                        let cmd = Command::Rfm { channel: 0, rank, scope: RfmScope::AllBank };
+                        let cmd = Command::Rfm {
+                            channel: 0,
+                            rank,
+                            scope: RfmScope::AllBank,
+                        };
                         match self.device.earliest_issue(&cmd, now) {
                             Ok(at) if at <= now => return Step::Issue(cmd, None),
                             Ok(at) => wake = wake.min(at),
@@ -637,7 +660,11 @@ impl MemoryController {
                     Err(_) => {}
                 }
             } else {
-                let cmd = Command::Rfm { channel: 0, rank, scope };
+                let cmd = Command::Rfm {
+                    channel: 0,
+                    rank,
+                    scope,
+                };
                 match self.device.earliest_issue(&cmd, now) {
                     Ok(at) if at <= now => return Step::Issue(cmd, None),
                     Ok(at) => wake = wake.min(at),
@@ -651,7 +678,10 @@ impl MemoryController {
             let open = self.device.open_row(job.bank);
             let cmd = match (job.activated, open) {
                 (false, Some(_)) => Command::Precharge { bank: job.bank },
-                (false, None) => Command::Activate { bank: job.bank, row: job.victim },
+                (false, None) => Command::Activate {
+                    bank: job.bank,
+                    row: job.victim,
+                },
                 (true, Some(_)) => Command::Precharge { bank: job.bank },
                 (true, None) => {
                     // Victim refreshed and closed: job done.
@@ -675,7 +705,9 @@ impl MemoryController {
         if self.cfg.row_policy == RowPolicy::Closed && !self.abo_channel_stall() {
             let g = *self.device.geometry();
             for bank in g.banks_in_channel(0) {
-                let Some(open_row) = self.device.open_row(bank) else { continue };
+                let Some(open_row) = self.device.open_row(bank) else {
+                    continue;
+                };
                 let flat = g.flat_bank(bank);
                 let (srow, served) = self.streak[flat];
                 if srow != open_row || served == 0 {
@@ -751,8 +783,14 @@ impl MemoryController {
             let (cmd, is_hit) = match open {
                 Some(r) if r == req.addr.row => {
                     let c = match req.kind {
-                        AccessKind::Read => Command::Read { bank, col: req.addr.col },
-                        AccessKind::Write => Command::Write { bank, col: req.addr.col },
+                        AccessKind::Read => Command::Read {
+                            bank,
+                            col: req.addr.col,
+                        },
+                        AccessKind::Write => Command::Write {
+                            bank,
+                            col: req.addr.col,
+                        },
                     };
                     (c, true)
                 }
@@ -765,14 +803,19 @@ impl MemoryController {
                     }
                     (Command::Precharge { bank }, false)
                 }
-                None => (Command::Activate { bank, row: req.addr.row }, false),
+                None => (
+                    Command::Activate {
+                        bank,
+                        row: req.addr.row,
+                    },
+                    false,
+                ),
             };
             if is_hit {
                 // Column cap: once `col_cap` consecutive hits were served
                 // while a conflicting request waits, stop preferring hits.
                 let (srow, scount) = self.streak[flat];
-                if srow == req.addr.row && scount >= self.cfg.col_cap && bank_has_conflict[flat]
-                {
+                if srow == req.addr.row && scount >= self.cfg.col_cap && bank_has_conflict[flat] {
                     continue;
                 }
             }
@@ -897,16 +940,25 @@ impl MemoryController {
             }
             Command::Read { bank, .. } | Command::Write { bank, .. } => {
                 let flat = self.device.geometry().flat_bank(bank);
-                let row = self.device.open_row(bank).expect("column command on open row");
+                let row = self
+                    .device
+                    .open_row(bank)
+                    .expect("column command on open row");
                 let (srow, scount) = self.streak[flat];
-                self.streak[flat] = if srow == row { (row, scount + 1) } else { (row, 1) };
+                self.streak[flat] = if srow == row {
+                    (row, scount + 1)
+                } else {
+                    (row, 1)
+                };
                 let (sel, idx) = served.expect("column command must serve a request");
                 let q = match sel {
                     QueueSel::Read => &mut self.read_q,
                     QueueSel::Write => &mut self.write_q,
                 };
                 let req = q.remove(idx).expect("served request present");
-                let finished = outcome.data_ready.expect("column command returns data time");
+                let finished = outcome
+                    .data_ready
+                    .expect("column command returns data time");
                 match req.kind {
                     AccessKind::Read => self.stats.reads_served += 1,
                     AccessKind::Write => self.stats.writes_served += 1,
@@ -935,7 +987,11 @@ impl MemoryController {
         // A fresh alert arms the ABO state machine.
         if let Some(alert) = outcome.alert {
             let t = self.device.timing();
-            let rfms = self.device.prac_config().map(|p| p.rfms_per_backoff).unwrap_or(1);
+            let rfms = self
+                .device
+                .prac_config()
+                .map(|p| p.rfms_per_backoff)
+                .unwrap_or(1);
             self.abo = Some(AboState {
                 alert,
                 recover_at: alert.asserted_at + t.t_abo_act,

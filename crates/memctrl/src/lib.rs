@@ -117,7 +117,11 @@ mod tests {
     fn closed_bank_read_latency_is_act_plus_cas() {
         let mut mc = make(DefenseConfig::none());
         let t = *mc.device().timing();
-        let done = drive(&mut mc, vec![req(1, bank0(), 5, 0, Time::ZERO)], Time::from_us(2));
+        let done = drive(
+            &mut mc,
+            vec![req(1, bank0(), 5, 0, Time::ZERO)],
+            Time::from_us(2),
+        );
         assert_eq!(done.len(), 1);
         let lat = done[0].latency();
         let ideal = t.t_rcd + t.read_latency();
@@ -158,7 +162,10 @@ mod tests {
         }
         let done = drive(&mut mc, reqs, Time::from_us(4));
         let pos_conflict = done.iter().position(|c| c.id == 100).unwrap();
-        assert!(pos_conflict > 4, "younger hits must be served first (row-hit-first)");
+        assert!(
+            pos_conflict > 4,
+            "younger hits must be served first (row-hit-first)"
+        );
         assert!(
             pos_conflict <= 18,
             "column cap must bound the hit streak; conflict at {pos_conflict}"
@@ -186,10 +193,19 @@ mod tests {
         // Saturate the bank with hits around the first tREFI boundary.
         let mut reqs = Vec::new();
         for i in 0..120u64 {
-            reqs.push(req(i, bank0(), 1, (i % 128) as u32, Time::from_ns(3_700 + i * 5)));
+            reqs.push(req(
+                i,
+                bank0(),
+                1,
+                (i % 128) as u32,
+                Time::from_ns(3_700 + i * 5),
+            ));
         }
         drive(&mut mc, reqs, Time::from_us(12));
-        assert!(mc.stats().refreshes_postponed >= 1, "expected at least one postpone");
+        assert!(
+            mc.stats().refreshes_postponed >= 1,
+            "expected at least one postpone"
+        );
         assert!(mc.stats().refreshes >= 2);
     }
 
@@ -206,7 +222,10 @@ mod tests {
             reqs.push(req(i, bank0(), row, 0, Time::from_ns(i * 120)));
         }
         let done = drive(&mut mc, reqs, Time::from_us(60));
-        assert!(mc.stats().backoffs >= 1, "hammering must trigger a back-off");
+        assert!(
+            mc.stats().backoffs >= 1,
+            "hammering must trigger a back-off"
+        );
         // A request arriving just as the recovery begins absorbs (almost)
         // the full 4-RFM back-off latency of 1400 ns.
         let max_lat = done.iter().map(|c| c.latency()).max().unwrap();
@@ -244,7 +263,11 @@ mod tests {
             "expected ~{} fixed-rate RFMs, got {got}",
             expected * ranks
         );
-        assert_eq!(mc.stats().fr_rfm_jitter_max, Span::ZERO, "idle FR-RFM must be exact");
+        assert_eq!(
+            mc.stats().fr_rfm_jitter_max,
+            Span::ZERO,
+            "idle FR-RFM must be exact"
+        );
     }
 
     #[test]
@@ -330,7 +353,8 @@ mod tests {
     fn queue_full_exerts_backpressure() {
         let mut mc = make(DefenseConfig::none());
         for i in 0..64u64 {
-            mc.enqueue(req(i, bank0(), i as u32, 0, Time::ZERO)).unwrap();
+            mc.enqueue(req(i, bank0(), i as u32, 0, Time::ZERO))
+                .unwrap();
         }
         let err = mc.enqueue(req(99, bank0(), 1, 0, Time::ZERO));
         assert!(err.is_err());
@@ -348,11 +372,17 @@ mod tests {
     fn closed_page_policy_precharges_idle_rows() {
         let mut dev = DeviceConfig::paper_default();
         dev.geometry = Geometry::tiny();
-        let cfg = CtrlConfig { row_policy: RowPolicy::Closed, ..CtrlConfig::paper_default() };
+        let cfg = CtrlConfig {
+            row_policy: RowPolicy::Closed,
+            ..CtrlConfig::paper_default()
+        };
         let mut mc = MemoryController::new(cfg, dev, DefenseConfig::none(), 7).unwrap();
         let done = drive(
             &mut mc,
-            vec![req(1, bank0(), 5, 0, Time::ZERO), req(2, bank0(), 5, 1, Time::from_us(1))],
+            vec![
+                req(1, bank0(), 5, 0, Time::ZERO),
+                req(2, bank0(), 5, 1, Time::from_us(1)),
+            ],
             Time::from_us(4),
         );
         assert_eq!(done.len(), 2);
@@ -360,8 +390,14 @@ mod tests {
         // full ACT+RD again, not a hit.
         let second = done.iter().find(|c| c.id == 2).unwrap().latency();
         let t = mc.device().timing();
-        assert!(second >= t.t_rcd + t.read_latency(), "closed page forces re-ACT");
-        assert!(mc.device().open_row(bank0()).is_none(), "row closed after service");
+        assert!(
+            second >= t.t_rcd + t.read_latency(),
+            "closed page forces re-ACT"
+        );
+        assert!(
+            mc.device().open_row(bank0()).is_none(),
+            "row closed after service"
+        );
         // Every access became an activation.
         assert_eq!(mc.device().stats().activates, 2);
     }
@@ -373,14 +409,18 @@ mod tests {
         let count_backoffs = |policy: RowPolicy| {
             let mut dev = DeviceConfig::paper_default();
             dev.geometry = Geometry::tiny();
-            let cfg = CtrlConfig { row_policy: policy, ..CtrlConfig::paper_default() };
+            let cfg = CtrlConfig {
+                row_policy: policy,
+                ..CtrlConfig::paper_default()
+            };
             let mut prac = DefenseConfig::prac(64);
             prac.prac.as_mut().unwrap().nbo = 64;
             let mut mc = MemoryController::new(cfg, dev, prac, 7).unwrap();
             // A *single-row* access stream: under open-page these are row
             // hits (no activations); under closed-page each one activates.
-            let reqs: Vec<MemRequest> =
-                (0..400u64).map(|i| req(i, bank0(), 7, (i % 128) as u32, Time::from_ns(i * 150))).collect();
+            let reqs: Vec<MemRequest> = (0..400u64)
+                .map(|i| req(i, bank0(), 7, (i % 128) as u32, Time::from_ns(i * 150)))
+                .collect();
             drive(&mut mc, reqs, Time::from_us(80));
             mc.stats().backoffs
         };
@@ -420,7 +460,13 @@ mod tests {
             reqs.push(req(i, bank0(), row, 0, Time::from_ns(i * 120)));
         }
         for i in 0..300u64 {
-            reqs.push(req(10_000 + i, other, 1, (i % 128) as u32, Time::from_ns(i * 120)));
+            reqs.push(req(
+                10_000 + i,
+                other,
+                1,
+                (i % 128) as u32,
+                Time::from_ns(i * 120),
+            ));
         }
         let done = drive(&mut mc, reqs, Time::from_us(80));
         assert!(mc.stats().backoffs >= 1);

@@ -42,7 +42,10 @@ pub struct AddressMapping {
 }
 
 fn log2(v: u32) -> u32 {
-    debug_assert!(v.is_power_of_two(), "geometry dimensions must be powers of two");
+    debug_assert!(
+        v.is_power_of_two(),
+        "geometry dimensions must be powers of two"
+    );
     v.trailing_zeros()
 }
 
@@ -107,8 +110,7 @@ impl AddressMapping {
         let (mut bank, mut bank_group) = (addr.bank.bank, addr.bank.bank_group);
         if self.scheme == MappingScheme::XorBank {
             bank ^= addr.row & (g.banks_per_group() - 1);
-            bank_group ^=
-                (addr.row >> log2(g.banks_per_group())) & (g.bank_groups_per_rank() - 1);
+            bank_group ^= (addr.row >> log2(g.banks_per_group())) & (g.bank_groups_per_rank() - 1);
         }
         let mut a = addr.row as u64;
         a = a * g.ranks_per_channel() as u64 + addr.bank.rank as u64;
@@ -133,9 +135,14 @@ mod tests {
     fn roundtrip_both_schemes() {
         for scheme in [MappingScheme::RowBankCol, MappingScheme::XorBank] {
             let m = AddressMapping::new(scheme, Geometry::paper_default());
-            for phys in
-                [0u64, 64, 4096, 1 << 20, (1 << 30) + 8 * 64, (1 << 35) + 12345 * 64]
-            {
+            for phys in [
+                0u64,
+                64,
+                4096,
+                1 << 20,
+                (1 << 30) + 8 * 64,
+                (1 << 35) + 12345 * 64,
+            ] {
                 let line = phys & !(LINE_BYTES - 1);
                 let addr = m.decode(phys);
                 assert!(m.geometry().contains(addr), "{scheme:?} {phys:#x}");
@@ -173,8 +180,7 @@ mod tests {
         // Same "bank field" bits, successive rows: plain keeps one bank,
         // xor walks banks.
         let stride = g.row_bytes() * g.banks_per_channel() as u64; // one row step
-        let plain_banks: Vec<u32> =
-            (0..4).map(|i| plain.decode(i * stride).bank.bank).collect();
+        let plain_banks: Vec<u32> = (0..4).map(|i| plain.decode(i * stride).bank.bank).collect();
         let xor_banks: Vec<u32> = (0..4).map(|i| xor.decode(i * stride).bank.bank).collect();
         assert!(plain_banks.windows(2).all(|w| w[0] == w[1]));
         assert!(xor_banks.windows(2).any(|w| w[0] != w[1]));

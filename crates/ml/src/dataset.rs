@@ -122,8 +122,7 @@ pub fn stratified_kfold(labels: &[usize], k: usize, seed: u64) -> Vec<(Vec<usize
     // Shuffle within each class, then deal class members round-robin.
     let mut fold_of = vec![0usize; labels.len()];
     for c in 0..n_classes {
-        let mut members: Vec<usize> =
-            (0..labels.len()).filter(|&i| labels[i] == c).collect();
+        let mut members: Vec<usize> = (0..labels.len()).filter(|&i| labels[i] == c).collect();
         members.shuffle(&mut rng);
         for (j, &i) in members.iter().enumerate() {
             fold_of[i] = j % k;
@@ -139,11 +138,7 @@ pub fn stratified_kfold(labels: &[usize], k: usize, seed: u64) -> Vec<(Vec<usize
 }
 
 /// A shuffled train/test split with `test_frac` of the rows held out.
-pub fn train_test_split(
-    n: usize,
-    test_frac: f64,
-    seed: u64,
-) -> (Vec<usize>, Vec<usize>) {
+pub fn train_test_split(n: usize, test_frac: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
     let mut idx: Vec<usize> = (0..n).collect();
     idx.shuffle(&mut StdRng::seed_from_u64(seed));
     let n_test = ((n as f64) * test_frac).round() as usize;
@@ -176,11 +171,9 @@ mod tests {
     fn standardize_zeroes_means() {
         let mut d = toy();
         d.standardize();
-        let mean0: f64 =
-            d.features.iter().map(|r| r[0]).sum::<f64>() / d.len() as f64;
+        let mean0: f64 = d.features.iter().map(|r| r[0]).sum::<f64>() / d.len() as f64;
         assert!(mean0.abs() < 1e-9);
-        let var0: f64 =
-            d.features.iter().map(|r| r[0] * r[0]).sum::<f64>() / d.len() as f64;
+        let var0: f64 = d.features.iter().map(|r| r[0] * r[0]).sum::<f64>() / d.len() as f64;
         assert!((var0 - 1.0).abs() < 1e-9);
     }
 
@@ -202,7 +195,10 @@ mod tests {
                 assert_eq!(count, 1, "fold must hold one sample of class {c}");
             }
         }
-        assert!(seen.iter().all(|&s| s == 1), "each sample tested exactly once");
+        assert!(
+            seen.iter().all(|&s| s == 1),
+            "each sample tested exactly once"
+        );
     }
 
     #[test]

@@ -20,7 +20,13 @@ pub struct RandomForest {
 impl RandomForest {
     /// Creates a forest of `n_trees` trees of depth `max_depth`.
     pub fn new(n_trees: usize, max_depth: usize, seed: u64) -> RandomForest {
-        RandomForest { n_trees, max_depth, seed, trees: Vec::new(), n_classes: 0 }
+        RandomForest {
+            n_trees,
+            max_depth,
+            seed,
+            trees: Vec::new(),
+            n_classes: 0,
+        }
     }
 }
 
@@ -114,8 +120,10 @@ impl Classifier for GradientBoosting {
         self.n_classes = n_classes;
         self.stages = vec![Vec::new(); n_classes];
         for class in 0..n_classes {
-            let targets: Vec<f64> =
-                y.iter().map(|&l| if l == class { 1.0 } else { 0.0 }).collect();
+            let targets: Vec<f64> = y
+                .iter()
+                .map(|&l| if l == class { 1.0 } else { 0.0 })
+                .collect();
             let mut scores = vec![0.0f64; x.len()];
             for round in 0..self.rounds {
                 let residuals: Vec<f64> = scores
@@ -139,8 +147,7 @@ impl Classifier for GradientBoosting {
     }
 
     fn predict(&self, row: &[f64]) -> usize {
-        let scores: Vec<f64> =
-            (0..self.n_classes).map(|c| self.score(row, c)).collect();
+        let scores: Vec<f64> = (0..self.n_classes).map(|c| self.score(row, c)).collect();
         argmax_f64(&scores)
     }
 
@@ -162,7 +169,12 @@ impl AdaBoost {
     /// Creates a booster with `rounds` base learners of depth
     /// `base_depth` (1 = classic stumps; 2 suits multiclass SAMME).
     pub fn new(rounds: usize, base_depth: usize) -> AdaBoost {
-        AdaBoost { rounds, base_depth: base_depth.max(1), stumps: Vec::new(), n_classes: 0 }
+        AdaBoost {
+            rounds,
+            base_depth: base_depth.max(1),
+            stumps: Vec::new(),
+            n_classes: 0,
+        }
     }
 }
 
@@ -233,7 +245,11 @@ pub(crate) fn argmax_f64(xs: &[f64]) -> usize {
 }
 
 pub(crate) fn argmax_u32(xs: &[u32]) -> usize {
-    xs.iter().enumerate().max_by_key(|&(i, v)| (*v, core::cmp::Reverse(i))).map(|(i, _)| i).unwrap_or(0)
+    xs.iter()
+        .enumerate()
+        .max_by_key(|&(i, v)| (*v, core::cmp::Reverse(i)))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
 }
 
 #[cfg(test)]

@@ -90,12 +90,7 @@ pub struct CvScores {
 }
 
 /// Runs stratified `k`-fold cross-validation of `model` on `data`.
-pub fn cross_validate(
-    model: &mut dyn Classifier,
-    data: &Dataset,
-    k: usize,
-    seed: u64,
-) -> CvScores {
+pub fn cross_validate(model: &mut dyn Classifier, data: &Dataset, k: usize, seed: u64) -> CvScores {
     let n_classes = data.n_classes();
     let mut accs = Vec::new();
     let mut f1s = Vec::new();

@@ -21,7 +21,12 @@ pub struct KNearest {
 impl KNearest {
     /// Creates a k-NN classifier.
     pub fn new(k: usize) -> KNearest {
-        KNearest { k: k.max(1), x: Vec::new(), y: Vec::new(), n_classes: 0 }
+        KNearest {
+            k: k.max(1),
+            x: Vec::new(),
+            y: Vec::new(),
+            n_classes: 0,
+        }
     }
 }
 
@@ -75,7 +80,12 @@ pub struct LinearSvm {
 impl LinearSvm {
     /// Creates an SVM with `epochs` passes and regularization `lambda`.
     pub fn new(epochs: usize, lambda: f64, seed: u64) -> LinearSvm {
-        LinearSvm { epochs, lambda, seed, w: Vec::new() }
+        LinearSvm {
+            epochs,
+            lambda,
+            seed,
+            w: Vec::new(),
+        }
     }
 }
 
@@ -100,8 +110,7 @@ impl Classifier for LinearSvm {
                     t += 1;
                     let eta = 1.0 / (self.lambda * t as f64);
                     let target = if y[i] == class { 1.0 } else { -1.0 };
-                    let margin =
-                        target * (dot(w, &x[i]) + *b);
+                    let margin = target * (dot(w, &x[i]) + *b);
                     for wj in w.iter_mut() {
                         *wj *= 1.0 - eta * self.lambda;
                     }
@@ -139,7 +148,12 @@ pub struct LogisticRegression {
 impl LogisticRegression {
     /// Creates a model with `epochs` passes at learning rate `lr`.
     pub fn new(epochs: usize, lr: f64, seed: u64) -> LogisticRegression {
-        LogisticRegression { epochs, lr, seed, w: Vec::new() }
+        LogisticRegression {
+            epochs,
+            lr,
+            seed,
+            w: Vec::new(),
+        }
     }
 }
 
@@ -160,8 +174,7 @@ impl Classifier for LogisticRegression {
             order.shuffle(&mut rng);
             for &i in &order {
                 // Softmax probabilities.
-                let logits: Vec<f64> =
-                    self.w.iter().map(|(w, b)| dot(w, &x[i]) + b).collect();
+                let logits: Vec<f64> = self.w.iter().map(|(w, b)| dot(w, &x[i]) + b).collect();
                 let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
                 let exps: Vec<f64> = logits.iter().map(|&z| (z - max).exp()).collect();
                 let total: f64 = exps.iter().sum();
@@ -198,7 +211,11 @@ pub struct Perceptron {
 impl Perceptron {
     /// Creates a perceptron with `epochs` passes.
     pub fn new(epochs: usize, seed: u64) -> Perceptron {
-        Perceptron { epochs, seed, w: Vec::new() }
+        Perceptron {
+            epochs,
+            seed,
+            w: Vec::new(),
+        }
     }
 }
 

@@ -41,7 +41,12 @@ pub struct TreeConfig {
 
 impl Default for TreeConfig {
     fn default() -> TreeConfig {
-        TreeConfig { max_depth: 12, min_samples_split: 2, feature_subset: None, seed: 0 }
+        TreeConfig {
+            max_depth: 12,
+            min_samples_split: 2,
+            feature_subset: None,
+            seed: 0,
+        }
     }
 }
 
@@ -56,22 +61,23 @@ pub struct DecisionTree {
 impl DecisionTree {
     /// Creates an untrained tree.
     pub fn new(config: TreeConfig) -> DecisionTree {
-        DecisionTree { config, nodes: Vec::new(), n_classes: 0 }
+        DecisionTree {
+            config,
+            nodes: Vec::new(),
+            n_classes: 0,
+        }
     }
 
     /// A depth-1 stump (AdaBoost base learner).
     pub fn stump() -> DecisionTree {
-        DecisionTree::new(TreeConfig { max_depth: 1, ..TreeConfig::default() })
+        DecisionTree::new(TreeConfig {
+            max_depth: 1,
+            ..TreeConfig::default()
+        })
     }
 
     /// Fits with per-sample weights.
-    pub fn fit_weighted(
-        &mut self,
-        x: &[Vec<f64>],
-        y: &[usize],
-        w: &[f64],
-        n_classes: usize,
-    ) {
+    pub fn fit_weighted(&mut self, x: &[Vec<f64>], y: &[usize], w: &[f64], n_classes: usize) {
         assert_eq!(x.len(), y.len());
         assert_eq!(x.len(), w.len());
         self.n_classes = n_classes;
@@ -92,7 +98,10 @@ impl DecisionTree {
             .max_by(|a, b| a.1.partial_cmp(b.1).expect("weights are finite"))
             .map(|(c, _)| c)
             .unwrap_or(0);
-        self.nodes.push(Node::Leaf { class, value: class as f64 });
+        self.nodes.push(Node::Leaf {
+            class,
+            value: class as f64,
+        });
         self.nodes.len() - 1
     }
 
@@ -107,8 +116,7 @@ impl DecisionTree {
     ) -> usize {
         let first = y[idx[0]];
         let pure = idx.iter().all(|&i| y[i] == first);
-        if pure || depth >= self.config.max_depth || idx.len() < self.config.min_samples_split
-        {
+        if pure || depth >= self.config.max_depth || idx.len() < self.config.min_samples_split {
             return self.leaf(y, w, &idx);
         }
         let Some((feature, threshold)) =
@@ -124,10 +132,18 @@ impl DecisionTree {
             return self.leaf(y, w, &idx);
         }
         let placeholder = self.nodes.len();
-        self.nodes.push(Node::Leaf { class: 0, value: 0.0 });
+        self.nodes.push(Node::Leaf {
+            class: 0,
+            value: 0.0,
+        });
         let left = self.grow(x, y, w, lhs, depth + 1, rng);
         let right = self.grow(x, y, w, rhs, depth + 1, rng);
-        self.nodes[placeholder] = Node::Split { feature, threshold, left, right };
+        self.nodes[placeholder] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
         placeholder
     }
 
@@ -136,8 +152,17 @@ impl DecisionTree {
         loop {
             match &self.nodes[i] {
                 n @ Node::Leaf { .. } => return n,
-                Node::Split { feature, threshold, left, right } => {
-                    i = if row[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -177,7 +202,10 @@ pub struct RegressionTree {
 impl RegressionTree {
     /// Creates an untrained regression tree.
     pub fn new(config: TreeConfig) -> RegressionTree {
-        RegressionTree { config, nodes: Vec::new() }
+        RegressionTree {
+            config,
+            nodes: Vec::new(),
+        }
     }
 
     /// Fits targets `t`.
@@ -191,7 +219,10 @@ impl RegressionTree {
 
     fn leaf(&mut self, t: &[f64], idx: &[usize]) -> usize {
         let mean = idx.iter().map(|&i| t[i]).sum::<f64>() / idx.len() as f64;
-        self.nodes.push(Node::Leaf { class: 0, value: mean });
+        self.nodes.push(Node::Leaf {
+            class: 0,
+            value: mean,
+        });
         self.nodes.len() - 1
     }
 
@@ -219,10 +250,18 @@ impl RegressionTree {
             return self.leaf(t, &idx);
         }
         let placeholder = self.nodes.len();
-        self.nodes.push(Node::Leaf { class: 0, value: 0.0 });
+        self.nodes.push(Node::Leaf {
+            class: 0,
+            value: 0.0,
+        });
         let left = self.grow(x, t, lhs, depth + 1, rng);
         let right = self.grow(x, t, rhs, depth + 1, rng);
-        self.nodes[placeholder] = Node::Split { feature, threshold, left, right };
+        self.nodes[placeholder] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
         placeholder
     }
 
@@ -232,8 +271,17 @@ impl RegressionTree {
         loop {
             match &self.nodes[i] {
                 Node::Leaf { value, .. } => return *value,
-                Node::Split { feature, threshold, left, right } => {
-                    i = if row[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -323,10 +371,7 @@ mod tests {
         let (x, y) = blobs(3, 60, 4, 11);
         let mut t = DecisionTree::new(TreeConfig::default());
         t.fit(&x, &y, 3);
-        let acc = crate::metrics::accuracy(
-            &y,
-            &x.iter().map(|r| t.predict(r)).collect::<Vec<_>>(),
-        );
+        let acc = crate::metrics::accuracy(&y, &x.iter().map(|r| t.predict(r)).collect::<Vec<_>>());
         assert!(acc > 0.95, "train accuracy {acc}");
     }
 
@@ -354,7 +399,10 @@ mod tests {
     fn regression_tree_fits_a_step_function() {
         let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
         let t: Vec<f64> = (0..100).map(|i| if i < 50 { 1.0 } else { 5.0 }).collect();
-        let mut r = RegressionTree::new(TreeConfig { max_depth: 2, ..TreeConfig::default() });
+        let mut r = RegressionTree::new(TreeConfig {
+            max_depth: 2,
+            ..TreeConfig::default()
+        });
         r.fit(&x, &t);
         assert!((r.predict(&[10.0]) - 1.0).abs() < 0.2);
         assert!((r.predict(&[90.0]) - 5.0).abs() < 0.2);

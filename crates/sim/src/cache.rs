@@ -106,7 +106,12 @@ struct Level {
 
 impl Level {
     fn new(config: CacheLevelConfig) -> Level {
-        Level { config, sets: vec![Vec::new(); config.sets()], hits: 0, misses: 0 }
+        Level {
+            config,
+            sets: vec![Vec::new(); config.sets()],
+            hits: 0,
+            misses: 0,
+        }
     }
 
     fn set_of(&self, line: u64) -> usize {
@@ -225,7 +230,10 @@ impl CacheHierarchy {
     pub fn access(&mut self, addr: u64, write: bool) -> CacheAccess {
         let line = Self::line_of(addr);
         if self.l1.access(line, write) {
-            return CacheAccess { hit_latency: Some(self.l1.config.hit_latency), writeback: None };
+            return CacheAccess {
+                hit_latency: Some(self.l1.config.hit_latency),
+                writeback: None,
+            };
         }
         if let Some(l2) = &mut self.l2 {
             if l2.access(line, write) {
@@ -248,7 +256,10 @@ impl CacheHierarchy {
                 writeback: wb.map(|l| l * LINE_BYTES),
             };
         }
-        CacheAccess { hit_latency: None, writeback: None }
+        CacheAccess {
+            hit_latency: None,
+            writeback: None,
+        }
     }
 
     /// Inserts a line fetched from memory into every level; returns dirty
@@ -325,9 +336,17 @@ mod tests {
 
     fn small() -> CacheConfig {
         CacheConfig {
-            l1: CacheLevelConfig { capacity: 512, ways: 2, hit_latency: Span::from_ns(1) },
+            l1: CacheLevelConfig {
+                capacity: 512,
+                ways: 2,
+                hit_latency: Span::from_ns(1),
+            },
             l2: None,
-            llc: CacheLevelConfig { capacity: 2048, ways: 4, hit_latency: Span::from_ns(12) },
+            llc: CacheLevelConfig {
+                capacity: 2048,
+                ways: 4,
+                hit_latency: Span::from_ns(12),
+            },
         }
     }
 
@@ -367,7 +386,10 @@ mod tests {
             wb_seen |= wbs.contains(&0);
         }
         // The dirty line 0 must eventually be written back from L1 or LLC.
-        assert!(wb_seen || c.contains(0), "dirty line lost without writeback");
+        assert!(
+            wb_seen || c.contains(0),
+            "dirty line lost without writeback"
+        );
     }
 
     #[test]

@@ -73,7 +73,11 @@ mod tests {
             Time::ZERO,
         );
         assert!(sys.run_until_halted(Time::from_ms(1)));
-        let conflict_mean = sys.process_as::<LoopProcess>(pid).unwrap().trace().mean_ns();
+        let conflict_mean = sys
+            .process_as::<LoopProcess>(pid)
+            .unwrap()
+            .trace()
+            .mean_ns();
 
         // Hits: one row, flushed each time but the row stays open.
         let mut sys2 = System::new(SimConfig::paper_default(DefenseConfig::none())).unwrap();
@@ -84,7 +88,11 @@ mod tests {
             Time::ZERO,
         );
         assert!(sys2.run_until_halted(Time::from_ms(1)));
-        let hit_mean = sys2.process_as::<LoopProcess>(pid2).unwrap().trace().mean_ns();
+        let hit_mean = sys2
+            .process_as::<LoopProcess>(pid2)
+            .unwrap()
+            .trace()
+            .mean_ns();
 
         assert!(
             conflict_mean > hit_mean + 20.0,
@@ -199,10 +207,14 @@ mod tests {
         }
 
         let run = |blocking: bool, mlp: u32| -> Time {
-            let mut sys =
-                System::new(SimConfig::paper_default(DefenseConfig::none())).unwrap();
+            let mut sys = System::new(SimConfig::paper_default(DefenseConfig::none())).unwrap();
             let pid = sys.add_process(
-                Box::new(Streamer { n: 64, i: 0, done_at: None, blocking }),
+                Box::new(Streamer {
+                    n: 64,
+                    i: 0,
+                    done_at: None,
+                    blocking,
+                }),
                 mlp,
                 Time::ZERO,
             );
@@ -240,7 +252,14 @@ mod tests {
             }
         }
         let mut sys = System::new(SimConfig::paper_default(DefenseConfig::none())).unwrap();
-        let pid = sys.add_process(Box::new(Sleeper { woke: None, slept: false }), 1, Time::ZERO);
+        let pid = sys.add_process(
+            Box::new(Sleeper {
+                woke: None,
+                slept: false,
+            }),
+            1,
+            Time::ZERO,
+        );
         sys.run_until(Time::from_us(100));
         let woke = sys.process_as::<Sleeper>(pid).unwrap().woke.unwrap();
         assert_eq!(woke, Time::from_us(25));
@@ -310,7 +329,11 @@ mod tests {
         let t2 = sys.process_as::<LoopProcess>(p2).unwrap().trace();
         assert_eq!(t1.len(), 200);
         assert_eq!(t2.len(), 200);
-        assert!(t1.mean_ns() > 80.0, "conflicts should slow p1: {}", t1.mean_ns());
+        assert!(
+            t1.mean_ns() > 80.0,
+            "conflicts should slow p1: {}",
+            t1.mean_ns()
+        );
         assert!(sys.controller().stats().reads_served >= 400);
     }
 }

@@ -39,13 +39,24 @@ impl LoopProcess {
     /// Panics if `addrs` is empty.
     pub fn new(addrs: Vec<u64>, iterations: usize, think: Span) -> LoopProcess {
         assert!(!addrs.is_empty(), "loop needs at least one address");
-        LoopProcess { addrs, iterations, think, flush: true, i: 0, last: None, trace: LatencyTrace::new() }
+        LoopProcess {
+            addrs,
+            iterations,
+            think,
+            flush: true,
+            i: 0,
+            last: None,
+            trace: LatencyTrace::new(),
+        }
     }
 
     /// As [`LoopProcess::new`] but without the per-iteration `clflush`
     /// (accesses may hit in cache).
     pub fn without_flush(addrs: Vec<u64>, iterations: usize, think: Span) -> LoopProcess {
-        LoopProcess { flush: false, ..LoopProcess::new(addrs, iterations, think) }
+        LoopProcess {
+            flush: false,
+            ..LoopProcess::new(addrs, iterations, think)
+        }
     }
 
     /// The recorded per-iteration latencies.

@@ -25,7 +25,12 @@ impl BopConfig {
     /// The configuration used by the paper's sensitivity study (a standard
     /// small Best-Offset setup).
     pub fn paper_default() -> BopConfig {
-        BopConfig { max_offset: 8, score_max: 31, bad_score: 1, rr_size: 64 }
+        BopConfig {
+            max_offset: 8,
+            score_max: 31,
+            bad_score: 1,
+            rr_size: 64,
+        }
     }
 }
 
@@ -174,7 +179,10 @@ mod tests {
         for i in 0..300u64 {
             p.on_miss(i * 64);
         }
-        assert!(p.is_enabled(), "sequential stream must activate prefetching");
+        assert!(
+            p.is_enabled(),
+            "sequential stream must activate prefetching"
+        );
         assert_eq!(p.active_offset(), 1);
         assert!(p.issued() > 0);
     }
@@ -200,7 +208,10 @@ mod tests {
             x ^= x << 17;
             p.on_miss((x % (1 << 30)) * 64);
         }
-        assert!(!p.is_enabled(), "random stream must not sustain prefetching");
+        assert!(
+            !p.is_enabled(),
+            "random stream must not sustain prefetching"
+        );
     }
 
     #[test]

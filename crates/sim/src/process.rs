@@ -36,22 +36,46 @@ impl MemAccess {
     /// A dependent (blocking) load with a `clflush` first — one iteration
     /// of the paper's measurement loop.
     pub fn flushed_load(addr: u64, think: Span) -> MemAccess {
-        MemAccess { addr, write: false, flush: true, think, blocking: true }
+        MemAccess {
+            addr,
+            write: false,
+            flush: true,
+            think,
+            blocking: true,
+        }
     }
 
     /// A plain blocking load.
     pub fn load(addr: u64, think: Span) -> MemAccess {
-        MemAccess { addr, write: false, flush: false, think, blocking: true }
+        MemAccess {
+            addr,
+            write: false,
+            flush: false,
+            think,
+            blocking: true,
+        }
     }
 
     /// A non-blocking load (background application traffic).
     pub fn load_async(addr: u64, think: Span) -> MemAccess {
-        MemAccess { addr, write: false, flush: false, think, blocking: false }
+        MemAccess {
+            addr,
+            write: false,
+            flush: false,
+            think,
+            blocking: false,
+        }
     }
 
     /// A non-blocking store.
     pub fn store_async(addr: u64, think: Span) -> MemAccess {
-        MemAccess { addr, write: true, flush: false, think, blocking: false }
+        MemAccess {
+            addr,
+            write: true,
+            flush: false,
+            think,
+            blocking: false,
+        }
     }
 }
 

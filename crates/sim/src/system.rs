@@ -261,7 +261,11 @@ impl System {
 
     fn push(&mut self, at: Time, kind: EventKind) {
         self.seq += 1;
-        self.events.push(Reverse(Ev { at, seq: self.seq, kind }));
+        self.events.push(Reverse(Ev {
+            at,
+            seq: self.seq,
+            kind,
+        }));
     }
 
     /// Runs until `t_end` (events after it stay queued).
@@ -421,8 +425,13 @@ impl System {
             arrival: self.now,
             source: pid as u32,
         };
-        let meta =
-            Inflight { proc: pid, addr, write: true, blocking: false, prefetch: false };
+        let meta = Inflight {
+            proc: pid,
+            addr,
+            write: true,
+            blocking: false,
+            prefetch: false,
+        };
         if let Err(req) = self.mc.enqueue(req) {
             self.stalled.push_back((req, meta));
         }

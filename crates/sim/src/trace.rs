@@ -59,7 +59,11 @@ impl LatencyTrace {
 
     /// Maximum latency.
     pub fn max(&self) -> Span {
-        self.samples.iter().map(|s| s.latency).max().unwrap_or(Span::ZERO)
+        self.samples
+            .iter()
+            .map(|s| s.latency)
+            .max()
+            .unwrap_or(Span::ZERO)
     }
 
     /// Samples with latency at or above `threshold`.
@@ -74,12 +78,16 @@ impl LatencyTrace {
 
     /// Samples whose latency falls within `[lo, hi)`.
     pub fn within(&self, lo: Span, hi: Span) -> impl Iterator<Item = &LatencySample> {
-        self.samples.iter().filter(move |s| s.latency >= lo && s.latency < hi)
+        self.samples
+            .iter()
+            .filter(move |s| s.latency >= lo && s.latency < hi)
     }
 
     /// Samples restricted to the time window `[from, to)`.
     pub fn window(&self, from: Time, to: Time) -> impl Iterator<Item = &LatencySample> {
-        self.samples.iter().filter(move |s| s.at >= from && s.at < to)
+        self.samples
+            .iter()
+            .filter(move |s| s.at >= from && s.at < to)
     }
 
     /// Mean latency of samples at or above `threshold` (ns), or `None`.
@@ -95,7 +103,9 @@ impl LatencyTrace {
 
 impl FromIterator<LatencySample> for LatencyTrace {
     fn from_iter<I: IntoIterator<Item = LatencySample>>(iter: I) -> LatencyTrace {
-        LatencyTrace { samples: iter.into_iter().collect() }
+        LatencyTrace {
+            samples: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -156,9 +156,7 @@ impl BrowserProcess {
         start: Time,
         load_span: Span,
     ) -> BrowserProcess {
-        let mut rng = StdRng::seed_from_u64(
-            trace_seed ^ splitmix64(profile.site as u64 * 0xABCD),
-        );
+        let mut rng = StdRng::seed_from_u64(trace_seed ^ splitmix64(profile.site as u64 * 0xABCD));
         // Jitter phase boundaries by ±10 %.
         let mut phase_ends = Vec::with_capacity(profile.phases.len());
         let mut t = start;
@@ -170,7 +168,16 @@ impl BrowserProcess {
         }
         *phase_ends.last_mut().expect("profiles have phases") = start + load_span;
         let hot_base_row = 2048 + (splitmix64(profile.site as u64) % 1024) as u32 * 8;
-        BrowserProcess { profile, mapping, rng, start, load_span, phase_ends, i: 0, hot_base_row }
+        BrowserProcess {
+            profile,
+            mapping,
+            rng,
+            start,
+            load_span,
+            phase_ends,
+            i: 0,
+            hot_base_row,
+        }
     }
 
     /// The profile being loaded.

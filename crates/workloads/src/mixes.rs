@@ -30,9 +30,7 @@ pub fn four_core_mixes(n: usize, seed: u64) -> Vec<[AppProfile; 4]> {
     let pool = app_pool();
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n)
-        .map(|_| {
-            core::array::from_fn(|_| pool[rng.gen_range(0..pool.len())].clone())
-        })
+        .map(|_| core::array::from_fn(|_| pool[rng.gen_range(0..pool.len())].clone()))
         .collect()
 }
 
@@ -44,7 +42,10 @@ mod tests {
     fn pool_spans_the_intensity_range() {
         let pool = app_pool();
         assert_eq!(pool.len(), 10);
-        let min = pool.iter().map(|p| p.rbmpki()).fold(f64::INFINITY, f64::min);
+        let min = pool
+            .iter()
+            .map(|p| p.rbmpki())
+            .fold(f64::INFINITY, f64::min);
         let max = pool.iter().map(|p| p.rbmpki()).fold(0.0, f64::max);
         assert!(min < 1.0, "min {min}");
         assert!(max > 20.0, "max {max}");

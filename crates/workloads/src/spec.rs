@@ -157,8 +157,8 @@ impl SyntheticApp {
             // offset past the attack rows (which live below row 1024).
             let flat = self.rng.gen_range(0..g.banks_per_channel() as usize);
             let bank: BankId = g.bank_from_flat(0, flat);
-            let row = 1024 + self.rng.gen_range(0..self.profile.footprint_rows)
-                % (g.rows_per_bank() - 1024);
+            let row = 1024
+                + self.rng.gen_range(0..self.profile.footprint_rows) % (g.rows_per_bank() - 1024);
             self.row_addr = Some(DramAddr::new(bank, row, 0));
             self.lines_left = self.profile.lines_per_row;
         }
@@ -184,7 +184,10 @@ impl Process for SyntheticApp {
         let access = if write {
             MemAccess::store_async(addr, think)
         } else {
-            MemAccess { blocking: self.profile.mlp <= 1, ..MemAccess::load_async(addr, think) }
+            MemAccess {
+                blocking: self.profile.mlp <= 1,
+                ..MemAccess::load_async(addr, think)
+            }
         };
         ProcessStep::Access(access)
     }
@@ -234,7 +237,9 @@ mod tests {
             }
             t += Span::from_ns(100);
         }
-        assert!(rows[..8].windows(2).all(|w| w[0].row == w[1].row && w[0].bank == w[1].bank));
+        assert!(rows[..8]
+            .windows(2)
+            .all(|w| w[0].row == w[1].row && w[0].bank == w[1].bank));
         assert_ne!((rows[7].bank, rows[7].row), (rows[8].bank, rows[8].row));
     }
 
@@ -253,7 +258,11 @@ mod tests {
         let pid = sys.add_process(Box::new(app), mlp, Time::ZERO);
         sys.run_until(Time::from_us(250));
         let app = sys.process_as::<SyntheticApp>(pid).unwrap();
-        assert!(app.instructions() > 10_000, "{} instructions", app.instructions());
+        assert!(
+            app.instructions() > 10_000,
+            "{} instructions",
+            app.instructions()
+        );
         assert!(sys.controller().stats().reads_served > 100);
         // Row locality: several column accesses per activate.
         let cpa = sys.controller().device().stats().columns_per_act();

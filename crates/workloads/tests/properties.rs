@@ -9,12 +9,14 @@ use lh_dram::{Span, Time};
 use lh_memctrl::{AddressMapping, MappingScheme};
 use lh_sim::{Process, ProcessStep};
 use lh_workloads::{
-    four_core_mixes, AppProfile, BrowserProcess, Intensity, SyntheticApp, WebsiteProfile,
-    WEBSITES,
+    four_core_mixes, AppProfile, BrowserProcess, Intensity, SyntheticApp, WebsiteProfile, WEBSITES,
 };
 
 fn mapping() -> AddressMapping {
-    AddressMapping::new(MappingScheme::RowBankCol, lh_dram::Geometry::paper_default())
+    AddressMapping::new(
+        MappingScheme::RowBankCol,
+        lh_dram::Geometry::paper_default(),
+    )
 }
 
 /// Drains a process's first `n` steps into (addresses, think spans).

@@ -57,7 +57,9 @@ fn cross_bank_prac(defense: DefenseConfig, filter: bool, bits: &[u8]) -> Vec<u8>
     sys.add_process(Box::new(tx), 1, Time::ZERO);
     let rx_id = sys.add_process(Box::new(rx), 1, Time::ZERO);
     sys.run_until(start + window * (bits.len() as u64 + 1));
-    sys.process_as::<CovertReceiver>(rx_id).expect("receiver present").decode_binary(1)
+    sys.process_as::<CovertReceiver>(rx_id)
+        .expect("receiver present")
+        .decode_binary(1)
 }
 
 fn cross_bank_drama(bits: &[u8]) -> Vec<u8> {
@@ -87,13 +89,19 @@ fn cross_bank_drama(bits: &[u8]) -> Vec<u8> {
     let rx_id = sys.add_process(Box::new(rx), 1, Time::ZERO);
     sys.run_until(Time::ZERO + window * (bits.len() as u64 + 1));
     // 5 % of the ~2,500 probes per window.
-    sys.process_as::<DramaReceiver>(rx_id).expect("receiver present").decode(0.05)
+    sys.process_as::<DramaReceiver>(rx_id)
+        .expect("receiver present")
+        .decode(0.05)
 }
 
 fn render(label: &str, sent: &[u8], got: &[u8]) {
     let errors = sent.iter().zip(got).filter(|(a, b)| a != b).count();
     let to_s = |v: &[u8]| v.iter().map(|b| char::from(b'0' + b)).collect::<String>();
-    println!("  {label:<28} sent {}  decoded {}  ({errors} errors)", to_s(sent), to_s(got));
+    println!(
+        "  {label:<28} sent {}  decoded {}  ({errors} errors)",
+        to_s(sent),
+        to_s(got)
+    );
 }
 
 fn main() {

@@ -19,13 +19,19 @@ fn main() {
     let out = run_counter_leak(24, 7);
     print!("{}", report::counter_leak_report(&out));
 
-    println!("\nper-trial detail (secret = victim activations, guess = NBO - attacker activations):");
+    println!(
+        "\nper-trial detail (secret = victim activations, guess = NBO - attacker activations):"
+    );
     for (i, t) in out.trials.iter().enumerate().take(12) {
         println!(
             "  trial {i:>2}: secret {:>3}  guess {:>3}  ({} in {:.1} us)",
             t.secret,
             t.estimate,
-            if t.secret == t.estimate { "exact" } else { "off" },
+            if t.secret == t.estimate {
+                "exact"
+            } else {
+                "off"
+            },
             t.elapsed.as_us(),
         );
     }

@@ -59,14 +59,17 @@ fn cross_bank_leakyhammer(defense: DefenseConfig, filter: bool, bits: &[u8]) -> 
         detect: cls.backoff_threshold(),
         detect_max: Span::MAX,
         sleep_after_detect: true,
-        refresh_filter: filter
-            .then(|| lh_attacks::RefreshFilterConfig::from_timing(&lh_dram::DramTiming::ddr5_4800())),
+        refresh_filter: filter.then(|| {
+            lh_attacks::RefreshFilterConfig::from_timing(&lh_dram::DramTiming::ddr5_4800())
+        }),
         calibrate: Span::ZERO,
     });
     sys.add_process(Box::new(tx), 1, Time::ZERO);
     let rx_id = sys.add_process(Box::new(rx), 1, Time::ZERO);
     sys.run_until(start + window * (bits.len() as u64 + 1));
-    sys.process_as::<CovertReceiver>(rx_id).unwrap().decode_binary(1)
+    sys.process_as::<CovertReceiver>(rx_id)
+        .unwrap()
+        .decode_binary(1)
 }
 
 /// Decodes DRAMA windows from conflict counts against a 5 % fraction of
@@ -103,7 +106,10 @@ fn cross_bank_drama(bits: &[u8]) -> Vec<u32> {
     sys.add_process(Box::new(tx), 1, Time::ZERO);
     let rx_id = sys.add_process(Box::new(rx), 1, Time::ZERO);
     sys.run_until(Time::ZERO + window * (bits.len() as u64 + 1));
-    sys.process_as::<DramaReceiver>(rx_id).unwrap().conflicts().to_vec()
+    sys.process_as::<DramaReceiver>(rx_id)
+        .unwrap()
+        .conflicts()
+        .to_vec()
 }
 
 #[test]

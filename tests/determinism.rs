@@ -10,8 +10,7 @@ use lh_sim::{LoopProcess, SimConfig, System};
 #[test]
 fn covert_outcomes_are_reproducible() {
     let run = |seed: u64| {
-        let mut opts =
-            CovertOptions::new(ChannelKind::Prac, MessagePattern::Checkered0.bits(24));
+        let mut opts = CovertOptions::new(ChannelKind::Prac, MessagePattern::Checkered0.bits(24));
         opts.noise_intensity = Some(60.0);
         opts.seed = seed;
         opts.sim.seed = seed;
@@ -55,5 +54,8 @@ fn fingerprint_collection_is_reproducible() {
     let opts = CollectOptions::for_scale(Scale::Quick, 5);
     let a = collect_one(2, 99, &opts);
     let b = collect_one(2, 99, &opts);
-    assert_eq!(a, b, "same site + trace seed must reproduce the fingerprint");
+    assert_eq!(
+        a, b,
+        "same site + trace seed must reproduce the fingerprint"
+    );
 }

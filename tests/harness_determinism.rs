@@ -1,0 +1,105 @@
+//! Harness invariants, end to end through real experiments: parallel
+//! runs are bit-identical to serial runs, and a warm cache skips all
+//! recomputation while reproducing the output byte for byte.
+
+use lh_harness::{DiskCache, JobContext, Runner, RunnerOptions, ScaleLevel};
+
+fn ctx() -> JobContext {
+    JobContext {
+        scale: ScaleLevel::Quick,
+        seed: 11,
+    }
+}
+
+fn runner(jobs: usize, cache: Option<DiskCache>) -> Runner {
+    Runner::new(RunnerOptions {
+        jobs,
+        cache,
+        progress: false,
+    })
+}
+
+#[test]
+fn noise_sweep_is_bit_identical_across_job_counts() {
+    let registry = leakyhammer::registry();
+    let job = registry.get("fig4").expect("fig4 registered");
+    let serial = runner(1, None).run(job, &ctx()).expect("serial run");
+    for jobs in [2, 8] {
+        let parallel = runner(jobs, None).run(job, &ctx()).expect("parallel run");
+        assert_eq!(
+            serial.merged, parallel.merged,
+            "--jobs {jobs} must produce bit-identical results to --jobs 1"
+        );
+        assert_eq!(
+            job.render_text(&serial.merged, &ctx()),
+            job.render_text(&parallel.merged, &ctx()),
+            "--jobs {jobs} must render the identical report"
+        );
+    }
+    // Sanity: the sweep actually has multiple points to shard.
+    assert!(serial.stats.units_total >= 3);
+}
+
+#[test]
+fn warm_cache_skips_recompute_and_reproduces_output() {
+    let dir = std::env::temp_dir().join(format!(
+        "lh-harness-integration-{}-warm-cache",
+        std::process::id()
+    ));
+    let cache = DiskCache::new(&dir);
+    cache.clear().expect("fresh cache dir");
+
+    let registry = leakyhammer::registry();
+    let job = registry.get("fig4").expect("fig4 registered");
+
+    let cold = runner(8, Some(cache.clone()))
+        .run(job, &ctx())
+        .expect("cold run");
+    assert_eq!(
+        cold.stats.units_cached, 0,
+        "cold run must start from an empty cache"
+    );
+    assert_eq!(cold.stats.units_executed, cold.stats.units_total);
+
+    let warm = runner(8, Some(cache.clone()))
+        .run(job, &ctx())
+        .expect("warm run");
+    assert!(
+        warm.stats.merged_cached,
+        "warm run must hit the merged-result cache"
+    );
+    assert_eq!(
+        warm.stats.units_executed, 0,
+        "warm run must skip all recompute"
+    );
+    assert_eq!(
+        warm.merged, cold.merged,
+        "cached results must be bit-identical"
+    );
+    assert_eq!(
+        job.render_text(&warm.merged, &ctx()),
+        job.render_text(&cold.merged, &ctx()),
+        "cached render must match the cold run byte for byte"
+    );
+
+    // A different master seed must not be served from this cache.
+    let other_ctx = JobContext { seed: 12, ..ctx() };
+    let other = runner(8, Some(cache.clone()))
+        .run(job, &other_ctx)
+        .expect("other-seed run");
+    assert!(!other.stats.merged_cached);
+    assert_eq!(other.stats.units_executed, other.stats.units_total);
+
+    cache.clear().expect("cleanup");
+}
+
+#[test]
+fn derived_seeds_differ_per_experiment_and_unit() {
+    // The whole determinism story rests on unit seeds being a pure
+    // function of (experiment id, unit index, master seed).
+    let a = lh_harness::derive_seed("fig4", 0, 11);
+    assert_eq!(a, lh_harness::derive_seed("fig4", 0, 11));
+    assert_ne!(a, lh_harness::derive_seed("fig4", 1, 11));
+    assert_ne!(a, lh_harness::derive_seed("fig7", 0, 11));
+    assert_ne!(a, lh_harness::derive_seed("fig4", 0, 12));
+}

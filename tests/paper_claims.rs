@@ -15,7 +15,11 @@ fn claim_prac_channel_40kbps() {
     let opts = CovertOptions::new(ChannelKind::Prac, bits_of_str("MICRO"));
     let out = run_covert(&opts);
     assert_eq!(out.decoded, opts.bits);
-    assert!((out.result.raw_kbps() - 40.0).abs() < 1.0, "raw {}", out.result.raw_kbps());
+    assert!(
+        (out.result.raw_kbps() - 40.0).abs() < 1.0,
+        "raw {}",
+        out.result.raw_kbps()
+    );
     assert!(out.result.capacity_kbps() > 38.0);
 }
 
@@ -41,9 +45,15 @@ fn claim_rfm_channel_is_faster_than_prac() {
 fn claim_backoffs_are_userspace_observable() {
     let out = run_latency_trace(DefenseConfig::prac(128), 600, Span::from_ns(30));
     let ratio = out.backoff_over_refresh().expect("both bands observed");
-    assert!((1.3..2.8).contains(&ratio), "back-off/refresh ratio {ratio} (paper: 1.9)");
+    assert!(
+        (1.3..2.8).contains(&ratio),
+        "back-off/refresh ratio {ratio} (paper: 1.9)"
+    );
     let rpb = out.requests_per_backoff.expect("back-offs observed");
-    assert!((180.0..340.0).contains(&rpb), "requests/back-off {rpb} (paper: ~255)");
+    assert!(
+        (180.0..340.0).contains(&rpb),
+        "requests/back-off {rpb} (paper: ~255)"
+    );
 }
 
 /// §7.2: under PRFM the RFM-class event appears every ~41.8 accesses at
@@ -52,7 +62,10 @@ fn claim_backoffs_are_userspace_observable() {
 fn claim_rfm_period_matches_trfm() {
     let out = run_latency_trace(DefenseConfig::prfm(40), 500, Span::from_ns(30));
     let rpr = out.requests_per_rfm.expect("RFM events observed");
-    assert!((34.0..56.0).contains(&rpr), "requests/RFM {rpr} (paper: 41.8)");
+    assert!(
+        (34.0..56.0).contains(&rpr),
+        "requests/RFM {rpr} (paper: 41.8)"
+    );
 }
 
 /// §4: the channel only exists *because of* the defense — an undefended
@@ -62,6 +75,9 @@ fn claim_channel_is_defense_induced() {
     let mut opts = CovertOptions::new(ChannelKind::Prac, bits_of_str("HI"));
     opts.sim.defense = DefenseConfig::none();
     let out = run_covert(&opts);
-    assert!(out.decoded.iter().all(|&b| b == 0), "no defense, no channel");
+    assert!(
+        out.decoded.iter().all(|&b| b == 0),
+        "no defense, no channel"
+    );
     assert_eq!(out.backoffs, 0);
 }

@@ -24,7 +24,11 @@ fn hammer_and_measure(defense: DefenseConfig, span: Span) -> u64 {
 #[test]
 fn prac_family_is_secure_at_every_swept_threshold() {
     let timing = DramTiming::ddr5_4800();
-    for kind in [DefenseKind::Prac, DefenseKind::PracRiac, DefenseKind::PracBank] {
+    for kind in [
+        DefenseKind::Prac,
+        DefenseKind::PracRiac,
+        DefenseKind::PracBank,
+    ] {
         for nrh in [256u32, 128, 64] {
             let cfg = DefenseConfig::for_threshold(kind, nrh, &timing);
             let max = hammer_and_measure(cfg, Span::from_us(400));
@@ -43,14 +47,20 @@ fn prfm_and_fr_rfm_bound_disturbance() {
         let nrh = 256u32;
         let cfg = DefenseConfig::for_threshold(kind, nrh, &timing);
         let max = hammer_and_measure(cfg, Span::from_us(400));
-        assert!(max < nrh as u64, "{kind} at NRH={nrh}: victim pressure reached {max}");
+        assert!(
+            max < nrh as u64,
+            "{kind} at NRH={nrh}: victim pressure reached {max}"
+        );
     }
 }
 
 #[test]
 fn no_defense_is_insecure() {
     let max = hammer_and_measure(DefenseConfig::none(), Span::from_us(400));
-    assert!(max >= 1024, "unmitigated double-sided hammering reached only {max}");
+    assert!(
+        max >= 1024,
+        "unmitigated double-sided hammering reached only {max}"
+    );
 }
 
 #[test]
@@ -116,9 +126,17 @@ fn security_holds_while_the_covert_channel_runs() {
     let opts = CovertOptions::new(ChannelKind::Prac, bits_of_str("SAFE"));
     let out = run_covert(&opts);
     assert_eq!(out.decoded, opts.bits, "channel works");
-    // NRH for the paper's NBO=128 configuration is 256.
-    // (run_covert discards the system, so re-run with direct observation.)
-    let cfg = DefenseConfig::prac(128);
+    // A PRAC provisioned for NRH=256 by the repo's own scaling rule
+    // (`scaled_nbo` reserves ABO-window slack below NRH/2; a bare
+    // NBO=NRH/2 config lets the alert-window activations overshoot by
+    // a couple of counts, which is why `for_threshold` under-provisions
+    // NBO). (run_covert discards the system, so re-run with direct
+    // observation.)
+    let cfg =
+        DefenseConfig::for_threshold(DefenseKind::Prac, 256, &lh_dram::DramTiming::ddr5_4800());
     let max = hammer_and_measure(cfg, Span::from_us(500));
-    assert!(max < 256, "PRAC must stay secure under attack, pressure {max}");
+    assert!(
+        max < 256,
+        "PRAC must stay secure under attack, pressure {max}"
+    );
 }
