@@ -22,9 +22,9 @@
 //!                  ReceiverConfig, SenderConfig};
 //! use lh_defenses::DefenseConfig;
 //! use lh_dram::{Span, Time};
-//! use lh_sim::{SimConfig, System};
+//! use lh_sim::SystemBuilder;
 //!
-//! let mut sys = System::new(SimConfig::paper_default(DefenseConfig::prac(128))).unwrap();
+//! let mut sys = SystemBuilder::new(DefenseConfig::prac(128)).build().unwrap();
 //! let layout = ChannelLayout::default_bank(sys.mapping());
 //! let cls = LatencyClassifier::from_timing(&lh_dram::DramTiming::ddr5_4800(), Span::from_ns(30));
 //! let bits = vec![1, 0, 1];
@@ -73,7 +73,7 @@ mod tests {
     use lh_analysis::message::bits_of_str;
     use lh_defenses::DefenseConfig;
     use lh_dram::{DramTiming, Span, Time};
-    use lh_sim::{SimConfig, System};
+    use lh_sim::{SimConfig, SystemBuilder};
 
     const THINK: Span = Span::from_ns(30);
 
@@ -92,7 +92,7 @@ mod tests {
         trecv: u32,
         sleep_after_detect: bool,
     ) -> Vec<u8> {
-        let mut sys = System::new(SimConfig::paper_default(defense)).unwrap();
+        let mut sys = SystemBuilder::new(defense).build().unwrap();
         let layout = ChannelLayout::default_bank(sys.mapping());
         let tx = CovertSender::new(SenderConfig::binary(
             layout.sender_rows,
@@ -232,7 +232,7 @@ mod tests {
     fn counter_leak_recovers_victim_activation_count() {
         let mut cfg = SimConfig::paper_default(DefenseConfig::prac(128));
         cfg.defense.prac.as_mut().unwrap().nbo = 128;
-        let mut sys = System::new(cfg).unwrap();
+        let mut sys = SystemBuilder::from_config(cfg).build().unwrap();
         let layout = ChannelLayout::default_bank(sys.mapping());
         let secret = 60u32;
         // Victim activates the shared row `secret` times, finishing well
@@ -265,7 +265,7 @@ mod tests {
 
     #[test]
     fn drama_baseline_works_without_any_defense() {
-        let mut sys = System::new(SimConfig::paper_default(DefenseConfig::none())).unwrap();
+        let mut sys = SystemBuilder::new(DefenseConfig::none()).build().unwrap();
         let layout = ChannelLayout::default_bank(sys.mapping());
         let bits = bits_of_str("OK");
         let window = Span::from_us(4);
@@ -296,7 +296,9 @@ mod tests {
     fn fingerprint_probe_avoids_triggering_backoffs() {
         // The probe alone (T = NBO-1 accesses per row, mostly row hits)
         // must not cause back-offs.
-        let mut sys = System::new(SimConfig::paper_default(DefenseConfig::prac(128))).unwrap();
+        let mut sys = SystemBuilder::new(DefenseConfig::prac(128))
+            .build()
+            .unwrap();
         let layout = ChannelLayout::default_bank(sys.mapping());
         let probe = FingerprintProbe::new(
             vec![layout.receiver_row, layout.noise_rows[0]],
@@ -315,7 +317,9 @@ mod tests {
 
     #[test]
     fn fingerprint_probe_observes_other_processes_backoffs() {
-        let mut sys = System::new(SimConfig::paper_default(DefenseConfig::prac(128))).unwrap();
+        let mut sys = SystemBuilder::new(DefenseConfig::prac(128))
+            .build()
+            .unwrap();
         let layout = ChannelLayout::default_bank(sys.mapping());
         // A hammering "victim" in another bank triggers back-offs...
         let victim_rows = {

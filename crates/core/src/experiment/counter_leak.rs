@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 use lh_attacks::{ChannelLayout, CounterLeakAttacker, CounterLeakVictim, LatencyClassifier};
 use lh_defenses::DefenseConfig;
 use lh_dram::{Span, Time};
-use lh_sim::{SimConfig, System};
+use lh_sim::{SimConfig, SystemBuilder};
 
 /// One trial's result.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -46,10 +46,12 @@ pub fn run_counter_leak(trials: usize, seed: u64) -> CounterLeakOutcome {
     let mut out = Vec::new();
     for t in 0..trials {
         let secret = 8 + ((seed ^ (t as u64).wrapping_mul(0x9e37_79b9)) % (nbo as u64 - 16)) as u32;
-        let mut sim = SimConfig::paper_default(DefenseConfig::prac(nbo));
-        sim.seed = seed ^ t as u64;
+        let sim = SimConfig::paper_default(DefenseConfig::prac(nbo));
         let cls = LatencyClassifier::from_timing(&sim.device.timing, think);
-        let mut sys = System::new(sim).expect("valid configuration");
+        let mut sys = SystemBuilder::from_config(sim)
+            .seed(seed ^ t as u64)
+            .build()
+            .expect("valid configuration");
         let layout = ChannelLayout::default_bank(sys.mapping());
         let victim =
             CounterLeakVictim::new(layout.sender_rows[0], layout.sender_rows[1], secret, think);

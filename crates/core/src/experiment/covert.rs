@@ -11,10 +11,10 @@ use lh_attacks::{
     ChannelLayout, CovertReceiver, CovertSender, LatencyClassifier, NoiseProcess, ReceiverConfig,
     SenderConfig,
 };
-use lh_defenses::DefenseConfig;
+use lh_defenses::{DefenseConfig, DefenseStats};
 use lh_dram::{Span, Time};
 use lh_memctrl::AddressMapping;
-use lh_sim::{SimConfig, System};
+use lh_sim::{SimConfig, SystemBuilder};
 use lh_workloads::{AppProfile, SyntheticApp};
 
 /// Which LeakyHammer covert channel to run.
@@ -131,6 +131,10 @@ pub struct CovertOutcome {
     pub backoffs: u64,
     /// RFM commands issued.
     pub rfms: u64,
+    /// Defense counters, including the scheduling-pressure split of
+    /// scheduled maintenance (taken exactly at the deadline vs deferred
+    /// past it because the rank could not quiesce in time).
+    pub defense_stats: DefenseStats,
 }
 
 /// Runs one covert transmission.
@@ -139,7 +143,9 @@ pub struct CovertOutcome {
 ///
 /// Panics if the system cannot be constructed (invalid configuration).
 pub fn run_covert(opts: &CovertOptions) -> CovertOutcome {
-    let mut sys = System::new(opts.sim.clone()).expect("valid system configuration");
+    let mut sys = SystemBuilder::from_config(opts.sim.clone())
+        .build()
+        .expect("valid system configuration");
     let cls = LatencyClassifier::from_timing(&opts.sim.device.timing, opts.think);
     let (detect, detect_max) = opts
         .detection_band
@@ -204,6 +210,7 @@ pub fn run_covert(opts: &CovertOptions) -> CovertOutcome {
         per_window_events,
         backoffs: sys.controller().stats().backoffs,
         rfms: sys.controller().stats().rfms,
+        defense_stats: sys.controller().defense_stats(),
     }
 }
 
@@ -223,6 +230,7 @@ pub fn run_patterns(kind: ChannelKind, bits_per_pattern: usize, seed: u64) -> Co
         all.per_window_events.extend(o.per_window_events);
         all.backoffs += o.backoffs;
         all.rfms += o.rfms;
+        all.defense_stats.absorb(&o.defense_stats);
     }
     all.result = merged;
     all

@@ -10,7 +10,7 @@ use lh_attacks::{ChannelLayout, Fingerprint, FingerprintProbe, LatencyClassifier
 use lh_defenses::{DefenseConfig, DefenseKind};
 use lh_dram::{DramTiming, Span, Time};
 use lh_ml::{cross_validate, model_zoo, CvScores, Dataset};
-use lh_sim::{BopConfig, CacheConfig, SimConfig, System};
+use lh_sim::{BopConfig, CacheConfig, SimConfig, SystemBuilder};
 use lh_workloads::{BrowserProcess, WebsiteProfile};
 
 use crate::Scale;
@@ -68,12 +68,14 @@ pub fn collect_one(site: usize, trace_seed: u64, opts: &CollectOptions) -> Finge
     let defense = DefenseConfig::for_threshold(DefenseKind::Prac, 64, &DramTiming::ddr5_4800());
     let think = Span::from_ns(30);
     let nbo = defense.prac.expect("PRAC enabled").nbo;
-    let mut sim = SimConfig::paper_default(defense);
-    sim.caches = opts.caches;
-    sim.prefetch = opts.prefetch;
-    sim.seed = trace_seed;
+    let sim = SimConfig::paper_default(defense);
     let cls = LatencyClassifier::from_timing(&sim.device.timing, think);
-    let mut sys = System::new(sim).expect("valid configuration");
+    let mut sys = SystemBuilder::from_config(sim)
+        .caches(opts.caches)
+        .prefetcher(opts.prefetch)
+        .seed(trace_seed)
+        .build()
+        .expect("valid configuration");
     let layout = ChannelLayout::default_bank(sys.mapping());
     let browser = BrowserProcess::new(
         WebsiteProfile::of_site(site),

@@ -9,7 +9,7 @@ use serde::{Deserialize, Serialize};
 use lh_attacks::{ChannelLayout, LatencyClass, LatencyClassifier};
 use lh_defenses::DefenseConfig;
 use lh_dram::{Span, Time};
-use lh_sim::{LatencySample, LoopProcess, SimConfig, System};
+use lh_sim::{LatencySample, LoopProcess, SimConfig, SystemBuilder};
 
 /// Outcome of a latency-trace run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -53,7 +53,9 @@ pub fn run_latency_trace(
 ) -> LatencyTraceOutcome {
     let sim = SimConfig::paper_default(defense);
     let classifier = LatencyClassifier::from_timing(&sim.device.timing, think);
-    let mut sys = System::new(sim).expect("valid system configuration");
+    let mut sys = SystemBuilder::from_config(sim)
+        .build()
+        .expect("valid system configuration");
     let layout = ChannelLayout::default_bank(sys.mapping());
     let probe = LoopProcess::new(
         vec![layout.sender_rows[0], layout.sender_rows[1]],

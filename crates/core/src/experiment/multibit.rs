@@ -14,7 +14,7 @@ use lh_attacks::{
 };
 use lh_defenses::DefenseConfig;
 use lh_dram::{Span, Time};
-use lh_sim::{SimConfig, System};
+use lh_sim::{SimConfig, SystemBuilder};
 
 /// Outcome of a multibit transmission (one row of the §6.3 comparison).
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -49,10 +49,12 @@ fn transmit(
     seed: u64,
 ) -> Vec<lh_attacks::WindowObservation> {
     let window = Span::from_us(25);
-    let mut sim = SimConfig::paper_default(DefenseConfig::prac(128));
-    sim.seed = seed;
+    let sim = SimConfig::paper_default(DefenseConfig::prac(128));
     let cls = LatencyClassifier::from_timing(&sim.device.timing, think);
-    let mut sys = System::new(sim).expect("valid configuration");
+    let mut sys = SystemBuilder::from_config(sim)
+        .seed(seed)
+        .build()
+        .expect("valid configuration");
     let layout = ChannelLayout::default_bank(sys.mapping());
     let tx = CovertSender::new(SenderConfig {
         rows: layout.sender_rows,

@@ -8,7 +8,7 @@ use lh_analysis::{mean, normalized_ws, weighted_speedup, AppPerf};
 use lh_defenses::{DefenseConfig, DefenseKind};
 use lh_dram::{Span, Time};
 use lh_memctrl::AddressMapping;
-use lh_sim::{SimConfig, System};
+use lh_sim::SystemBuilder;
 use lh_workloads::{four_core_mixes, AppProfile, SyntheticApp};
 
 use crate::Scale;
@@ -50,12 +50,13 @@ impl PerfStudy {
 /// Runs one four-core mix under `defense` for `span`; returns per-app
 /// performance.
 fn run_mix(mix: &[AppProfile; 4], defense: DefenseConfig, span: Span, seed: u64) -> Vec<AppPerf> {
-    let mut sim = SimConfig::paper_default(defense);
-    sim.seed = seed;
     // Performance runs do not need disturb ground truth; skipping it
     // speeds the sweep up considerably.
-    let mut sys = System::new(sim).expect("valid configuration");
-    sys.controller_mut().device_mut().set_disturb_enabled(false);
+    let mut sys = SystemBuilder::new(defense)
+        .seed(seed)
+        .disturb_tracking(false)
+        .build()
+        .expect("valid configuration");
     let mapping: AddressMapping = *sys.mapping();
     let end = Time::ZERO + span;
     let mut pids = Vec::new();
@@ -81,10 +82,11 @@ fn run_alone(mix: &[AppProfile; 4], span: Span, seed: u64) -> Vec<AppPerf> {
     mix.iter()
         .enumerate()
         .map(|(i, profile)| {
-            let mut sim = SimConfig::paper_default(DefenseConfig::none());
-            sim.seed = seed;
-            let mut sys = System::new(sim).expect("valid configuration");
-            sys.controller_mut().device_mut().set_disturb_enabled(false);
+            let mut sys = SystemBuilder::new(DefenseConfig::none())
+                .seed(seed)
+                .disturb_tracking(false)
+                .build()
+                .expect("valid configuration");
             let mapping: AddressMapping = *sys.mapping();
             let end = Time::ZERO + span;
             let app = SyntheticApp::new(profile.clone(), mapping, seed ^ (i as u64 * 31), end);

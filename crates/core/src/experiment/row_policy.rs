@@ -14,7 +14,7 @@ use lh_attacks::{ChannelLayout, DramaConfig, DramaReceiver, DramaSender, Latency
 use lh_defenses::DefenseConfig;
 use lh_dram::{Span, Time};
 use lh_memctrl::RowPolicy;
-use lh_sim::{SimConfig, System};
+use lh_sim::{SimConfig, SystemBuilder};
 
 use crate::experiment::covert::{run_covert, ChannelKind, CovertOptions};
 
@@ -41,11 +41,13 @@ fn drama_capacity(policy: RowPolicy, bits: &[u8], seed: u64) -> f64 {
     let rx_think = Span::from_ns(150);
     let tx_think = Span::from_ns(700);
     let window = Span::from_us(4);
-    let mut sim = SimConfig::paper_default(DefenseConfig::none());
-    sim.ctrl.row_policy = policy;
-    sim.seed = seed;
+    let sim = SimConfig::paper_default(DefenseConfig::none());
     let cls = LatencyClassifier::from_timing(&sim.device.timing, rx_think);
-    let mut sys = System::new(sim).expect("valid configuration");
+    let mut sys = SystemBuilder::from_config(sim)
+        .row_policy(policy)
+        .seed(seed)
+        .build()
+        .expect("valid configuration");
     let layout = ChannelLayout::default_bank(sys.mapping());
     let tx = DramaSender::new(
         layout.sender_rows[0],

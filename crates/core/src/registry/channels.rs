@@ -124,6 +124,14 @@ impl Job for CovertJob {
             .with("capacity_kbps", out.result.capacity_kbps())
             .with("backoffs", out.backoffs)
             .with("rfms", out.rfms)
+            // Scheduling pressure: how many scheduled maintenance
+            // operations (FR-RFM RFMs) hit their deadline exactly vs
+            // slipped past it.
+            .with("maintenance_on_time", out.defense_stats.maintenance_on_time)
+            .with(
+                "maintenance_deferred",
+                out.defense_stats.maintenance_deferred,
+            )
             .with("decoded", lh_analysis::str_of_bits(&out.decoded))
             .with("text", s)
     }

@@ -6,16 +6,22 @@
 //! | Defense | Trigger | Preventive action | Where |
 //! |---|---|---|---|
 //! | PRAC | per-row counters ≥ `NBO` | ABO → 4×RFMab back-off | device (`lh-dram`) |
-//! | PRFM | per-bank counters ≥ `TRFM` | RFMsb | controller ([`MitigationEngine`]) |
-//! | FR-RFM | fixed wall-clock period | RFMab | controller ([`MitigationEngine`]) |
+//! | PRFM | per-bank counters ≥ `TRFM` | RFMsb | controller ([`PrfmDefense`]) |
+//! | FR-RFM | fixed wall-clock period | RFMab | controller ([`FrRfmDefense`]) |
 //! | PRAC-RIAC | PRAC w/ random counter init | as PRAC | device |
 //! | PRAC-Bank | PRAC w/ per-bank alert | single-bank back-off | device |
-//! | PARA | per-ACT coin flip | neighbor refresh | controller |
-//! | Graphene | Misra-Gries summary ≥ threshold | neighbor refresh | controller ([`trackers`]) |
-//! | Hydra | group + per-row counters | neighbor refresh | controller ([`trackers`]) |
-//! | CoMeT | count-min sketch ≥ threshold | neighbor refresh | controller ([`trackers`]) |
-//! | MINT | reservoir sample per `tREFI` | in-REF refresh (hidden) | controller ([`trackers`]) |
-//! | BlockHammer | rate filter blacklist | ACT throttling | controller ([`trackers`]) |
+//! | PARA | per-ACT coin flip | neighbor refresh | controller ([`ParaDefense`]) |
+//! | Graphene | Misra-Gries summary ≥ threshold | neighbor refresh | controller ([`GrapheneDefense`]) |
+//! | Hydra | group + per-row counters | neighbor refresh | controller ([`HydraDefense`]) |
+//! | CoMeT | count-min sketch ≥ threshold | neighbor refresh | controller ([`CometDefense`]) |
+//! | MINT | reservoir sample per `tREFI` | in-REF refresh (hidden) | controller ([`MintDefense`]) |
+//! | BlockHammer | rate filter blacklist | ACT throttling | controller ([`BlockHammerDefense`]) |
+//!
+//! Every controller-side defense is one concrete type behind the
+//! [`Defense`] trait ([`build_defense`] is the factory), so the memory
+//! controller schedules preventive work — reactive [`DefenseAction`]s
+//! and time-driven [`Maintenance`] operations — without naming any
+//! defense. Adding a defense touches this crate only.
 //!
 //! [`DefenseConfig::for_threshold`] provisions any of them for a RowHammer
 //! threshold `N_RH`, using the scaling rules documented in `DESIGN.md`.
@@ -40,11 +46,15 @@
 #![warn(missing_debug_implementations)]
 
 mod config;
-mod engine;
+mod defense;
 pub mod taxonomy;
 pub mod trackers;
 
 pub use config::{
     scaled_nbo, scaled_trfm, DefenseConfig, DefenseKind, FrRfmConfig, ParaConfig, PrfmConfig,
 };
-pub use engine::{DefenseAction, DefenseStats, MitigationEngine};
+pub use defense::{
+    build_defense, AggressorTracker, BlockHammerDefense, CometDefense, Defense, DefenseAction,
+    DefenseStats, DeviceSideDefense, FrRfmDefense, GrapheneDefense, HydraDefense, Maintenance,
+    MintDefense, ParaDefense, PrfmDefense, TrackerDefense,
+};

@@ -5,11 +5,15 @@
 //! ground truth, and (optionally) the PRAC alert mechanism. The memory
 //! controller drives it through two calls:
 //!
-//! * [`DramDevice::earliest_issue`] — when could this command legally issue?
+//! * [`DramDevice::earliest_legal`] — first instant at or after `now` at
+//!   which this command could legally issue (a *total* query: transiently
+//!   illegal commands get the instant they become issuable, never an
+//!   error);
 //! * [`DramDevice::issue`] — issue it, returning data timing and any alert.
 //!
-//! The device *refuses* protocol violations instead of mis-modelling them,
-//! so controller bugs surface as [`DramError`]s in tests.
+//! The device *refuses* protocol violations at issue time instead of
+//! mis-modelling them, so controller bugs surface as [`DramError`]s in
+//! tests.
 
 use serde::{Deserialize, Serialize};
 
@@ -88,7 +92,7 @@ impl Default for DeviceConfig {
 /// let mut dev = DramDevice::new(DeviceConfig::paper_default()).unwrap();
 /// let bank = BankId::new(0, 0, 0, 0);
 /// let act = Command::Activate { bank, row: 7 };
-/// let at = dev.earliest_issue(&act, Time::ZERO).unwrap();
+/// let at = dev.earliest_legal(&act, Time::ZERO);
 /// dev.issue(&act, at).unwrap();
 /// assert_eq!(dev.open_row(bank), Some(7));
 /// ```
@@ -230,30 +234,118 @@ impl DramDevice {
         }
     }
 
-    /// Earliest instant `cmd` may legally issue, considering bank, rank and
-    /// bus constraints.
+    /// First instant **at or after `now`** at which `cmd` could legally
+    /// issue, considering bank, rank and bus constraints.
+    ///
+    /// This query is *total* over well-formed commands — it never fails
+    /// for transient illegality. When `cmd` is legal in the current FSM
+    /// state, the returned instant is exact: issuing at it succeeds, and
+    /// issuing earlier is a timing violation. When `cmd` is transiently
+    /// illegal (an `ACT` while a row is open, a column command to a
+    /// closed bank, a `REF`/`RFM` while affected banks hold open rows),
+    /// the device returns a *lower bound* on when the command can become
+    /// legal, assuming the controller performs the implied preparatory
+    /// commands (`PRE` before `ACT`, `ACT` before `RD`/`WR`) at their own
+    /// earliest instants. Schedulers wake at the returned time and
+    /// re-evaluate; they never need to poll.
+    ///
+    /// Guarantees relied upon by `lh-memctrl` and asserted by its
+    /// property tests:
+    ///
+    /// * **total** — returns a `Time` for every address-valid command in
+    ///   every device state;
+    /// * **monotone** — for `now1 <= now2`,
+    ///   `earliest_legal(cmd, now1) <= earliest_legal(cmd, now2)`, and the
+    ///   result is always `>= now`;
+    /// * **sound** — whenever the returned instant is strictly after
+    ///   `now` (i.e. a device constraint, not the `now` clamp, is the
+    ///   binding bound), `issue(cmd, t)` fails with a timing violation
+    ///   for every earlier `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed commands (addresses outside the geometry):
+    /// those are programming errors, not scheduling states. Use
+    /// [`DramDevice::issue`] if you need an `Err` for them.
+    pub fn earliest_legal(&self, cmd: &Command, now: Time) -> Time {
+        if let Err(e) = self.check_address(cmd) {
+            panic!("earliest_legal on malformed command: {e}");
+        }
+        self.earliest_from_state(cmd).max(now)
+    }
+
+    /// Earliest instant `cmd` may legally issue (legacy shim).
     ///
     /// # Errors
     ///
-    /// Returns [`DramError::ProtocolViolation`] if the command is illegal in
-    /// the current bank state (e.g. `RD` to a closed bank), and
+    /// Returns [`DramError::ProtocolViolation`] if the command is illegal
+    /// in the current bank state (e.g. `RD` to a closed bank), and
     /// [`DramError::AddressOutOfRange`] for invalid coordinates.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the total `earliest_legal` query; it never errors for \
+                transient illegality, so schedulers can wake exactly when \
+                a command becomes issuable instead of polling"
+    )]
     pub fn earliest_issue(&self, cmd: &Command, _now: Time) -> Result<Time, DramError> {
         self.check_address(cmd)?;
-        let t = &self.config.timing;
-        let mut earliest = self.cmd_free;
+        self.check_state(cmd)?;
+        Ok(self.earliest_from_state(cmd))
+    }
+
+    /// Whether `cmd` is legal in the *current* FSM state (row open/closed
+    /// requirements); timing constraints are checked separately.
+    fn check_state(&self, cmd: &Command) -> Result<(), DramError> {
         match *cmd {
             Command::Activate { bank, .. } => {
-                let b = &self.banks[self.flat(bank)];
-                if b.open_row().is_some() {
+                if self.banks[self.flat(bank)].open_row().is_some() {
                     return Err(DramError::ProtocolViolation {
                         command: *cmd,
                         reason: "ACT to a bank with an open row",
                     });
                 }
+            }
+            Command::Read { bank, .. } | Command::Write { bank, .. } => {
+                if self.banks[self.flat(bank)].open_row().is_none() {
+                    return Err(DramError::ProtocolViolation {
+                        command: *cmd,
+                        reason: "column command to a closed bank",
+                    });
+                }
+            }
+            Command::Refresh { .. } | Command::Rfm { .. } => {
+                for flat in self.affected_banks(cmd) {
+                    if self.banks[flat].open_row().is_some() {
+                        return Err(DramError::ProtocolViolation {
+                            command: *cmd,
+                            reason: "REF/RFM requires affected banks precharged",
+                        });
+                    }
+                }
+            }
+            Command::Precharge { .. } | Command::PrechargeAll { .. } => {}
+        }
+        Ok(())
+    }
+
+    /// Unclamped earliest-issue computation shared by
+    /// [`DramDevice::earliest_legal`] and the [`DramDevice::issue`]
+    /// validation path. Total over address-valid commands: transiently
+    /// illegal commands get the implied-preparation lower bound.
+    fn earliest_from_state(&self, cmd: &Command) -> Time {
+        let t = &self.config.timing;
+        let mut earliest = self.cmd_free;
+        match *cmd {
+            Command::Activate { bank, .. } => {
+                let b = &self.banks[self.flat(bank)];
                 earliest = earliest
                     .max(b.earliest_act())
                     .max(self.ranks[bank.rank as usize].earliest_act(bank.bank_group, t));
+                if b.open_row().is_some() {
+                    // Transiently illegal: the open row must close first.
+                    // The implied PRE at its earliest instant starts tRP.
+                    earliest = earliest.max(b.earliest_pre() + t.t_rp);
+                }
             }
             Command::Precharge { bank } => {
                 let b = &self.banks[self.flat(bank)];
@@ -270,12 +362,6 @@ impl DramDevice {
             Command::Read { bank, .. } | Command::Write { bank, .. } => {
                 let is_read = matches!(cmd, Command::Read { .. });
                 let b = &self.banks[self.flat(bank)];
-                if b.open_row().is_none() {
-                    return Err(DramError::ProtocolViolation {
-                        command: *cmd,
-                        reason: "column command to a closed bank",
-                    });
-                }
                 earliest = earliest
                     .max(if is_read {
                         b.earliest_rd()
@@ -283,6 +369,15 @@ impl DramDevice {
                         b.earliest_wr()
                     })
                     .max(self.ranks[bank.rank as usize].earliest_any());
+                if b.open_row().is_none() {
+                    // Transiently illegal: a row must open first. The
+                    // implied ACT at its earliest instant starts tRCD.
+                    let act = self
+                        .cmd_free
+                        .max(b.earliest_act())
+                        .max(self.ranks[bank.rank as usize].earliest_act(bank.bank_group, t));
+                    earliest = earliest.max(act + t.t_rcd);
+                }
                 if let Some((last, bg)) = self.last_col {
                     let ccd = if bg == bank.bank_group {
                         t.t_ccd_l
@@ -297,24 +392,28 @@ impl DramDevice {
                 earliest = earliest.max(Time::ZERO + min_issue);
             }
             Command::Refresh { rank, .. } | Command::Rfm { rank, .. } => {
-                let banks: Vec<usize> = match *cmd {
-                    Command::Refresh { .. } => self.rank_banks(rank).collect(),
-                    Command::Rfm { scope, .. } => self.rfm_banks(rank, scope),
-                    _ => unreachable!(),
-                };
-                for &flat in &banks {
-                    if self.banks[flat].open_row().is_some() {
-                        return Err(DramError::ProtocolViolation {
-                            command: *cmd,
-                            reason: "REF/RFM requires affected banks precharged",
-                        });
+                for flat in self.affected_banks(cmd) {
+                    let b = &self.banks[flat];
+                    earliest = earliest.max(b.earliest_act());
+                    if b.open_row().is_some() {
+                        // Transiently illegal: the bank must precharge
+                        // before it can absorb a REF/RFM.
+                        earliest = earliest.max(b.earliest_pre() + t.t_rp);
                     }
-                    earliest = earliest.max(self.banks[flat].earliest_act());
                 }
                 earliest = earliest.max(self.ranks[rank as usize].earliest_any());
             }
         }
-        Ok(earliest)
+        earliest
+    }
+
+    /// Flat indices of the banks a REF/RFM on `rank` blocks.
+    fn affected_banks(&self, cmd: &Command) -> Vec<usize> {
+        match *cmd {
+            Command::Refresh { rank, .. } => self.rank_banks(rank).collect(),
+            Command::Rfm { rank, scope, .. } => self.rfm_banks(rank, scope),
+            _ => unreachable!("affected_banks is only defined for REF/RFM"),
+        }
     }
 
     fn rank_banks(&self, rank: u32) -> impl Iterator<Item = usize> + '_ {
@@ -360,11 +459,15 @@ impl DramDevice {
     ///
     /// # Errors
     ///
-    /// Returns [`DramError::TimingViolation`] if `now` precedes the earliest
-    /// legal issue time, plus the protocol/address errors of
-    /// [`DramDevice::earliest_issue`].
+    /// Returns [`DramError::TimingViolation`] if `now` precedes the
+    /// earliest legal issue time ([`DramDevice::earliest_legal`]),
+    /// [`DramError::ProtocolViolation`] if the command is illegal in the
+    /// current bank state, and [`DramError::AddressOutOfRange`] for
+    /// invalid coordinates.
     pub fn issue(&mut self, cmd: &Command, now: Time) -> Result<IssueOutcome, DramError> {
-        let earliest = self.earliest_issue(cmd, now)?;
+        self.check_address(cmd)?;
+        self.check_state(cmd)?;
+        let earliest = self.earliest_from_state(cmd);
         if now < earliest {
             return Err(DramError::TimingViolation {
                 command: *cmd,
@@ -551,24 +654,52 @@ mod tests {
 
     /// Issue `cmd` at its earliest legal time; returns (time, outcome).
     fn issue_asap(dev: &mut DramDevice, cmd: Command) -> (Time, IssueOutcome) {
-        let at = dev.earliest_issue(&cmd, Time::ZERO).unwrap();
+        let at = dev.earliest_legal(&cmd, Time::ZERO);
         let out = dev.issue(&cmd, at).unwrap();
         (at, out)
     }
 
     #[test]
     fn read_needs_open_row() {
-        let dev = tiny_device(None);
-        let err = dev
-            .earliest_issue(
-                &Command::Read {
-                    bank: bank0(),
-                    col: 0,
-                },
-                Time::ZERO,
-            )
-            .unwrap_err();
+        let mut dev = tiny_device(None);
+        let cmd = Command::Read {
+            bank: bank0(),
+            col: 0,
+        };
+        // Issuing to a closed bank is a protocol violation...
+        let err = dev.issue(&cmd, Time::ZERO).unwrap_err();
         assert!(matches!(err, DramError::ProtocolViolation { .. }));
+        // ...but the legality query stays total: it answers with the
+        // implied-ACT lower bound instead of an error.
+        let t = *dev.timing();
+        assert_eq!(dev.earliest_legal(&cmd, Time::ZERO), Time::ZERO + t.t_rcd);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn earliest_issue_shim_matches_legacy_contract() {
+        let mut dev = tiny_device(None);
+        let rd = Command::Read {
+            bank: bank0(),
+            col: 0,
+        };
+        // Legacy behaviour: transient illegality is an error.
+        assert!(matches!(
+            dev.earliest_issue(&rd, Time::ZERO),
+            Err(DramError::ProtocolViolation { .. })
+        ));
+        issue_asap(
+            &mut dev,
+            Command::Activate {
+                bank: bank0(),
+                row: 3,
+            },
+        );
+        // For state-legal commands the shim agrees with the total query.
+        assert_eq!(
+            dev.earliest_issue(&rd, Time::ZERO).unwrap(),
+            dev.earliest_legal(&rd, Time::ZERO)
+        );
     }
 
     #[test]
@@ -607,16 +738,18 @@ mod tests {
                 row: 3,
             },
         );
-        let err = dev
-            .earliest_issue(
-                &Command::Activate {
-                    bank: bank0(),
-                    row: 4,
-                },
-                Time::ZERO,
-            )
-            .unwrap_err();
+        let second = Command::Activate {
+            bank: bank0(),
+            row: 4,
+        };
+        let err = dev.issue(&second, Time::from_us(1)).unwrap_err();
         assert!(matches!(err, DramError::ProtocolViolation { .. }));
+        // The total query answers with the implied PRE→ACT bound.
+        let t = *dev.timing();
+        assert_eq!(
+            dev.earliest_legal(&second, Time::ZERO),
+            Time::ZERO + t.t_ras + t.t_rp
+        );
     }
 
     #[test]
@@ -727,7 +860,7 @@ mod tests {
             bank: bank0(),
             row: 1,
         };
-        let earliest = dev.earliest_issue(&act, Time::ZERO).unwrap();
+        let earliest = dev.earliest_legal(&act, Time::ZERO);
         assert!(earliest >= ref_at + dev.timing().t_rfc);
         assert_eq!(dev.stats().refreshes, 1);
     }
@@ -735,23 +868,25 @@ mod tests {
     #[test]
     fn refresh_requires_precharged_banks() {
         let mut dev = tiny_device(None);
-        issue_asap(
+        let (act_at, _) = issue_asap(
             &mut dev,
             Command::Activate {
                 bank: bank0(),
                 row: 1,
             },
         );
-        let err = dev
-            .earliest_issue(
-                &Command::Refresh {
-                    channel: 0,
-                    rank: 0,
-                },
-                Time::ZERO,
-            )
-            .unwrap_err();
+        let refresh = Command::Refresh {
+            channel: 0,
+            rank: 0,
+        };
+        let err = dev.issue(&refresh, Time::ZERO).unwrap_err();
         assert!(matches!(err, DramError::ProtocolViolation { .. }));
+        // Total query: legal once the open bank can be precharged.
+        let t = *dev.timing();
+        assert_eq!(
+            dev.earliest_legal(&refresh, Time::ZERO),
+            act_at + t.t_ras + t.t_rp
+        );
     }
 
     #[test]
@@ -771,7 +906,7 @@ mod tests {
                 bank: BankId::new(0, 0, bg, 0),
                 row: 1,
             };
-            let e = dev.earliest_issue(&blocked, Time::ZERO).unwrap();
+            let e = dev.earliest_legal(&blocked, Time::ZERO);
             assert!(
                 e >= rfm_at + dev.timing().t_rfm,
                 "bg{bg} bank0 must be blocked"
@@ -782,7 +917,7 @@ mod tests {
             bank: BankId::new(0, 0, 0, 1),
             row: 1,
         };
-        let e = dev.earliest_issue(&free, Time::ZERO).unwrap();
+        let e = dev.earliest_legal(&free, Time::ZERO);
         assert!(e < rfm_at + dev.timing().t_rfm);
     }
 

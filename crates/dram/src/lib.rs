@@ -15,8 +15,10 @@
 //!   security tests.
 //!
 //! The memory controller (crate `lh-memctrl`) drives a [`DramDevice`]
-//! through [`DramDevice::earliest_issue`] / [`DramDevice::issue`]; the
-//! device rejects protocol or timing violations with a [`DramError`].
+//! through [`DramDevice::earliest_legal`] / [`DramDevice::issue`]; the
+//! legality query is *total* (transiently illegal commands get the
+//! instant they become issuable instead of an error), while `issue`
+//! rejects protocol or timing violations with a [`DramError`].
 //!
 //! ## Example
 //!
@@ -33,7 +35,7 @@
 //!     Command::Read { bank, col: 0 },
 //!     Command::Precharge { bank },
 //! ] {
-//!     let at = dev.earliest_issue(&cmd, Time::ZERO)?;
+//!     let at = dev.earliest_legal(&cmd, Time::ZERO);
 //!     dev.issue(&cmd, at)?;
 //! }
 //! assert_eq!(dev.counters().value(0, 42), 1);

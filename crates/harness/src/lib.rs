@@ -78,4 +78,4 @@ pub use sink::OutputFormat;
 
 /// Bump to invalidate every cached result after a change to experiment
 /// code whose outputs the cache key cannot see.
-pub const CODE_VERSION: u32 = 1;
+pub const CODE_VERSION: u32 = 2;

@@ -20,15 +20,25 @@
 //!   (footnote 3 of the paper);
 //! * the PRAC ABO protocol: alert ≈5 ns after `PRE` → `tABO_ACT` of normal
 //!   traffic → `rfms_per_backoff` RFM commands back-to-back → cool-down;
-//! * PRFM same-bank RFMs and FR-RFM fixed-rate all-bank RFMs via
-//!   [`MitigationEngine`];
-//! * PARA neighbor refreshes performed as activate+precharge of victims.
+//! * preventive work — reactive [`DefenseAction`]s (PRFM RFMs, PARA and
+//!   tracker neighbor refreshes, BlockHammer throttles) and scheduled
+//!   [`lh_defenses::Maintenance`] operations (FR-RFM's fixed-rate
+//!   all-bank RFMs) — via the defense-agnostic [`Defense`] trait.
+//!
+//! ## Total-time scheduling
+//!
+//! The controller never polls. Every wake instant it returns from
+//! [`MemoryController::service`] is the *exact* future time at which a
+//! scheduling decision can change: command legality comes from the total
+//! [`DramDevice::earliest_legal`] query, maintenance timing from
+//! [`Defense::next_deadline`]. There is no 1-ps re-arm anywhere; a wake
+//! at or before `now` is a bug and asserts.
 
 use std::collections::{HashMap, VecDeque};
 
 use serde::{Deserialize, Serialize};
 
-use lh_defenses::{DefenseAction, DefenseConfig, MitigationEngine};
+use lh_defenses::{build_defense, Defense, DefenseAction, DefenseConfig, DefenseStats};
 use lh_dram::{
     Alert, AlertScope, BankId, Command, DeviceConfig, DramDevice, DramError, RfmScope, Span, Time,
 };
@@ -126,6 +136,8 @@ pub struct CtrlStats {
     pub throttles: u64,
     /// Worst observed deviation of an FR-RFM command from its deadline.
     pub fr_rfm_jitter_max: Span,
+    /// Times [`MemoryController::service`] was invoked (scheduler wakes).
+    pub service_calls: u64,
 }
 
 /// Phase of an in-flight ABO back-off.
@@ -189,7 +201,9 @@ struct ParaJob {
 pub struct MemoryController {
     cfg: CtrlConfig,
     device: DramDevice,
-    defense: MitigationEngine,
+    defense: Box<dyn Defense>,
+    /// Cached [`Defense::maintenance_period`] (it is constant per run).
+    maint_period: Option<Span>,
     read_q: VecDeque<MemRequest>,
     write_q: VecDeque<MemRequest>,
     completed: Vec<Completion>,
@@ -251,11 +265,13 @@ impl MemoryController {
         let g = *device.geometry();
         let t = *device.timing();
         let ranks = g.ranks_per_channel() as usize;
-        let engine = MitigationEngine::new(defense, &g, seed ^ 0x5eed);
+        let engine = build_defense(&defense, &g, seed ^ 0x5eed);
+        let maint_period = engine.maintenance_period();
         Ok(MemoryController {
             cfg,
             device,
             defense: engine,
+            maint_period,
             read_q: VecDeque::new(),
             write_q: VecDeque::new(),
             completed: Vec::new(),
@@ -285,9 +301,14 @@ impl MemoryController {
         &mut self.device
     }
 
-    /// The defense engine.
-    pub fn defense(&self) -> &MitigationEngine {
-        &self.defense
+    /// The defense behind this controller.
+    pub fn defense(&self) -> &dyn Defense {
+        self.defense.as_ref()
+    }
+
+    /// The defense's counters (scheduling pressure, preventive actions).
+    pub fn defense_stats(&self) -> DefenseStats {
+        *self.defense.stats()
     }
 
     /// Controller statistics.
@@ -345,7 +366,14 @@ impl MemoryController {
 
     /// Issues every command legal at `now`; returns the next instant at
     /// which `service` should run again (always strictly after `now`).
+    ///
+    /// The returned wake is the exact next decision point — the earliest
+    /// future instant at which a command becomes issuable, a maintenance
+    /// deadline approaches, or a deferred decision re-evaluates. The
+    /// scheduler never polls: a computed wake at or before `now` would
+    /// mean some deferral failed to register its flip time, and asserts.
     pub fn service(&mut self, now: Time) -> Time {
+        self.stats.service_calls += 1;
         loop {
             self.update_modes(now);
             match self.next_step(now) {
@@ -354,7 +382,12 @@ impl MemoryController {
                 }
                 Step::Again => {}
                 Step::Wait(t) => {
-                    return t.max(now + Span::from_ps(1));
+                    assert!(
+                        t > now,
+                        "scheduler wake {t} not strictly after now {now}: \
+                         a deferral failed to register its flip time"
+                    );
+                    return t;
                 }
             }
         }
@@ -397,7 +430,7 @@ impl MemoryController {
                     // nothing.
                     let t = self.device.timing();
                     let settle = self.cfg.frrfm_guard * 2;
-                    let clear_of_rfm = match self.defense.fr_rfm_deadline(r as u32) {
+                    let clear_of_rfm = match self.defense.next_deadline(r as u32, now) {
                         Some(d) => {
                             d > now + t.t_rfc * 2 + t.t_rfm + t.t_rp
                                 && now >= self.rfm_end[r] + settle
@@ -468,12 +501,32 @@ impl MemoryController {
         if self.ref_pending[rank as usize] > 0 {
             return true;
         }
-        if let Some(deadline) = self.defense.fr_rfm_deadline(rank) {
+        if let Some(deadline) = self.defense.next_deadline(rank, now) {
             if now + self.cfg.frrfm_guard >= deadline {
                 return true;
             }
         }
         false
+    }
+
+    /// Whether any bank of `rank` holds an open row.
+    fn rank_has_open_row(&self, rank: u32) -> bool {
+        self.device
+            .geometry()
+            .banks_in_channel(0)
+            .filter(|b| b.rank == rank)
+            .any(|b| self.device.open_row(b).is_some())
+    }
+
+    /// The scheduler's one primitive: issue `cmd` now if it is legal
+    /// now, otherwise fold its exact future legal instant into `wake`.
+    fn issue_or_wake(&self, cmd: Command, now: Time, wake: &mut Time) -> Option<Step> {
+        let at = self.device.earliest_legal(&cmd, now);
+        if at <= now {
+            return Some(Step::Issue(cmd, None));
+        }
+        *wake = (*wake).min(at);
+        None
     }
 
     fn next_step(&mut self, now: Time) -> Step {
@@ -495,15 +548,9 @@ impl MemoryController {
                         .unwrap_or(AlertScope::Channel);
                     let rank = abo.alert.bank.rank;
                     let close_cmd = match scope {
-                        AlertScope::Channel => {
-                            let any_open = self
-                                .device
-                                .geometry()
-                                .banks_in_channel(0)
-                                .filter(|b| b.rank == rank)
-                                .any(|b| self.device.open_row(b).is_some());
-                            any_open.then_some(Command::PrechargeAll { channel: 0, rank })
-                        }
+                        AlertScope::Channel => self
+                            .rank_has_open_row(rank)
+                            .then_some(Command::PrechargeAll { channel: 0, rank }),
                         AlertScope::Bank => {
                             self.device.open_row(abo.alert.bank).is_some().then_some(
                                 Command::Precharge {
@@ -513,10 +560,8 @@ impl MemoryController {
                         }
                     };
                     if let Some(cmd) = close_cmd {
-                        match self.device.earliest_issue(&cmd, now) {
-                            Ok(at) if at <= now => return Step::Issue(cmd, None),
-                            Ok(at) => wake = wake.min(at),
-                            Err(_) => {}
+                        if let Some(step) = self.issue_or_wake(cmd, now, &mut wake) {
+                            return step;
                         }
                     } else if abo.rfms_left > 0 {
                         let rfm_scope = match scope {
@@ -531,10 +576,8 @@ impl MemoryController {
                             rank,
                             scope: rfm_scope,
                         };
-                        match self.device.earliest_issue(&cmd, now) {
-                            Ok(at) if at <= now => return Step::Issue(cmd, None),
-                            Ok(at) => wake = wake.min(at),
-                            Err(_) => {}
+                        if let Some(step) = self.issue_or_wake(cmd, now, &mut wake) {
+                            return step;
                         }
                     } else {
                         // All recovery RFMs issued; recovery ends when the
@@ -555,16 +598,28 @@ impl MemoryController {
         // --- 2. Committed refreshes -------------------------------------
         for rank in 0..self.ref_due.len() as u32 {
             let pending = self.ref_pending[rank as usize];
-            wake = wake.min(self.ref_due[rank as usize]);
+            let due = self.ref_due[rank as usize];
+            if due > now {
+                // Next commit decision point.
+                wake = wake.min(due);
+            }
             if pending == 0 {
-                // A REF may be owed but uncommitted because the FR-RFM
-                // spacing rules in `update_modes` found no clear slot yet;
-                // wake when the post-RFM settle expires so commitment is
-                // re-evaluated promptly.
-                if now >= self.ref_due[rank as usize] {
+                if now >= due && self.abo.is_none() {
+                    // A REF is owed but uncommitted: the FR-RFM spacing
+                    // rules in `update_modes` found no clear slot yet.
+                    // The commit predicate can only flip at the post-RFM
+                    // settle expiry, at the bounded-deferral timeout, or
+                    // when the RFM deadline advances (event-driven: an
+                    // issued RFM re-runs `update_modes`). An in-flight
+                    // ABO defers commitment too, but its completion also
+                    // re-evaluates immediately.
                     let settle_end = self.rfm_end[rank as usize] + self.cfg.frrfm_guard * 2;
                     if settle_end > now {
                         wake = wake.min(settle_end);
+                    }
+                    let timeout = due + t.t_refi / 2;
+                    if timeout > now {
+                        wake = wake.min(timeout);
                     }
                 }
                 continue;
@@ -575,76 +630,68 @@ impl MemoryController {
             // FR-RFM's security property). Dense schedules where a REF
             // can never fit between two RFMs forgo the rule — refresh
             // must still happen, and the stacking is deterministic.
-            if let Some(deadline) = self.defense.fr_rfm_deadline(rank) {
-                let period = self
-                    .defense
-                    .config()
-                    .fr_rfm
-                    .expect("deadline implies config")
-                    .period;
+            if let (Some(deadline), Some(period)) =
+                (self.defense.next_deadline(rank, now), self.maint_period)
+            {
                 let fits_between_rfms = t.t_rfm + t.t_rfc + t.t_cmd * 2 <= period;
                 if fits_between_rfms && now + t.t_rfc + t.t_cmd > deadline {
-                    wake = wake.min(deadline);
+                    // Wait out the maintenance window; once its RFM
+                    // issues the deadline advances and this re-evaluates
+                    // (event-driven), so only a future deadline is a
+                    // timed wake.
+                    if deadline > now {
+                        wake = wake.min(deadline);
+                    }
                     continue;
                 }
             }
-            let any_open = self
-                .device
-                .geometry()
-                .banks_in_channel(0)
-                .filter(|b| b.rank == rank)
-                .any(|b| self.device.open_row(b).is_some());
-            let cmd = if any_open {
+            let cmd = if self.rank_has_open_row(rank) {
                 Command::PrechargeAll { channel: 0, rank }
             } else {
                 Command::Refresh { channel: 0, rank }
             };
-            match self.device.earliest_issue(&cmd, now) {
-                Ok(at) if at <= now => return Step::Issue(cmd, None),
-                Ok(at) => wake = wake.min(at),
-                Err(_) => {}
+            if let Some(step) = self.issue_or_wake(cmd, now, &mut wake) {
+                return step;
             }
         }
 
-        // --- 3. FR-RFM fixed-rate RFMs ----------------------------------
+        // --- 3. Scheduled maintenance (FR-RFM fixed-rate RFMs) ----------
+        // Deadline-driven defenses publish their next operation through
+        // `Defense::next_maintenance`; the controller quiesces the rank,
+        // closes its banks shortly before the deadline and issues the
+        // operation exactly on time — without knowing which defense
+        // scheduled it.
         for rank in 0..self.ref_due.len() as u32 {
-            if let Some(deadline) = self.defense.fr_rfm_deadline(rank) {
-                wake = wake.min(deadline);
+            if let Some(m) = self.defense.next_maintenance(rank) {
+                let deadline = m.due;
                 // Close banks shortly before the deadline.
                 let close_at = deadline - t.t_rp - t.t_cmd;
-                if now >= close_at {
-                    let any_open = self
-                        .device
-                        .geometry()
-                        .banks_in_channel(0)
-                        .filter(|b| b.rank == rank)
-                        .any(|b| self.device.open_row(b).is_some());
-                    if any_open {
-                        let cmd = Command::PrechargeAll { channel: 0, rank };
-                        match self.device.earliest_issue(&cmd, now) {
-                            Ok(at) if at <= now => return Step::Issue(cmd, None),
-                            Ok(at) => wake = wake.min(at),
-                            Err(_) => {}
-                        }
-                    } else if now >= deadline {
-                        let cmd = Command::Rfm {
-                            channel: 0,
-                            rank,
-                            scope: RfmScope::AllBank,
-                        };
-                        match self.device.earliest_issue(&cmd, now) {
-                            Ok(at) if at <= now => return Step::Issue(cmd, None),
-                            Ok(at) => wake = wake.min(at),
-                            Err(_) => {}
-                        }
-                    }
-                } else {
+                if now < close_at {
                     wake = wake.min(close_at);
+                    continue;
+                }
+                if self.rank_has_open_row(rank) {
+                    let cmd = Command::PrechargeAll { channel: 0, rank };
+                    if let Some(step) = self.issue_or_wake(cmd, now, &mut wake) {
+                        return step;
+                    }
+                } else if now < deadline {
+                    // Quiesced early: the RFM waits for its exact slot.
+                    wake = wake.min(deadline);
+                } else {
+                    let cmd = Command::Rfm {
+                        channel: 0,
+                        rank,
+                        scope: m.scope,
+                    };
+                    if let Some(step) = self.issue_or_wake(cmd, now, &mut wake) {
+                        return step;
+                    }
                 }
             }
         }
 
-        // --- 4. PRFM RFMs ------------------------------------------------
+        // --- 4. Reactive RFMs (PRFM) -------------------------------------
         if let Some(&(rank, scope)) = self.rfm_queue.front() {
             let banks = self.device.rfm_banks(rank, scope);
             let open: Vec<BankId> = banks
@@ -652,24 +699,17 @@ impl MemoryController {
                 .map(|&f| self.device.geometry().bank_from_flat(0, f))
                 .filter(|&b| self.device.open_row(b).is_some())
                 .collect();
-            if let Some(&bank) = open.first() {
-                let cmd = Command::Precharge { bank };
-                match self.device.earliest_issue(&cmd, now) {
-                    Ok(at) if at <= now => return Step::Issue(cmd, None),
-                    Ok(at) => wake = wake.min(at),
-                    Err(_) => {}
-                }
+            let cmd = if let Some(&bank) = open.first() {
+                Command::Precharge { bank }
             } else {
-                let cmd = Command::Rfm {
+                Command::Rfm {
                     channel: 0,
                     rank,
                     scope,
-                };
-                match self.device.earliest_issue(&cmd, now) {
-                    Ok(at) if at <= now => return Step::Issue(cmd, None),
-                    Ok(at) => wake = wake.min(at),
-                    Err(_) => {}
                 }
+            };
+            if let Some(step) = self.issue_or_wake(cmd, now, &mut wake) {
+                return step;
             }
         }
 
@@ -689,10 +729,8 @@ impl MemoryController {
                     return Step::Again;
                 }
             };
-            match self.device.earliest_issue(&cmd, now) {
-                Ok(at) if at <= now => return Step::Issue(cmd, None),
-                Ok(at) => wake = wake.min(at),
-                Err(_) => {}
+            if let Some(step) = self.issue_or_wake(cmd, now, &mut wake) {
+                return step;
             }
         }
 
@@ -714,10 +752,8 @@ impl MemoryController {
                     continue;
                 }
                 let cmd = Command::Precharge { bank };
-                match self.device.earliest_issue(&cmd, now) {
-                    Ok(at) if at <= now => return Step::Issue(cmd, None),
-                    Ok(at) => wake = wake.min(at),
-                    Err(_) => {}
+                if let Some(step) = self.issue_or_wake(cmd, now, &mut wake) {
+                    return step;
                 }
             }
         }
@@ -819,11 +855,8 @@ impl MemoryController {
                     continue;
                 }
             }
-            let at = match self.device.earliest_issue(&cmd, now) {
-                Ok(at) => at,
-                Err(_) => continue,
-            };
-            let key = (!is_hit, at.max(now), req.arrival, idx, cmd);
+            let at = self.device.earliest_legal(&cmd, now);
+            let key = (!is_hit, at, req.arrival, idx, cmd);
             let better = match &best {
                 None => true,
                 Some(b) => {
@@ -872,7 +905,8 @@ impl MemoryController {
                         self.stats.para_victim_acts += 1;
                     }
                 }
-                for action in self.defense.on_activate(bank, row, now) {
+                let actions = self.defense.on_activate(bank, row, now).to_vec();
+                for action in actions {
                     match action {
                         DefenseAction::IssueRfm { rank, scope } => {
                             self.rfm_queue.push_back((rank, scope));
@@ -923,17 +957,16 @@ impl MemoryController {
                         abo.last_rfm_end = now + self.device.timing().t_rfm;
                     }
                     _ => {
-                        // PRFM or FR-RFM command.
+                        // Reactive (PRFM) or scheduled (FR-RFM) command.
                         if self.rfm_queue.front() == Some(&(rank, scope)) {
                             self.rfm_queue.pop_front();
-                        } else if scope == RfmScope::AllBank {
-                            // Fixed-rate RFM: record jitter vs deadline.
-                            if let Some(deadline) = self.defense.fr_rfm_deadline(rank) {
-                                let jitter = now.saturating_since(deadline);
-                                self.stats.fr_rfm_jitter_max =
-                                    self.stats.fr_rfm_jitter_max.max(jitter);
-                                self.defense.fr_rfm_issued(rank);
-                            }
+                        } else if let Some(m) = self.defense.take_maintenance(rank, now) {
+                            // Scheduled maintenance: consume it from the
+                            // defense (advancing its schedule) and record
+                            // the jitter vs its deadline.
+                            debug_assert_eq!(m.scope, scope, "maintenance scope mismatch");
+                            let jitter = now.saturating_since(m.due);
+                            self.stats.fr_rfm_jitter_max = self.stats.fr_rfm_jitter_max.max(jitter);
                         }
                     }
                 }

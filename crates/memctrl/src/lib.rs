@@ -9,8 +9,9 @@
 //! * per-rank periodic refresh with one-interval postponing and
 //!   back-to-back catch-up (paper footnote 3),
 //! * the PRAC alert-back-off (ABO) recovery protocol,
-//! * PRFM same-bank RFMs, FR-RFM fixed-rate RFMs and PARA neighbor
-//!   refreshes via [`lh_defenses::MitigationEngine`],
+//! * PRFM same-bank RFMs, FR-RFM fixed-rate RFMs, PARA/tracker neighbor
+//!   refreshes and BlockHammer throttles via the defense-agnostic
+//!   [`lh_defenses::Defense`] trait,
 //! * physical-address ↔ DRAM-coordinate mapping ([`AddressMapping`]) with
 //!   an exact inverse used by attack code to colocate rows.
 //!
@@ -99,10 +100,13 @@ mod tests {
                 r.arrival = now;
                 mc.enqueue(r).expect("queue full in test driver");
             }
+            // Wakes are strictly future (the total-time contract), and
+            // any still-pending arrival is strictly future too (due ones
+            // were drained above), so no anti-livelock guard is needed.
             let mut next = mc.service(now);
             done.extend(mc.take_completed());
             if let Some(r) = pending.front() {
-                next = next.min(r.arrival.max(now + Span::from_ps(1)));
+                next = next.min(r.arrival);
             }
             now = next;
         }

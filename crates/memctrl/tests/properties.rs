@@ -1,11 +1,20 @@
-//! Property-based tests on the memory controller: progress, exactly-once
-//! completion, and latency sanity for arbitrary request batches under
-//! every defense family.
+//! Property-based tests on the total-time scheduling contract: progress,
+//! exactly-once completion and latency sanity for arbitrary request
+//! batches under every defense family, plus the three guarantees of
+//! [`DramDevice::earliest_legal`] the controller's scheduler builds on —
+//! it is *total* (never an error, even for transiently illegal
+//! commands), *monotone* in `now`, and *agrees with actual issue
+//! legality* at the returned instant.
+//!
+//! [`DramDevice::earliest_legal`]: lh_dram::DramDevice::earliest_legal
 
 use proptest::prelude::*;
 
-use lh_defenses::DefenseConfig;
-use lh_dram::{BankId, DeviceConfig, DramAddr, DramTiming, Geometry, Span, Time};
+use lh_defenses::{DefenseConfig, DefenseKind};
+use lh_dram::{
+    BankId, Command, DeviceConfig, DramAddr, DramDevice, DramTiming, Geometry, PracConfig,
+    RfmScope, Span, Time,
+};
 use lh_memctrl::{AccessKind, CtrlConfig, MemRequest, MemoryController};
 
 /// Builds a controller over the tiny geometry with the given defense.
@@ -20,12 +29,15 @@ fn controller(defense: DefenseConfig, seed: u64) -> MemoryController {
 type ReqSpec = (u32, u32, u32, u32, bool, u64);
 
 fn defense_of(sel: u8) -> DefenseConfig {
-    match sel % 5 {
+    match sel % 6 {
         0 => DefenseConfig::none(),
         1 => DefenseConfig::prac(64),
         2 => DefenseConfig::prfm(16),
         3 => DefenseConfig::fr_rfm(16, DramTiming::ddr5_4800().t_rc),
-        _ => DefenseConfig::graphene(256, &DramTiming::ddr5_4800()),
+        4 => DefenseConfig::graphene(256, &DramTiming::ddr5_4800()),
+        // N_RH = 64: the FR-RFM period floors at tRFM + 300 ns — the
+        // pathologically dense schedule of the ROADMAP hot loop.
+        _ => DefenseConfig::for_threshold(DefenseKind::FrRfm, 64, &DramTiming::ddr5_4800()),
     }
 }
 
@@ -41,7 +53,7 @@ proptest! {
             (0u32..2, 0u32..2, 0u32..32, 0u32..16, any::<bool>(), 0u64..40_000),
             1..60,
         ),
-        defense_sel in 0u8..5,
+        defense_sel in 0u8..6,
     ) {
         let mut mc = controller(defense_of(defense_sel), 7);
         let g = Geometry::tiny();
@@ -83,12 +95,15 @@ proptest! {
                 }
             }
             let next = mc.service(now);
+            // The total-time contract: wakes are strictly in the future,
+            // so the driver needs no anti-livelock guard.
+            prop_assert!(next > now, "service wake {next} not after {now}");
             for c in mc.take_completed() {
                 done.push((c.id, c.arrival, c.finished, c.kind));
                 outstanding -= 1;
             }
             let next_arrival = pending.peek().map(|r| r.arrival).unwrap_or(Time::MAX);
-            now = next.min(next_arrival).max(now + Span::from_ps(1));
+            now = next.min(next_arrival);
         }
         prop_assert_eq!(outstanding, 0, "requests stuck at {}", now);
 
@@ -118,13 +133,141 @@ proptest! {
     /// The controller's service() always returns a strictly increasing
     /// wake time (no livelock), even while idle.
     #[test]
-    fn service_always_advances(defense_sel in 0u8..5, steps in 1usize..50) {
+    fn service_always_advances(defense_sel in 0u8..6, steps in 1usize..50) {
         let mut mc = controller(defense_of(defense_sel), 3);
         let mut now = Time::ZERO;
         for _ in 0..steps {
             let next = mc.service(now);
             prop_assert!(next > now, "service must move time forward");
             now = next;
+        }
+    }
+}
+
+fn tiny_bank(i: u32) -> BankId {
+    BankId::new(0, 0, i % 2, (i / 2) % 2)
+}
+
+fn tiny_device(prac: Option<PracConfig>) -> DramDevice {
+    let mut cfg = DeviceConfig::paper_default();
+    cfg.geometry = Geometry::tiny();
+    cfg.prac = prac;
+    DramDevice::new(cfg).unwrap()
+}
+
+/// Whether `cmd` is legal in the device's *current* row state (the
+/// condition the legacy `earliest_issue` API turned into an `Err`).
+fn state_legal(dev: &DramDevice, cmd: &Command) -> bool {
+    match *cmd {
+        Command::Activate { bank, .. } => dev.open_row(bank).is_none(),
+        Command::Read { bank, .. } | Command::Write { bank, .. } => dev.open_row(bank).is_some(),
+        Command::Refresh { rank, .. } => (0..4).all(|i| {
+            let b = tiny_bank(i);
+            b.rank != rank || dev.open_row(b).is_none()
+        }),
+        Command::Rfm { rank, scope, .. } => dev
+            .rfm_banks(rank, scope)
+            .iter()
+            .all(|&f| dev.open_row(dev.geometry().bank_from_flat(0, f)).is_none()),
+        Command::Precharge { .. } | Command::PrechargeAll { .. } => true,
+    }
+}
+
+/// The probe commands checked after every step of the driver.
+fn probes(step: u32) -> Vec<Command> {
+    let bank = tiny_bank(step);
+    vec![
+        Command::Activate {
+            bank,
+            row: step % 64,
+        },
+        Command::Precharge { bank },
+        Command::Read { bank, col: 0 },
+        Command::Write { bank, col: 1 },
+        Command::PrechargeAll {
+            channel: 0,
+            rank: 0,
+        },
+        Command::Refresh {
+            channel: 0,
+            rank: 0,
+        },
+        Command::Rfm {
+            channel: 0,
+            rank: 0,
+            scope: RfmScope::AllBank,
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `earliest_legal` is total, `>= now`, monotone in `now`, and
+    /// sound: issuing before the returned instant always fails, and
+    /// issuing *at* it succeeds exactly for state-legal commands
+    /// (for transiently illegal ones the bound is about timing — the
+    /// controller still owes the preparatory commands).
+    #[test]
+    fn earliest_legal_is_total_monotone_and_sound(
+        ops in proptest::collection::vec((0u8..4, 0u32..4, 0u32..32), 1..80),
+        with_prac in proptest::arbitrary::any::<bool>(),
+    ) {
+        let prac = if with_prac {
+            let mut p = PracConfig::paper_default();
+            p.nbo = 16;
+            Some(p)
+        } else {
+            None
+        };
+        let mut dev = tiny_device(prac);
+        let mut now = Time::ZERO;
+        for (i, &(op, b, row)) in ops.iter().enumerate() {
+            // Drive one legal command forward.
+            let bank = tiny_bank(b);
+            let cmd = match (op % 3, dev.open_row(bank)) {
+                (0, None) => Command::Activate { bank, row },
+                (0 | 1, Some(_)) => Command::Read { bank, col: row % 16 },
+                (1, None) => Command::Activate { bank, row },
+                (_, Some(_))  => Command::Precharge { bank },
+                (_, None) if state_legal(&dev, &Command::Refresh { channel: 0, rank: 0 }) =>
+                    Command::Refresh { channel: 0, rank: 0 },
+                (_, None) => Command::Activate { bank, row },
+            };
+            let at = dev.earliest_legal(&cmd, now);
+            prop_assert!(at >= now, "earliest_legal went backwards");
+            dev.issue(&cmd, at).unwrap();
+            now = at;
+
+            // Probe every command class against the new state.
+            for probe in probes(i as u32) {
+                // Total: never panics, never errors — and the result is
+                // clamped to `now`.
+                let e0 = dev.earliest_legal(&probe, now);
+                prop_assert!(e0 >= now);
+                // Monotone in `now`.
+                let later = now + Span::from_ns(500);
+                let e1 = dev.earliest_legal(&probe, later);
+                prop_assert!(e1 >= e0, "earliest_legal not monotone in now");
+                prop_assert!(e1 >= later);
+                // Sound: strictly before `e0` the command never issues.
+                if e0 > now {
+                    let mut probe_dev = dev.clone();
+                    prop_assert!(
+                        probe_dev.issue(&probe, e0 - Span::from_ps(1)).is_err(),
+                        "issue before earliest_legal must fail"
+                    );
+                }
+                // Agreement at the returned instant.
+                let mut probe_dev = dev.clone();
+                let ok = probe_dev.issue(&probe, e0).is_ok();
+                prop_assert_eq!(
+                    ok,
+                    state_legal(&dev, &probe),
+                    "issue at earliest_legal disagrees with state legality for {:?}",
+                    probe
+                );
+            }
         }
     }
 }

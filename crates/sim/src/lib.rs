@@ -44,7 +44,7 @@ pub use cache::{CacheAccess, CacheConfig, CacheHierarchy, CacheLevelConfig, Cach
 pub use looper::LoopProcess;
 pub use prefetch::{BestOffsetPrefetcher, BopConfig};
 pub use process::{IdleProcess, MemAccess, Process, ProcessStep};
-pub use system::{ProcId, ProcStats, SimConfig, System};
+pub use system::{ProcId, ProcStats, SimConfig, System, SystemBuilder};
 pub use trace::{LatencySample, LatencyTrace};
 
 #[cfg(test)]

@@ -55,6 +55,113 @@ impl SimConfig {
     }
 }
 
+/// Fluent constructor for [`System`] — the uniform way experiments,
+/// attacks and tests build systems (instead of poking controller
+/// internals after construction).
+///
+/// # Examples
+///
+/// ```
+/// use lh_defenses::DefenseConfig;
+/// use lh_sim::SystemBuilder;
+///
+/// let sys = SystemBuilder::new(DefenseConfig::prac(128))
+///     .seed(42)
+///     .disturb_tracking(false) // perf runs skip the ground truth
+///     .build()
+///     .unwrap();
+/// assert_eq!(sys.now(), lh_dram::Time::ZERO);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystemBuilder {
+    config: SimConfig,
+    disturb_tracking: bool,
+}
+
+impl SystemBuilder {
+    /// Starts from the paper's Table 1 system with the given defense.
+    pub fn new(defense: DefenseConfig) -> SystemBuilder {
+        SystemBuilder::from_config(SimConfig::paper_default(defense))
+    }
+
+    /// Starts from an explicit full configuration.
+    pub fn from_config(config: SimConfig) -> SystemBuilder {
+        SystemBuilder {
+            config,
+            disturb_tracking: true,
+        }
+    }
+
+    /// Sets the master seed (defense randomness, RIAC draws).
+    pub fn seed(mut self, seed: u64) -> SystemBuilder {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Replaces the defense.
+    pub fn defense(mut self, defense: DefenseConfig) -> SystemBuilder {
+        self.config.defense = defense;
+        self
+    }
+
+    /// Replaces the DRAM device configuration.
+    pub fn device(mut self, device: DeviceConfig) -> SystemBuilder {
+        self.config.device = device;
+        self
+    }
+
+    /// Replaces the memory-controller configuration.
+    pub fn ctrl(mut self, ctrl: CtrlConfig) -> SystemBuilder {
+        self.config.ctrl = ctrl;
+        self
+    }
+
+    /// Sets the row-buffer management policy (§9 countermeasure studies).
+    pub fn row_policy(mut self, policy: lh_memctrl::RowPolicy) -> SystemBuilder {
+        self.config.ctrl.row_policy = policy;
+        self
+    }
+
+    /// Sets the physical-address mapping scheme.
+    pub fn mapping(mut self, mapping: MappingScheme) -> SystemBuilder {
+        self.config.mapping = mapping;
+        self
+    }
+
+    /// Replaces the per-core cache hierarchy.
+    pub fn caches(mut self, caches: CacheConfig) -> SystemBuilder {
+        self.config.caches = caches;
+        self
+    }
+
+    /// Enables (or disables with `None`) the Best-Offset prefetcher.
+    pub fn prefetcher(mut self, prefetch: Option<BopConfig>) -> SystemBuilder {
+        self.config.prefetch = prefetch;
+        self
+    }
+
+    /// Enables or disables read-disturb ground-truth bookkeeping.
+    /// Performance sweeps disable it: they only measure timing, and the
+    /// disturb tracker is the simulation's biggest memory consumer.
+    pub fn disturb_tracking(mut self, enabled: bool) -> SystemBuilder {
+        self.disturb_tracking = enabled;
+        self
+    }
+
+    /// Builds the system.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device/controller construction errors.
+    pub fn build(self) -> Result<System, DramError> {
+        let mut sys = System::new(self.config)?;
+        sys.mc
+            .device_mut()
+            .set_disturb_enabled(self.disturb_tracking);
+        Ok(sys)
+    }
+}
+
 /// Per-process runtime statistics collected by the system.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ProcStats {
@@ -198,11 +305,6 @@ impl System {
     /// The memory controller.
     pub fn controller(&self) -> &MemoryController {
         &self.mc
-    }
-
-    /// Mutable access to the controller (tests, instrumentation).
-    pub fn controller_mut(&mut self) -> &mut MemoryController {
-        &mut self.mc
     }
 
     /// Current simulated time.

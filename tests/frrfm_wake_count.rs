@@ -1,0 +1,72 @@
+//! Regression test for the FR-RFM low-`N_RH` scheduler hot loop.
+//!
+//! With a dense fixed-rate RFM schedule (FR-RFM provisioned for
+//! `N_RH` = 64 has a period of ~1.26 µs), the pre-redesign controller
+//! degenerated into picosecond-granularity re-arming whenever a wake
+//! deadline had passed but the due command was still transiently
+//! illegal: one quick-scale four-core mix over 150 µs of simulated time
+//! cost **100,578,972** `service()` invocations (~75 s of release CPU).
+//!
+//! Under the total-time scheduling contract every wake is the exact
+//! next decision point, and the same mix costs **15,853** invocations
+//! (a ~6,300× reduction) while issuing the *identical* command stream
+//! (476 RFMs, 76 REFs, 5,021 served reads).
+//!
+//! The test counts wakes, not wall-clock, so it is deterministic; the
+//! cap has ~6× headroom over the measured count but sits four orders of
+//! magnitude below the pathological baseline.
+
+use lh_defenses::{DefenseConfig, DefenseKind};
+use lh_dram::{DramTiming, Span, Time};
+use lh_memctrl::AddressMapping;
+use lh_sim::SystemBuilder;
+use lh_workloads::{four_core_mixes, SyntheticApp};
+
+/// The pre-redesign wake count for this exact scenario (measured at the
+/// commit that introduced this test).
+const BASELINE_WAKES: u64 = 100_578_972;
+
+/// Deterministic cap: measured post-redesign count is 15,853.
+const MAX_WAKES: u64 = 100_000;
+
+#[test]
+fn frrfm_nrh64_mix_does_not_spin() {
+    let timing = DramTiming::ddr5_4800();
+    let defense = DefenseConfig::for_threshold(DefenseKind::FrRfm, 64, &timing);
+    let mut sys = SystemBuilder::new(defense)
+        .seed(7)
+        .disturb_tracking(false)
+        .build()
+        .expect("valid configuration");
+    let mapping: AddressMapping = *sys.mapping();
+    let span = Span::from_us(150); // Scale::Quick perf span
+    let end = Time::ZERO + span;
+    let mix = &four_core_mixes(2, 7)[0];
+    for (i, profile) in mix.iter().enumerate() {
+        let app = SyntheticApp::new(profile.clone(), mapping, 7 ^ (i as u64 * 31), end);
+        let mlp = app.mlp();
+        sys.add_process(Box::new(app), mlp, Time::ZERO);
+    }
+    sys.run_until(end + Span::from_us(5));
+
+    let stats = *sys.controller().stats();
+    println!(
+        "service_calls={} rfms={} refreshes={} reads={}",
+        stats.service_calls, stats.rfms, stats.refreshes, stats.reads_served
+    );
+    assert!(
+        stats.service_calls <= MAX_WAKES,
+        "FR-RFM@64 scheduler woke {} times (cap {MAX_WAKES}); \
+         the 1-ps re-arm pathology is back",
+        stats.service_calls
+    );
+    assert!(
+        stats.service_calls * 10 <= BASELINE_WAKES,
+        "less than a 10x reduction over the pre-redesign baseline"
+    );
+    // The redesign must not change *what* the controller does — only
+    // when it wakes. These counts are the pre-redesign values.
+    assert_eq!(stats.rfms, 476, "fixed-rate RFM stream changed");
+    assert_eq!(stats.refreshes, 76, "refresh schedule changed");
+    assert_eq!(stats.reads_served, 5021, "served request stream changed");
+}

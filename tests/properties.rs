@@ -116,8 +116,8 @@ proptest! {
                 (_, Some(_)) => Command::Precharge { bank },
                 (_, None) => Command::Activate { bank, row: (i as u32) % 64 },
             };
-            // Legality pre-check must make issue() succeed.
-            let at = dev.earliest_issue(&cmd, Time::ZERO).unwrap();
+            // The total legality query must make issue() succeed.
+            let at = dev.earliest_legal(&cmd, Time::ZERO);
             dev.issue(&cmd, at).unwrap();
             match cmd {
                 Command::Activate { row, .. } => prop_assert_eq!(dev.open_row(bank), Some(row)),
