@@ -1,6 +1,8 @@
 //! `lh-experiments` — regenerate any figure or table of the paper on
-//! the `lh-harness` runner: parallel across sweep units, cached across
-//! reruns, with text/JSON/CSV output.
+//! the `lh-harness` runner: units scheduled as a dependency DAG across
+//! cores, cached across reruns, with text/JSON/CSV output and an
+//! NDJSON streaming mode (`--stream`) that emits each unit's result
+//! the moment it completes.
 //!
 //! ```text
 //! lh-experiments <id|all|list> [options]
@@ -12,6 +14,7 @@
 //!   --no-cache                    disable the on-disk result cache
 //!   --cache-dir PATH              cache location (default: .lh-cache)
 //!   --format text|json|csv        output format (default: text)
+//!   --stream                      stream NDJSON events to stdout as units finish
 //!   --quiet                       suppress progress lines on stderr
 //!   --help                        this message
 //! ```
@@ -33,6 +36,7 @@ options:
   --no-cache                    disable the on-disk result cache
   --cache-dir PATH              cache location (default: .lh-cache)
   --format text|json|csv        output format (default: text)
+  --stream                      stream NDJSON events to stdout as units finish
   --quiet                       suppress progress lines on stderr
   --help                        this message
 ";
@@ -45,7 +49,8 @@ struct Args {
     jobs: usize,
     cache: bool,
     cache_dir: String,
-    format: OutputFormat,
+    format: Option<OutputFormat>,
+    stream: bool,
     quiet: bool,
 }
 
@@ -58,7 +63,8 @@ impl Default for Args {
             jobs: 0,
             cache: true,
             cache_dir: ".lh-cache".to_owned(),
-            format: OutputFormat::Text,
+            format: None,
+            stream: false,
             quiet: false,
         }
     }
@@ -93,7 +99,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--no-cache" => args.cache = false,
             "--cache-dir" => args.cache_dir = value("--cache-dir", &mut it)?.clone(),
-            "--format" => args.format = value("--format", &mut it)?.parse()?,
+            "--format" => args.format = Some(value("--format", &mut it)?.parse()?),
+            "--stream" => args.stream = true,
             "--quiet" | "-q" => args.quiet = true,
             flag if flag.starts_with('-') => {
                 return Err(format!("unknown option '{flag}'"));
@@ -104,6 +111,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             extra => return Err(format!("unexpected argument '{extra}'")),
         }
+    }
+    if args.stream && args.format.is_some() {
+        return Err(
+            "--stream and --format are mutually exclusive (streaming always emits NDJSON)"
+                .to_owned(),
+        );
     }
     Ok(args)
 }
@@ -159,10 +172,19 @@ fn main() {
         std::process::exit(2);
     };
 
+    // In stream mode every unit result goes to stdout as one NDJSON
+    // line the moment it completes — completion order, not unit order;
+    // the closing `finished` event carries the deterministic envelope.
+    let observer: Option<lh_harness::UnitObserver> = args.stream.then(|| {
+        std::sync::Arc::new(|event: &lh_harness::UnitEvent| {
+            emit(&lh_harness::sink::stream_unit(event));
+        }) as lh_harness::UnitObserver
+    });
     let runner = Runner::new(RunnerOptions {
         jobs: args.jobs,
         cache: args.cache.then(|| DiskCache::new(&args.cache_dir)),
         progress: !args.quiet,
+        observer,
     });
     let ctx = JobContext {
         scale: args.scale,
@@ -171,8 +193,22 @@ fn main() {
 
     for id in ids {
         let job = registry.get(id).expect("id comes from the registry");
+        if args.stream {
+            emit(&lh_harness::sink::stream_started(
+                job,
+                job.units(&ctx).len(),
+                &ctx,
+            ));
+        }
         match runner.run(job, &ctx) {
-            Ok(run) => emit(&lh_harness::sink::render(job, &run, &ctx, args.format)),
+            Ok(run) => {
+                if args.stream {
+                    emit(&lh_harness::sink::stream_finished(job, &run, &ctx));
+                } else {
+                    let format = args.format.unwrap_or_default();
+                    emit(&lh_harness::sink::render(job, &run, &ctx, format));
+                }
+            }
             Err(msg) => {
                 eprintln!("error: {id}: {msg}");
                 std::process::exit(1);

@@ -102,13 +102,70 @@ fn run_alone(mix: &[AppProfile; 4], span: Span, seed: u64) -> Vec<AppPerf> {
         .collect()
 }
 
-/// One mix's contribution to Fig. 13: normalized weighted speedup per
-/// `(defense, nrh)` cell, in `defenses` × `nrh_values` order.
+/// One mix's defense-independent intermediates, shared by every
+/// `(defense, nrh)` cell of that mix: the alone-run baselines and the
+/// no-defense weighted speedup everything is normalized to.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MixBaseline {
+    /// Per-app alone (no defense, no co-runners) performance.
+    pub alone: Vec<AppPerf>,
+    /// Weighted speedup of the shared no-defense run.
+    pub base_ws: f64,
+}
+
+/// Runs one mix's baseline simulations: each app alone, plus the mix
+/// under no defense.
 ///
 /// The mix list is derived from `mixes_seed` (the study's master seed,
 /// identical across shards) while the simulations run on `sim_seed`, so
 /// the harness can give every mix an independently derived seed and
 /// shard the study across cores bit-identically.
+pub fn run_perf_baseline(
+    mix_index: usize,
+    mixes_seed: u64,
+    sim_seed: u64,
+    scale: Scale,
+) -> MixBaseline {
+    let span = Span::from_us(scale.perf_span_us());
+    let mixes = four_core_mixes(scale.mixes(), mixes_seed);
+    let mix = &mixes[mix_index];
+    let alone = run_alone(mix, span, sim_seed);
+    let shared = run_mix(mix, DefenseConfig::none(), span, sim_seed);
+    let base_ws = weighted_speedup(&shared, &alone);
+    MixBaseline { alone, base_ws }
+}
+
+/// Runs one `(mix, defense, nrh)` cell against a precomputed
+/// [`MixBaseline`]. `sim_seed` must equal the baseline's — the alone
+/// and defended runs of a mix share one simulation seed.
+pub fn run_perf_cell(
+    mix_index: usize,
+    mixes_seed: u64,
+    sim_seed: u64,
+    defense: DefenseKind,
+    nrh: u32,
+    baseline: &MixBaseline,
+    scale: Scale,
+) -> PerfPoint {
+    let span = Span::from_us(scale.perf_span_us());
+    let mixes = four_core_mixes(scale.mixes(), mixes_seed);
+    let mix = &mixes[mix_index];
+    let timing = lh_dram::DramTiming::ddr5_4800();
+    let cfg = DefenseConfig::for_threshold(defense, nrh, &timing);
+    let shared = run_mix(mix, cfg, span, sim_seed);
+    let ws = weighted_speedup(&shared, &baseline.alone);
+    PerfPoint {
+        defense,
+        nrh,
+        normalized_ws: normalized_ws(ws, baseline.base_ws),
+    }
+}
+
+/// One mix's contribution to Fig. 13: normalized weighted speedup per
+/// `(defense, nrh)` cell, in `defenses` × `nrh_values` order — the
+/// baseline plus every cell, composed from [`run_perf_baseline`] and
+/// [`run_perf_cell`] so a sharded (per-cell) run can never drift from
+/// the serial study.
 pub fn run_perf_mix(
     mix_index: usize,
     mixes_seed: u64,
@@ -117,26 +174,13 @@ pub fn run_perf_mix(
     nrh_values: &[u32],
     scale: Scale,
 ) -> Vec<PerfPoint> {
-    let span = Span::from_us(scale.perf_span_us());
-    let mixes = four_core_mixes(scale.mixes(), mixes_seed);
-    let mix = &mixes[mix_index];
-    let timing = lh_dram::DramTiming::ddr5_4800();
-
-    let alone = run_alone(mix, span, sim_seed);
-    let shared = run_mix(mix, DefenseConfig::none(), span, sim_seed);
-    let base_ws = weighted_speedup(&shared, &alone);
-
+    let baseline = run_perf_baseline(mix_index, mixes_seed, sim_seed, scale);
     let mut points = Vec::new();
     for &defense in defenses {
         for &nrh in nrh_values {
-            let cfg = DefenseConfig::for_threshold(defense, nrh, &timing);
-            let shared = run_mix(mix, cfg, span, sim_seed);
-            let ws = weighted_speedup(&shared, &alone);
-            points.push(PerfPoint {
-                defense,
-                nrh,
-                normalized_ws: normalized_ws(ws, base_ws),
-            });
+            points.push(run_perf_cell(
+                mix_index, mixes_seed, sim_seed, defense, nrh, &baseline, scale,
+            ));
         }
     }
     points

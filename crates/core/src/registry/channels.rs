@@ -9,7 +9,7 @@ use crate::experiment::covert::{run_covert, ChannelKind, CovertOptions};
 use crate::experiment::{
     cache_sensitivity, counter_leak, countermeasures, latency_trace, multibit, row_policy, taxonomy,
 };
-use crate::registry::{num, scale_of, text};
+use crate::registry::{num, scale_of, sim_fingerprint, text};
 use crate::report;
 
 use lh_analysis::message::bits_of_str;
@@ -31,7 +31,7 @@ impl Job for LatencyTraceJob {
         vec!["prac:nbo128:600req".into(), "prfm:trfm40:500req".into()]
     }
 
-    fn run_unit(&self, unit: usize, _seed: u64, _ctx: &JobContext) -> Json {
+    fn run_unit(&self, unit: usize, _seed: u64, _deps: &[Json], _ctx: &JobContext) -> Json {
         let out = if unit == 0 {
             latency_trace::run_latency_trace(
                 lh_defenses::DefenseConfig::prac(128),
@@ -53,6 +53,10 @@ impl Job for LatencyTraceJob {
 
     fn finish(&self, units: Vec<Json>, _ctx: &JobContext) -> Json {
         Json::object().with("sections", Json::Array(units))
+    }
+
+    fn fingerprint(&self) -> String {
+        sim_fingerprint()
     }
 
     fn render_text(&self, merged: &Json, _ctx: &JobContext) -> String {
@@ -107,7 +111,7 @@ impl Job for CovertJob {
         vec!["micro:40bit".into()]
     }
 
-    fn run_unit(&self, _unit: usize, seed: u64, _ctx: &JobContext) -> Json {
+    fn run_unit(&self, _unit: usize, seed: u64, _deps: &[Json], _ctx: &JobContext) -> Json {
         let mut opts = CovertOptions::new(self.kind, bits_of_str("MICRO"));
         opts.seed = seed;
         let out = run_covert(&opts);
@@ -140,6 +144,10 @@ impl Job for CovertJob {
         units.pop().expect("one unit")
     }
 
+    fn fingerprint(&self) -> String {
+        sim_fingerprint()
+    }
+
     fn render_text(&self, merged: &Json, _ctx: &JobContext) -> String {
         text(merged, "text")
     }
@@ -161,12 +169,16 @@ impl Job for Table3Job {
         vec!["capability-matrix".into()]
     }
 
-    fn run_unit(&self, _unit: usize, _seed: u64, _ctx: &JobContext) -> Json {
+    fn run_unit(&self, _unit: usize, _seed: u64, _deps: &[Json], _ctx: &JobContext) -> Json {
         Json::object().with("text", report::table3_report())
     }
 
     fn finish(&self, mut units: Vec<Json>, _ctx: &JobContext) -> Json {
         units.pop().expect("one unit")
+    }
+
+    fn fingerprint(&self) -> String {
+        sim_fingerprint()
     }
 
     fn render_text(&self, merged: &Json, _ctx: &JobContext) -> String {
@@ -194,7 +206,7 @@ impl Job for MultibitJob {
         Self::BASES.iter().map(|b| format!("base:{b}")).collect()
     }
 
-    fn run_unit(&self, unit: usize, seed: u64, ctx: &JobContext) -> Json {
+    fn run_unit(&self, unit: usize, seed: u64, _deps: &[Json], ctx: &JobContext) -> Json {
         let bytes = if scale_of(ctx) == crate::Scale::Quick {
             6
         } else {
@@ -210,6 +222,10 @@ impl Job for MultibitJob {
 
     fn finish(&self, units: Vec<Json>, _ctx: &JobContext) -> Json {
         Json::object().with("points", Json::Array(units))
+    }
+
+    fn fingerprint(&self) -> String {
+        sim_fingerprint()
     }
 
     fn render_text(&self, merged: &Json, _ctx: &JobContext) -> String {
@@ -245,7 +261,7 @@ impl Job for CounterLeakJob {
         vec!["leak-trials".into()]
     }
 
-    fn run_unit(&self, _unit: usize, seed: u64, ctx: &JobContext) -> Json {
+    fn run_unit(&self, _unit: usize, seed: u64, _deps: &[Json], ctx: &JobContext) -> Json {
         let out = counter_leak::run_counter_leak(scale_of(ctx).leak_trials(), seed);
         Json::object()
             .with("nbo", out.nbo)
@@ -258,6 +274,10 @@ impl Job for CounterLeakJob {
 
     fn finish(&self, mut units: Vec<Json>, _ctx: &JobContext) -> Json {
         units.pop().expect("one unit")
+    }
+
+    fn fingerprint(&self) -> String {
+        sim_fingerprint()
     }
 
     fn render_text(&self, merged: &Json, _ctx: &JobContext) -> String {
@@ -281,7 +301,7 @@ impl Job for CacheSensitivityJob {
         vec!["channel:prac".into(), "channel:rfm".into()]
     }
 
-    fn run_unit(&self, unit: usize, seed: u64, ctx: &JobContext) -> Json {
+    fn run_unit(&self, unit: usize, seed: u64, _deps: &[Json], ctx: &JobContext) -> Json {
         let kind = [ChannelKind::Prac, ChannelKind::Rfm][unit];
         let bits = scale_of(ctx).message_bits() / 4;
         let p = cache_sensitivity::cache_point(kind, bits, seed);
@@ -294,6 +314,10 @@ impl Job for CacheSensitivityJob {
 
     fn finish(&self, units: Vec<Json>, _ctx: &JobContext) -> Json {
         Json::object().with("points", Json::Array(units))
+    }
+
+    fn fingerprint(&self) -> String {
+        sim_fingerprint()
     }
 
     fn render_text(&self, merged: &Json, _ctx: &JobContext) -> String {
@@ -335,7 +359,7 @@ impl Job for MitigationJob {
             .collect()
     }
 
-    fn run_unit(&self, unit: usize, seed: u64, ctx: &JobContext) -> Json {
+    fn run_unit(&self, unit: usize, seed: u64, _deps: &[Json], ctx: &JobContext) -> Json {
         let cfg = countermeasures::mitigation_configs()[unit].clone();
         let bits = scale_of(ctx).message_bits() / 4;
         let label = cfg.kind.label();
@@ -362,6 +386,10 @@ impl Job for MitigationJob {
             })
             .collect();
         Json::object().with("points", Json::Array(points))
+    }
+
+    fn fingerprint(&self) -> String {
+        sim_fingerprint()
     }
 
     fn render_text(&self, merged: &Json, _ctx: &JobContext) -> String {
@@ -400,7 +428,7 @@ impl Job for RowPolicyJob {
         vec!["policy:open".into(), "policy:closed".into()]
     }
 
-    fn run_unit(&self, unit: usize, seed: u64, ctx: &JobContext) -> Json {
+    fn run_unit(&self, unit: usize, seed: u64, _deps: &[Json], ctx: &JobContext) -> Json {
         let policy = [RowPolicy::Open, RowPolicy::Closed][unit];
         let bits = scale_of(ctx).message_bits() / 8;
         let p = row_policy::row_policy_point(policy, bits, seed);
@@ -412,6 +440,10 @@ impl Job for RowPolicyJob {
 
     fn finish(&self, units: Vec<Json>, _ctx: &JobContext) -> Json {
         Json::object().with("points", Json::Array(units))
+    }
+
+    fn fingerprint(&self) -> String {
+        sim_fingerprint()
     }
 
     fn render_text(&self, merged: &Json, _ctx: &JobContext) -> String {
@@ -449,7 +481,7 @@ impl Job for TaxonomyJob {
             .collect()
     }
 
-    fn run_unit(&self, unit: usize, seed: u64, ctx: &JobContext) -> Json {
+    fn run_unit(&self, unit: usize, seed: u64, _deps: &[Json], ctx: &JobContext) -> Json {
         let kind = taxonomy::taxonomy_kinds()[unit];
         let bits = taxonomy::taxonomy_bits(kind, scale_of(ctx));
         let p = taxonomy::taxonomy_point(kind, bits, seed);
@@ -484,6 +516,10 @@ impl Job for TaxonomyJob {
         Json::object()
             .with("qualitative", report::taxonomy_report())
             .with("points", Json::Array(units))
+    }
+
+    fn fingerprint(&self) -> String {
+        sim_fingerprint()
     }
 
     fn render_text(&self, merged: &Json, _ctx: &JobContext) -> String {

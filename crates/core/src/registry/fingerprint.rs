@@ -10,7 +10,7 @@ use lh_harness::{Job, JobContext, Json};
 use crate::experiment::fingerprint::{
     collect_one, run_model_comparison, run_table2, CollectOptions, FEATURE_WINDOWS,
 };
-use crate::registry::{num, scale_of, text};
+use crate::registry::{ml_fingerprint, num, scale_of, sim_fingerprint, text};
 use crate::report;
 
 use lh_ml::Dataset;
@@ -41,7 +41,7 @@ impl Job for TraceGalleryJob {
             .collect()
     }
 
-    fn run_unit(&self, unit: usize, seed: u64, ctx: &JobContext) -> Json {
+    fn run_unit(&self, unit: usize, seed: u64, _deps: &[Json], ctx: &JobContext) -> Json {
         let opts = gallery_options(ctx);
         let site = unit / opts.traces_per_site;
         let trace = unit % opts.traces_per_site;
@@ -74,6 +74,10 @@ impl Job for TraceGalleryJob {
 
     fn finish(&self, units: Vec<Json>, _ctx: &JobContext) -> Json {
         Json::object().with("traces", Json::Array(units))
+    }
+
+    fn fingerprint(&self) -> String {
+        sim_fingerprint()
     }
 
     fn render_text(&self, merged: &Json, _ctx: &JobContext) -> String {
@@ -141,7 +145,7 @@ impl Job for ClassifierJob {
         collection_units(&CollectOptions::for_scale(scale_of(ctx), ctx.seed))
     }
 
-    fn run_unit(&self, unit: usize, seed: u64, ctx: &JobContext) -> Json {
+    fn run_unit(&self, unit: usize, seed: u64, _deps: &[Json], ctx: &JobContext) -> Json {
         collect_unit(
             unit,
             seed,
@@ -170,6 +174,10 @@ impl Job for ClassifierJob {
                     .collect(),
             ),
         )
+    }
+
+    fn fingerprint(&self) -> String {
+        ml_fingerprint()
     }
 
     fn render_text(&self, merged: &Json, _ctx: &JobContext) -> String {
@@ -201,7 +209,7 @@ impl Job for Table2Job {
         collection_units(&CollectOptions::for_scale(scale_of(ctx), ctx.seed))
     }
 
-    fn run_unit(&self, unit: usize, seed: u64, ctx: &JobContext) -> Json {
+    fn run_unit(&self, unit: usize, seed: u64, _deps: &[Json], ctx: &JobContext) -> Json {
         collect_unit(
             unit,
             seed,
@@ -220,6 +228,10 @@ impl Job for Table2Job {
             .with("precision_std", scores.precision.1)
             .with("recall_mean", scores.recall.0)
             .with("recall_std", scores.recall.1)
+    }
+
+    fn fingerprint(&self) -> String {
+        ml_fingerprint()
     }
 
     fn render_text(&self, merged: &Json, _ctx: &JobContext) -> String {

@@ -23,6 +23,59 @@ use lh_harness::{JobContext, Json, Registry, ScaleLevel};
 
 use crate::Scale;
 
+/// The build-time per-crate source-hash manifest (see `build.rs`).
+mod manifest {
+    include!(concat!(env!("OUT_DIR"), "/code_manifest.rs"));
+}
+
+/// Folds the digests of the named crates into one cache fingerprint.
+/// Panics on unknown crate names — that is a typo in an adapter, not a
+/// runtime condition.
+pub(crate) fn code_fingerprint(crates: &[&str]) -> String {
+    let mut h = lh_harness::hash::Hasher::new();
+    for name in crates {
+        let digest = manifest::CODE_MANIFEST
+            .iter()
+            .find_map(|(n, d)| (n == name).then_some(*d))
+            .unwrap_or_else(|| panic!("crate '{name}' missing from CODE_MANIFEST"));
+        h.field(name).field(digest);
+    }
+    h.digest()
+}
+
+/// The crates every simulation-backed experiment's results flow
+/// through — all of CODE_MANIFEST except `lh-ml`. The vendored `rand`
+/// stand-in is part of the stack: its RNG drives every sampled value.
+/// (A test below asserts these lists cover the whole manifest, so a
+/// crate added to `build.rs` cannot silently miss the cache keys.)
+const SIM_CRATES: &[&str] = &[
+    "leakyhammer",
+    "lh-analysis",
+    "lh-attacks",
+    "lh-defenses",
+    "lh-dram",
+    "lh-harness",
+    "lh-memctrl",
+    "lh-sim",
+    "lh-workloads",
+    "rand",
+];
+
+/// Fingerprint for jobs whose results flow through the simulator stack
+/// but not the ML crate (every experiment except fig10/table2).
+pub(crate) fn sim_fingerprint() -> String {
+    code_fingerprint(SIM_CRATES)
+}
+
+/// Fingerprint for jobs that additionally train classifiers
+/// (fig10/table2): editing `lh-ml` invalidates these and only these.
+pub(crate) fn ml_fingerprint() -> String {
+    let mut crates: Vec<&str> = SIM_CRATES.to_vec();
+    crates.push("lh-ml");
+    crates.sort_unstable();
+    code_fingerprint(&crates)
+}
+
 /// Converts the harness's scale mirror into the simulator's [`Scale`].
 pub fn scale_of(ctx: &JobContext) -> Scale {
     match ctx.scale {
@@ -108,5 +161,45 @@ mod tests {
                 job.id()
             );
         }
+    }
+
+    #[test]
+    fn every_job_has_a_fingerprint_and_a_valid_dag() {
+        let ctx = JobContext {
+            scale: ScaleLevel::Quick,
+            seed: 1,
+        };
+        for job in registry().jobs() {
+            assert!(
+                !job.fingerprint().is_empty(),
+                "{} must fold the per-crate manifest into its cache keys",
+                job.id()
+            );
+            let deps: Vec<Vec<usize>> = (0..job.units(&ctx).len())
+                .map(|i| job.deps(i, &ctx))
+                .collect();
+            lh_harness::pool::validate_dag(&deps)
+                .unwrap_or_else(|e| panic!("{} has an invalid unit DAG: {e}", job.id()));
+        }
+        // ML-backed jobs carry a different fingerprint, so editing
+        // `lh-ml` cannot invalidate pure simulation experiments.
+        assert_ne!(sim_fingerprint(), ml_fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_lists_cover_the_whole_manifest() {
+        // Every crate build.rs hashes must reach some job's cache key:
+        // a manifest entry missing from SIM_CRATES + lh-ml would mean
+        // edits to that crate silently replay stale cached results.
+        for (name, _) in manifest::CODE_MANIFEST {
+            assert!(
+                SIM_CRATES.contains(name) || *name == "lh-ml",
+                "crate '{name}' is hashed by build.rs but absent from the fingerprint lists"
+            );
+        }
+        // And the reverse: the lists only name crates the manifest has
+        // (code_fingerprint panics otherwise — exercise it here).
+        let _ = sim_fingerprint();
+        let _ = ml_fingerprint();
     }
 }

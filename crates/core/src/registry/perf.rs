@@ -1,19 +1,47 @@
-//! Adapter for the Fig. 13 performance study. One harness unit per
-//! four-core mix: each unit simulates its mix's alone/no-defense
-//! baselines plus every `(defense, NRH)` cell, and `finish` averages
-//! the normalized weighted speedups across mixes — the same math as the
-//! serial study, sharded along the dimension with the most parallelism.
+//! Adapter for the Fig. 13 performance study, sharded at cell
+//! granularity: one harness unit per four-core mix *baseline* (each
+//! app alone plus the mix under no defense) and one unit per
+//! `(mix, defense, NRH)` cell, with every cell depending on its mix's
+//! baseline unit. Quick-scale parallelism is therefore
+//! `mixes × defenses × NRH` workers instead of `mixes`, while the
+//! expensive baseline simulations still run exactly once per mix —
+//! warm from the cache on reruns. `finish` reassembles the per-mix
+//! cell grids and reuses the study's own merge, so the sharded path
+//! can never drift from `run_performance`'s aggregation.
 
 use lh_harness::{Job, JobContext, Json};
 
-use crate::experiment::perf::{merge_perf_mixes, run_perf_mix, PerfPoint, NRH_SWEEP};
-use crate::registry::{num, scale_of, text};
+use crate::experiment::perf::{
+    merge_perf_mixes, run_perf_baseline, run_perf_cell, MixBaseline, PerfPoint, NRH_SWEEP,
+};
+use crate::registry::{num, scale_of, sim_fingerprint, text};
 use crate::report;
 
+use lh_analysis::AppPerf;
 use lh_defenses::DefenseKind;
+use lh_dram::Span;
 
 /// Fig. 13: weighted speedup of defenses over NRH.
 pub(crate) struct PerfJob;
+
+/// Cells per mix: the full `figure13_set() × NRH_SWEEP` grid.
+fn cells_per_mix() -> usize {
+    DefenseKind::figure13_set().len() * NRH_SWEEP.len()
+}
+
+impl PerfJob {
+    /// Splits a unit index into its role: `Ok(mix)` for a baseline
+    /// unit, `Err((mix, defense index, nrh index))` for a cell unit.
+    fn decode(unit: usize, mixes: usize) -> Result<usize, (usize, usize, usize)> {
+        if unit < mixes {
+            return Ok(unit);
+        }
+        let cell = unit - mixes;
+        let per_mix = cells_per_mix();
+        let n = NRH_SWEEP.len();
+        Err((cell / per_mix, (cell % per_mix) / n, cell % n))
+    }
+}
 
 impl Job for PerfJob {
     fn id(&self) -> &'static str {
@@ -25,47 +53,92 @@ impl Job for PerfJob {
     }
 
     fn units(&self, ctx: &JobContext) -> Vec<String> {
-        (0..scale_of(ctx).mixes())
-            .map(|m| format!("mix:{m}"))
-            .collect()
+        let mixes = scale_of(ctx).mixes();
+        let defenses = DefenseKind::figure13_set();
+        let mut units: Vec<String> = (0..mixes).map(|m| format!("baseline:mix:{m}")).collect();
+        for m in 0..mixes {
+            for d in &defenses {
+                for nrh in &NRH_SWEEP {
+                    units.push(format!("mix:{m}:{}:nrh:{nrh}", d.label()));
+                }
+            }
+        }
+        units
     }
 
-    fn run_unit(&self, unit: usize, seed: u64, ctx: &JobContext) -> Json {
-        let cells = run_perf_mix(
-            unit,
-            ctx.seed,
-            seed,
-            &DefenseKind::figure13_set(),
-            &NRH_SWEEP,
-            scale_of(ctx),
-        );
-        Json::object().with("mix", unit).with(
-            "cells",
-            Json::Array(
-                cells
-                    .iter()
-                    .map(|c| {
-                        Json::object()
-                            .with("defense", c.defense.label())
-                            .with("nrh", c.nrh)
-                            .with("normalized_ws", c.normalized_ws)
-                    })
-                    .collect(),
-            ),
-        )
+    fn deps(&self, unit: usize, ctx: &JobContext) -> Vec<usize> {
+        match Self::decode(unit, scale_of(ctx).mixes()) {
+            Ok(_baseline) => Vec::new(),
+            Err((mix, _, _)) => vec![mix],
+        }
+    }
+
+    fn run_unit(&self, unit: usize, seed: u64, deps: &[Json], ctx: &JobContext) -> Json {
+        let scale = scale_of(ctx);
+        match Self::decode(unit, scale.mixes()) {
+            Ok(mix) => {
+                let b = run_perf_baseline(mix, ctx.seed, seed, scale);
+                // `sim_seed` rides along so cell units reuse the exact
+                // simulation seed of their mix's baseline (alone and
+                // defended runs of a mix share one seed); `seconds` is
+                // recomputed from the scale, so only instruction counts
+                // travel.
+                Json::object()
+                    .with("mix", mix)
+                    .with("sim_seed", seed)
+                    .with("base_ws", b.base_ws)
+                    .with(
+                        "alone_instructions",
+                        Json::Array(b.alone.iter().map(|a| a.instructions.into()).collect()),
+                    )
+            }
+            Err((mix, d, n)) => {
+                let base = &deps[0];
+                let seconds = Span::from_us(scale.perf_span_us()).as_secs();
+                let baseline = MixBaseline {
+                    alone: base["alone_instructions"]
+                        .as_array()
+                        .iter()
+                        .map(|i| AppPerf {
+                            instructions: i.as_u64().expect("baseline instruction count"),
+                            seconds,
+                        })
+                        .collect(),
+                    base_ws: base["base_ws"].as_f64().expect("baseline weighted speedup"),
+                };
+                let sim_seed = base["sim_seed"].as_u64().expect("baseline sim seed");
+                let defense = DefenseKind::figure13_set()[d];
+                let _ = seed; // cells inherit the baseline's sim seed
+                let p = run_perf_cell(
+                    mix,
+                    ctx.seed,
+                    sim_seed,
+                    defense,
+                    NRH_SWEEP[n],
+                    &baseline,
+                    scale,
+                );
+                Json::object()
+                    .with("mix", mix)
+                    .with("defense", p.defense.label())
+                    .with("nrh", p.nrh)
+                    .with("normalized_ws", p.normalized_ws)
+            }
+        }
     }
 
     fn finish(&self, units: Vec<Json>, _ctx: &JobContext) -> Json {
-        // Decode each mix's cells back into `PerfPoint`s (the layout is
-        // `figure13_set()` × `NRH_SWEEP`, the order `run_unit` produced)
-        // and reuse the study's own merge so the harness path can never
-        // drift from `run_performance`'s aggregation.
+        // Reassemble each mix's `figure13_set() × NRH_SWEEP` grid from
+        // the cell units (baseline units carry no cells) and reuse the
+        // study's own merge so the harness path can never drift from
+        // `run_performance`'s aggregation.
         let defenses = DefenseKind::figure13_set();
-        let per_mix: Vec<Vec<PerfPoint>> = units
-            .iter()
-            .map(|u| {
-                u["cells"]
-                    .as_array()
+        let per_mix_cells = cells_per_mix();
+        let mixes = units.len() / (1 + per_mix_cells);
+        let cells = &units[mixes..];
+        let per_mix: Vec<Vec<PerfPoint>> = (0..mixes)
+            .map(|m| {
+                cells[m * per_mix_cells..(m + 1) * per_mix_cells]
                     .iter()
                     .enumerate()
                     .map(|(c, cell)| PerfPoint {
@@ -92,6 +165,16 @@ impl Job for PerfJob {
                     .collect(),
             ),
         )
+    }
+
+    fn version(&self) -> u32 {
+        // v2: per-(mix, defense, NRH) cell units with per-mix baseline
+        // dependencies (was: one unit per mix).
+        2
+    }
+
+    fn fingerprint(&self) -> String {
+        sim_fingerprint()
     }
 
     fn render_text(&self, merged: &Json, _ctx: &JobContext) -> String {

@@ -9,7 +9,7 @@ use crate::experiment::app_noise;
 use crate::experiment::covert::ChannelKind;
 use crate::experiment::latency_sweep;
 use crate::experiment::noise_sweep;
-use crate::registry::{num, scale_of, text};
+use crate::registry::{num, scale_of, sim_fingerprint, text};
 use crate::report;
 
 use lh_workloads::Intensity;
@@ -75,7 +75,7 @@ impl Job for NoiseSweepJob {
             .collect()
     }
 
-    fn run_unit(&self, unit: usize, seed: u64, ctx: &JobContext) -> Json {
+    fn run_unit(&self, unit: usize, seed: u64, _deps: &[Json], ctx: &JobContext) -> Json {
         let scale = scale_of(ctx);
         let intensity = scale.noise_points()[unit];
         let p = noise_sweep::sweep_point(
@@ -91,6 +91,10 @@ impl Job for NoiseSweepJob {
 
     fn finish(&self, units: Vec<Json>, _ctx: &JobContext) -> Json {
         Json::object().with("points", Json::Array(units))
+    }
+
+    fn fingerprint(&self) -> String {
+        sim_fingerprint()
     }
 
     fn render_text(&self, merged: &Json, _ctx: &JobContext) -> String {
@@ -139,7 +143,7 @@ impl Job for AppNoiseJob {
             .collect()
     }
 
-    fn run_unit(&self, unit: usize, seed: u64, ctx: &JobContext) -> Json {
+    fn run_unit(&self, unit: usize, seed: u64, _deps: &[Json], ctx: &JobContext) -> Json {
         let p = app_noise::app_noise_point(
             self.kind,
             Self::LEVELS[unit],
@@ -154,6 +158,10 @@ impl Job for AppNoiseJob {
 
     fn finish(&self, units: Vec<Json>, _ctx: &JobContext) -> Json {
         Json::object().with("points", Json::Array(units))
+    }
+
+    fn fingerprint(&self) -> String {
+        sim_fingerprint()
     }
 
     fn render_text(&self, merged: &Json, _ctx: &JobContext) -> String {
@@ -203,7 +211,7 @@ impl Job for RfmCountJob {
             .collect()
     }
 
-    fn run_unit(&self, unit: usize, seed: u64, ctx: &JobContext) -> Json {
+    fn run_unit(&self, unit: usize, seed: u64, _deps: &[Json], ctx: &JobContext) -> Json {
         let scale = scale_of(ctx);
         let points = scale.noise_points();
         let (panel, _) = PANELS[unit / points.len()];
@@ -232,6 +240,10 @@ impl Job for RfmCountJob {
 
     fn finish(&self, units: Vec<Json>, _ctx: &JobContext) -> Json {
         Json::object().with("points", Json::Array(units))
+    }
+
+    fn fingerprint(&self) -> String {
+        sim_fingerprint()
     }
 
     fn render_text(&self, merged: &Json, _ctx: &JobContext) -> String {
@@ -270,7 +282,7 @@ impl Job for LatencySweepJob {
             .collect()
     }
 
-    fn run_unit(&self, unit: usize, seed: u64, ctx: &JobContext) -> Json {
+    fn run_unit(&self, unit: usize, seed: u64, _deps: &[Json], ctx: &JobContext) -> Json {
         let lat = latency_sweep::paper_grid()[unit];
         let p = latency_sweep::latency_sweep_point(lat, scale_of(ctx).message_bits() / 8, seed);
         Json::object()
@@ -281,6 +293,10 @@ impl Job for LatencySweepJob {
 
     fn finish(&self, units: Vec<Json>, _ctx: &JobContext) -> Json {
         Json::object().with("points", Json::Array(units))
+    }
+
+    fn fingerprint(&self) -> String {
+        sim_fingerprint()
     }
 
     fn render_text(&self, merged: &Json, _ctx: &JobContext) -> String {

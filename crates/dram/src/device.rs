@@ -274,25 +274,6 @@ impl DramDevice {
         self.earliest_from_state(cmd).max(now)
     }
 
-    /// Earliest instant `cmd` may legally issue (legacy shim).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`DramError::ProtocolViolation`] if the command is illegal
-    /// in the current bank state (e.g. `RD` to a closed bank), and
-    /// [`DramError::AddressOutOfRange`] for invalid coordinates.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use the total `earliest_legal` query; it never errors for \
-                transient illegality, so schedulers can wake exactly when \
-                a command becomes issuable instead of polling"
-    )]
-    pub fn earliest_issue(&self, cmd: &Command, _now: Time) -> Result<Time, DramError> {
-        self.check_address(cmd)?;
-        self.check_state(cmd)?;
-        Ok(self.earliest_from_state(cmd))
-    }
-
     /// Whether `cmd` is legal in the *current* FSM state (row open/closed
     /// requirements); timing constraints are checked separately.
     fn check_state(&self, cmd: &Command) -> Result<(), DramError> {
@@ -673,33 +654,6 @@ mod tests {
         // implied-ACT lower bound instead of an error.
         let t = *dev.timing();
         assert_eq!(dev.earliest_legal(&cmd, Time::ZERO), Time::ZERO + t.t_rcd);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn earliest_issue_shim_matches_legacy_contract() {
-        let mut dev = tiny_device(None);
-        let rd = Command::Read {
-            bank: bank0(),
-            col: 0,
-        };
-        // Legacy behaviour: transient illegality is an error.
-        assert!(matches!(
-            dev.earliest_issue(&rd, Time::ZERO),
-            Err(DramError::ProtocolViolation { .. })
-        ));
-        issue_asap(
-            &mut dev,
-            Command::Activate {
-                bank: bank0(),
-                row: 3,
-            },
-        );
-        // For state-legal commands the shim agrees with the total query.
-        assert_eq!(
-            dev.earliest_issue(&rd, Time::ZERO).unwrap(),
-            dev.earliest_legal(&rd, Time::ZERO)
-        );
     }
 
     #[test]

@@ -1,8 +1,13 @@
 //! Content-addressed on-disk result cache.
 //!
 //! Entries are keyed by a 128-bit hash of `(experiment id, unit
-//! fingerprint, scale, master seed, job version, harness code version)`
+//! fingerprint, scale, master seed, job version, job code fingerprint)`
 //! and stored as JSON files under `<dir>/<experiment>/<digest>.json`.
+//! Invalidation is surgical: the last two components come from the job
+//! itself ([`crate::Job::version`] and [`crate::Job::fingerprint`] —
+//! typically a per-crate source-hash manifest), so bumping one
+//! experiment, or editing one crate, invalidates only the entries whose
+//! results could actually change — never the whole cache.
 //! Writes are atomic (temp file + rename), so a cache shared between a
 //! parallel run's workers — or between concurrent invocations — can
 //! never expose a torn entry; the worst case is both sides computing
@@ -28,6 +33,9 @@ pub struct CacheKey {
     pub seed: u64,
     /// Job result-schema version.
     pub job_version: u32,
+    /// Job code fingerprint ([`crate::Job::fingerprint`]); empty for
+    /// jobs that rely on `job_version` alone.
+    pub fingerprint: String,
 }
 
 impl CacheKey {
@@ -39,7 +47,7 @@ impl CacheKey {
             .field(&self.scale)
             .number(self.seed)
             .number(u64::from(self.job_version))
-            .number(u64::from(crate::CODE_VERSION));
+            .field(&self.fingerprint);
         h.digest()
     }
 }
@@ -118,6 +126,7 @@ mod tests {
             scale: "quick".into(),
             seed: 1,
             job_version: 1,
+            fingerprint: String::new(),
         }
     }
 
@@ -150,6 +159,9 @@ mod tests {
         assert_ne!(digest, other.digest());
         let mut other = base.clone();
         other.job_version = 2;
+        assert_ne!(digest, other.digest());
+        let mut other = base.clone();
+        other.fingerprint = "crates:abc123".into();
         assert_ne!(digest, other.digest());
         assert_eq!(digest, base.digest(), "digest must be pure");
     }

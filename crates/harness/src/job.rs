@@ -53,7 +53,7 @@ pub struct JobContext {
     pub seed: u64,
 }
 
-/// One experiment, decomposed into independently runnable units.
+/// One experiment, decomposed into a DAG of runnable units.
 ///
 /// Implementations must be stateless (`Send + Sync`, no interior
 /// mutability observable across units): the runner calls `run_unit`
@@ -71,11 +71,26 @@ pub trait Job: Send + Sync {
     /// parameter that distinguishes the unit within the experiment.
     fn units(&self, ctx: &JobContext) -> Vec<String>;
 
+    /// Indices of the units whose results `unit` consumes, in the order
+    /// `run_unit` expects them. The default — no dependencies — keeps
+    /// flat sweep jobs flat; jobs that share expensive intermediates
+    /// (e.g. a per-mix baseline simulation feeding every per-cell unit)
+    /// declare them here and the runner schedules units topologically.
+    /// Dependency edges must form a DAG: the runner rejects cycles and
+    /// out-of-range indices before executing anything.
+    fn deps(&self, unit: usize, ctx: &JobContext) -> Vec<usize> {
+        let _ = (unit, ctx);
+        Vec::new()
+    }
+
     /// Runs unit `unit` with its derived seed, returning a JSON result.
     ///
-    /// Must not read mutable state shared with other units, and must
-    /// use `seed` (not `ctx.seed` directly) for all randomness.
-    fn run_unit(&self, unit: usize, seed: u64, ctx: &JobContext) -> Json;
+    /// `deps` holds the results of [`Job::deps`]`(unit)` in declaration
+    /// order — each dependency's output is delivered exactly once per
+    /// edge, whether the dependency was executed or replayed from the
+    /// cache. Must not read mutable state shared with other units, and
+    /// must use `seed` (not `ctx.seed` directly) for all randomness.
+    fn run_unit(&self, unit: usize, seed: u64, deps: &[Json], ctx: &JobContext) -> Json;
 
     /// Merges unit results — given in unit order — into the final
     /// result. Runs serially; may be expensive (e.g. classifier
@@ -96,8 +111,22 @@ pub trait Job: Send + Sync {
 
     /// Result-schema version; bump when changing this job's unit
     /// decomposition or result layout to invalidate its cache entries.
+    /// Invalidation is surgical: only this job's entries are affected,
+    /// never the rest of the catalog.
     fn version(&self) -> u32 {
         1
+    }
+
+    /// Content fingerprint of the code this job's results depend on,
+    /// folded into every cache key alongside [`Job::version`].
+    ///
+    /// The canonical implementation hashes a per-crate manifest (each
+    /// experiment crate's source digest, computed at build time) so
+    /// editing one crate invalidates only the jobs whose results flow
+    /// through it. The default — the empty fingerprint — leaves
+    /// invalidation entirely to `version`.
+    fn fingerprint(&self) -> String {
+        String::new()
     }
 }
 
@@ -172,7 +201,7 @@ mod tests {
         fn units(&self, _ctx: &JobContext) -> Vec<String> {
             vec!["only".into()]
         }
-        fn run_unit(&self, _unit: usize, seed: u64, _ctx: &JobContext) -> Json {
+        fn run_unit(&self, _unit: usize, seed: u64, _deps: &[Json], _ctx: &JobContext) -> Json {
             Json::object().with("seed", seed)
         }
         fn finish(&self, mut units: Vec<Json>, _ctx: &JobContext) -> Json {

@@ -5,19 +5,23 @@
 //! [`Job`] trait and registers in a [`Registry`]; the [`Runner`] then
 //! executes any subset of experiments
 //!
-//! * **in parallel** — each job is split into independent *units*
-//!   (sweep points, fingerprint traces, workload mixes) that a chunked
-//!   work-claiming thread pool shards across cores ([`pool`]);
+//! * **in parallel** — each job is split into *units* (sweep points,
+//!   fingerprint traces, workload-mix cells) forming a dependency DAG
+//!   ([`Job::deps`]) that a topological work-claiming thread pool
+//!   shards across cores ([`pool`]): a unit starts the moment its
+//!   dependencies complete, and receives their outputs;
 //! * **deterministically** — the RNG seed of every unit is derived with
 //!   SplitMix64 from `(experiment id, unit index, master seed)`
 //!   ([`seed`]), and unit results are merged in unit order, so the
 //!   output of `--jobs 8` is bit-identical to `--jobs 1`;
 //! * **incrementally** — unit and merged results are stored in a
-//!   content-addressed on-disk cache keyed by a hash of
-//!   `(experiment id, unit config, scale, seed, code version)`
-//!   ([`cache`]), so unchanged sweep points are skipped on rerun;
+//!   content-addressed on-disk cache keyed by a hash of `(experiment
+//!   id, unit config, scale, seed, job version, job code fingerprint)`
+//!   ([`cache`]), so unchanged sweep points are skipped on rerun and
+//!   invalidation is surgical per job;
 //! * **observably** — structured output sinks render any result as
-//!   text, JSON or CSV ([`sink`]), with live progress on stderr
+//!   text, JSON or CSV, stream per-unit NDJSON events as they complete
+//!   ([`sink`], [`runner::UnitObserver`]), with live progress on stderr
 //!   ([`progress`]).
 //!
 //! The crate is dependency-free (std only) and knows nothing about the
@@ -37,7 +41,7 @@
 //!     fn units(&self, _ctx: &JobContext) -> Vec<String> {
 //!         (0..4).map(|i| format!("square:{i}")).collect()
 //!     }
-//!     fn run_unit(&self, unit: usize, _seed: u64, _ctx: &JobContext) -> Json {
+//!     fn run_unit(&self, unit: usize, _seed: u64, _deps: &[Json], _ctx: &JobContext) -> Json {
 //!         Json::object().with("n", unit as i64).with("sq", (unit * unit) as i64)
 //!     }
 //!     fn finish(&self, units: Vec<Json>, _ctx: &JobContext) -> Json {
@@ -72,10 +76,6 @@ pub mod sink;
 pub use cache::{CacheKey, DiskCache};
 pub use job::{Job, JobContext, Registry, ScaleLevel};
 pub use json::Json;
-pub use runner::{ExperimentRun, RunStats, Runner, RunnerOptions};
+pub use runner::{ExperimentRun, RunStats, Runner, RunnerOptions, UnitEvent, UnitObserver};
 pub use seed::derive_seed;
 pub use sink::OutputFormat;
-
-/// Bump to invalidate every cached result after a change to experiment
-/// code whose outputs the cache key cannot see.
-pub const CODE_VERSION: u32 = 2;

@@ -1,55 +1,218 @@
-//! A work-claiming thread pool for embarrassingly parallel unit sets.
+//! A work-claiming thread pool that schedules unit DAGs topologically.
 //!
-//! Workers claim unit indices from a shared atomic counter — the
-//! cheapest form of work stealing, with perfect load balance for units
-//! of unequal cost — and write results into their unit's slot, so the
-//! returned vector is always in unit order regardless of completion
-//! order.
+//! Workers claim *ready* units — units whose dependencies have all
+//! completed — from a shared scheduler and write results into their
+//! unit's slot, so the returned vector is always in unit order
+//! regardless of completion order. Independent units (the common case:
+//! every flat sweep) degenerate to plain work claiming with perfect
+//! load balance for units of unequal cost; the scheduler's per-unit
+//! overhead (one mutex hop and a heap pop) is noise next to any real
+//! simulation unit.
+//!
+//! Determinism: claim order never influences results — a unit's inputs
+//! are its index, its dependency outputs (fixed by the DAG) and
+//! whatever the caller derives from the index (seeds) — so any worker
+//! count produces bit-identical output.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::collections::BinaryHeap;
+use std::sync::{Condvar, Mutex};
 
-/// Runs `work(i, &items[i])` for every item, on up to `jobs` threads,
-/// returning results in item order.
+/// Validates `deps` as a DAG over `deps.len()` units.
 ///
-/// Panics in `work` are propagated (the pool finishes outstanding
-/// claims, then re-panics on the caller thread).
-pub fn run_indexed<T, R, F>(jobs: usize, items: &[T], work: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(usize, &T) -> R + Sync,
-{
-    let jobs = jobs.max(1).min(items.len().max(1));
-    if jobs <= 1 {
-        return items
-            .iter()
-            .enumerate()
-            .map(|(i, item)| work(i, item))
-            .collect();
-    }
-
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..jobs)
-            .map(|_| {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= items.len() {
-                        break;
-                    }
-                    let result = work(i, &items[i]);
-                    *slots[i].lock().expect("result slot poisoned") = Some(result);
-                })
-            })
-            .collect();
-        for h in handles {
-            if let Err(payload) = h.join() {
-                std::panic::resume_unwind(payload);
+/// Returns the number of units on success.
+///
+/// # Errors
+///
+/// Out-of-range or self dependencies, and dependency cycles, are
+/// reported with the offending unit indices.
+pub fn validate_dag(deps: &[Vec<usize>]) -> Result<usize, String> {
+    let n = deps.len();
+    for (unit, unit_deps) in deps.iter().enumerate() {
+        for &d in unit_deps {
+            if d >= n {
+                return Err(format!(
+                    "unit {unit} depends on out-of-range unit {d} (only {n} units)"
+                ));
+            }
+            if d == unit {
+                return Err(format!("unit {unit} depends on itself"));
             }
         }
+    }
+    // Kahn's algorithm: if a topological order does not cover every
+    // unit, the leftovers are exactly the units on or downstream of a
+    // cycle.
+    let mut indegree: Vec<usize> = deps.iter().map(Vec::len).collect();
+    let mut ready: Vec<usize> = (0..n).filter(|&u| indegree[u] == 0).collect();
+    let dependents = dependents_of(deps);
+    let mut ordered = 0;
+    while let Some(u) = ready.pop() {
+        ordered += 1;
+        for &t in &dependents[u] {
+            indegree[t] -= 1;
+            if indegree[t] == 0 {
+                ready.push(t);
+            }
+        }
+    }
+    if ordered < n {
+        let stuck: Vec<usize> = (0..n).filter(|&u| indegree[u] > 0).collect();
+        return Err(format!(
+            "dependency cycle: units {stuck:?} can never become ready"
+        ));
+    }
+    Ok(n)
+}
+
+/// Reverse adjacency: for each unit, the units that depend on it.
+fn dependents_of(deps: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let mut dependents = vec![Vec::new(); deps.len()];
+    for (unit, unit_deps) in deps.iter().enumerate() {
+        for &d in unit_deps {
+            dependents[d].push(unit);
+        }
+    }
+    dependents
+}
+
+/// Shared scheduler state behind one mutex.
+struct SchedState {
+    /// Remaining unfinished dependencies per unit.
+    indegree: Vec<usize>,
+    /// Min-heap of ready unit indices (lowest index claimed first, so
+    /// serial execution order is a stable topological order).
+    ready: BinaryHeap<std::cmp::Reverse<usize>>,
+    /// Completed units.
+    completed: usize,
+    /// Set when a worker panicked; everyone else drains and exits.
+    poisoned: bool,
+}
+
+/// Runs `work(i, dep_results)` for every unit of a dependency DAG, on
+/// up to `jobs` threads, returning results in unit order.
+///
+/// `deps[i]` lists the units whose results unit `i` consumes; `work`
+/// receives clones of those results in declaration order, each edge
+/// delivered exactly once. Units are claimed lowest-index-first among
+/// the ready set, but results never depend on claim order.
+///
+/// # Errors
+///
+/// Fails without executing anything if `deps` is not a DAG (cycles,
+/// out-of-range or self dependencies).
+///
+/// Panics in `work` are propagated: the pool stops claiming new units,
+/// finishes outstanding claims, then re-panics on the caller thread.
+pub fn run_dag<R, F>(jobs: usize, deps: &[Vec<usize>], work: F) -> Result<Vec<R>, String>
+where
+    R: Send + Clone,
+    F: Fn(usize, Vec<R>) -> R + Sync,
+{
+    let n = validate_dag(deps)?;
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let take_deps = |unit: usize| -> Vec<R> {
+        deps[unit]
+            .iter()
+            .map(|&d| {
+                slots[d]
+                    .lock()
+                    .expect("dep slot poisoned")
+                    .clone()
+                    .expect("dependency scheduled before dependent")
+            })
+            .collect()
+    };
+
+    let jobs = jobs.max(1).min(n.max(1));
+    let dependents = dependents_of(deps);
+    if jobs <= 1 {
+        // Serial: claim in the same lowest-index-first topological
+        // order the parallel scheduler uses.
+        let mut state = fresh_state(deps);
+        while let Some(std::cmp::Reverse(u)) = state.ready.pop() {
+            let result = work(u, take_deps(u));
+            *slots[u].lock().expect("result slot poisoned") = Some(result);
+            state.completed += 1;
+            for &t in &dependents[u] {
+                state.indegree[t] -= 1;
+                if state.indegree[t] == 0 {
+                    state.ready.push(std::cmp::Reverse(t));
+                }
+            }
+        }
+        return Ok(collect(slots));
+    }
+
+    let state = Mutex::new(fresh_state(deps));
+    let ready_cv = Condvar::new();
+    let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let unit = {
+                    let mut s = state.lock().expect("scheduler state poisoned");
+                    loop {
+                        if s.poisoned || s.completed == n {
+                            return;
+                        }
+                        if let Some(std::cmp::Reverse(u)) = s.ready.pop() {
+                            break u;
+                        }
+                        s = ready_cv.wait(s).expect("scheduler state poisoned");
+                    }
+                };
+                let dep_results = take_deps(unit);
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    work(unit, dep_results)
+                })) {
+                    Ok(result) => {
+                        *slots[unit].lock().expect("result slot poisoned") = Some(result);
+                        let mut s = state.lock().expect("scheduler state poisoned");
+                        s.completed += 1;
+                        for &t in &dependents[unit] {
+                            s.indegree[t] -= 1;
+                            if s.indegree[t] == 0 {
+                                s.ready.push(std::cmp::Reverse(t));
+                            }
+                        }
+                        ready_cv.notify_all();
+                    }
+                    Err(payload) => {
+                        panic_payload
+                            .lock()
+                            .expect("panic slot poisoned")
+                            .get_or_insert(payload);
+                        state.lock().expect("scheduler state poisoned").poisoned = true;
+                        ready_cv.notify_all();
+                        return;
+                    }
+                }
+            });
+        }
     });
+
+    if let Some(payload) = panic_payload.into_inner().expect("panic slot poisoned") {
+        std::panic::resume_unwind(payload);
+    }
+    Ok(collect(slots))
+}
+
+fn fresh_state(deps: &[Vec<usize>]) -> SchedState {
+    let indegree: Vec<usize> = deps.iter().map(Vec::len).collect();
+    let ready = (0..deps.len())
+        .filter(|&u| indegree[u] == 0)
+        .map(std::cmp::Reverse)
+        .collect();
+    SchedState {
+        indegree,
+        ready,
+        completed: 0,
+        poisoned: false,
+    }
+}
+
+fn collect<R>(slots: Vec<Mutex<Option<R>>>) -> Vec<R> {
     slots
         .into_iter()
         .map(|slot| {
@@ -68,35 +231,42 @@ pub fn default_jobs() -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn preserves_order_for_any_job_count() {
-        let items: Vec<usize> = (0..97).collect();
-        let serial = run_indexed(1, &items, |i, &x| i * 1000 + x * x);
+        let deps: Vec<Vec<usize>> = (0..97).map(|_| Vec::new()).collect();
+        let serial = run_dag(1, &deps, |i, _: Vec<usize>| i * 1000 + i * i).unwrap();
         for jobs in [2, 3, 8, 64] {
-            assert_eq!(serial, run_indexed(jobs, &items, |i, &x| i * 1000 + x * x));
+            assert_eq!(
+                serial,
+                run_dag(jobs, &deps, |i, _: Vec<usize>| i * 1000 + i * i).unwrap()
+            );
         }
     }
 
     #[test]
     fn empty_and_single_items_work() {
-        let none: Vec<u32> = Vec::new();
-        assert!(run_indexed(8, &none, |_, &x| x).is_empty());
-        assert_eq!(run_indexed(8, &[5u32], |_, &x| x * 2), vec![10]);
+        assert!(run_dag(8, &[], |_, _: Vec<u32>| 0).unwrap().is_empty());
+        assert_eq!(
+            run_dag(8, &[vec![]], |_, _: Vec<u32>| 10).unwrap(),
+            vec![10]
+        );
     }
 
     #[test]
     fn work_actually_runs_concurrently() {
-        use std::sync::atomic::AtomicUsize;
         let peak = AtomicUsize::new(0);
         let live = AtomicUsize::new(0);
-        let items: Vec<u32> = (0..16).collect();
-        run_indexed(4, &items, |_, _| {
+        let deps: Vec<Vec<usize>> = (0..16).map(|_| Vec::new()).collect();
+        run_dag(4, &deps, |_, _: Vec<u32>| {
             let now = live.fetch_add(1, Ordering::SeqCst) + 1;
             peak.fetch_max(now, Ordering::SeqCst);
             std::thread::sleep(std::time::Duration::from_millis(20));
             live.fetch_sub(1, Ordering::SeqCst);
-        });
+            0
+        })
+        .unwrap();
         assert!(
             peak.load(Ordering::SeqCst) > 1,
             "expected concurrent execution"
@@ -105,9 +275,9 @@ mod tests {
 
     #[test]
     fn panics_propagate() {
-        let items: Vec<u32> = (0..8).collect();
+        let deps: Vec<Vec<usize>> = (0..8).map(|_| Vec::new()).collect();
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_indexed(4, &items, |i, _| {
+            run_dag(4, &deps, |i, _: Vec<usize>| {
                 if i == 3 {
                     panic!("unit 3 failed");
                 }
@@ -115,5 +285,68 @@ mod tests {
             })
         }));
         assert!(result.is_err());
+    }
+
+    /// A diamond: 0 → {1, 2} → 3. Checks topological delivery, exactly
+    /// one delivery per edge, and identical results at any worker count.
+    #[test]
+    fn dag_delivers_each_dependency_exactly_once() {
+        let deps = vec![vec![], vec![0], vec![0], vec![1, 2]];
+        let serial = run_dag(1, &deps, |i, d: Vec<u64>| {
+            (i as u64 + 1) * 100 + d.iter().sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(serial, vec![100, 300, 400, 1100]);
+        for jobs in [2, 4, 8] {
+            let deliveries = AtomicUsize::new(0);
+            let parallel = run_dag(jobs, &deps, |i, d: Vec<u64>| {
+                deliveries.fetch_add(d.len(), Ordering::SeqCst);
+                (i as u64 + 1) * 100 + d.iter().sum::<u64>()
+            })
+            .unwrap();
+            assert_eq!(serial, parallel, "jobs={jobs}");
+            let edges: usize = deps.iter().map(Vec::len).sum();
+            assert_eq!(
+                deliveries.load(Ordering::SeqCst),
+                edges,
+                "each dependency edge must deliver exactly once (jobs={jobs})"
+            );
+        }
+    }
+
+    #[test]
+    fn dag_chains_execute_in_order_at_full_parallelism() {
+        // A pure chain 0 → 1 → ... → 31 forces the scheduler to respect
+        // edges even with more workers than ready units.
+        let deps: Vec<Vec<usize>> = (0..32)
+            .map(|i| if i == 0 { vec![] } else { vec![i - 1] })
+            .collect();
+        let results = run_dag(16, &deps, |i, d: Vec<usize>| {
+            assert_eq!(d.len(), usize::from(i > 0));
+            d.first().copied().unwrap_or(0) + i
+        })
+        .unwrap();
+        assert_eq!(results[31], (0..32).sum::<usize>());
+        assert_eq!(results[1], 1);
+    }
+
+    #[test]
+    fn cycles_and_bad_edges_are_rejected_before_running() {
+        let ran = AtomicUsize::new(0);
+        let work = |_: usize, _: Vec<u32>| {
+            ran.fetch_add(1, Ordering::SeqCst);
+            0u32
+        };
+        let err = run_dag(4, &[vec![1], vec![0]], work).unwrap_err();
+        assert!(err.contains("cycle"), "{err}");
+        let err = run_dag(4, &[vec![7]], work).unwrap_err();
+        assert!(err.contains("out-of-range"), "{err}");
+        let err = run_dag(4, &[vec![0]], work).unwrap_err();
+        assert!(err.contains("itself"), "{err}");
+        assert_eq!(
+            ran.load(Ordering::SeqCst),
+            0,
+            "rejection must pre-empt execution"
+        );
     }
 }

@@ -1,11 +1,11 @@
 //! Structured output sinks: text, JSON and CSV rendering of run
-//! results.
+//! results, plus the NDJSON streaming events behind `--stream`.
 
 use core::str::FromStr;
 
 use crate::job::{Job, JobContext};
 use crate::json::Json;
-use crate::runner::ExperimentRun;
+use crate::runner::{ExperimentRun, UnitEvent};
 
 /// Output format of the CLI.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -59,15 +59,64 @@ pub fn render(
 }
 
 /// The JSON envelope for one experiment run.
+///
+/// Deliberately free of run statistics (unit counts, cache hits, wall
+/// time): the envelope describes the *result*, so it stays byte-stable
+/// across resharding, cache states and worker counts — which is what
+/// lets CI diff committed envelope snapshots across refactors. Run
+/// statistics travel in [`RunStats`](crate::RunStats) and the streaming
+/// events instead.
 pub fn envelope(job: &dyn Job, run: &ExperimentRun, ctx: &JobContext) -> Json {
     Json::object()
         .with("experiment", job.id())
         .with("description", job.description())
         .with("scale", ctx.scale.as_str())
         .with("seed", ctx.seed)
+        .with("result", run.merged.clone())
+}
+
+/// One NDJSON line announcing that an experiment started: emit before
+/// running when streaming.
+pub fn stream_started(job: &dyn Job, units: usize, ctx: &JobContext) -> String {
+    Json::object()
+        .with("event", "started")
+        .with("experiment", job.id())
+        .with("scale", ctx.scale.as_str())
+        .with("seed", ctx.seed)
+        .with("units", units)
+        .to_compact()
+        + "\n"
+}
+
+/// One NDJSON line for a completed unit: wire a
+/// [`UnitObserver`](crate::runner::UnitObserver) that emits this as
+/// each unit finishes, in completion order.
+pub fn stream_unit(event: &UnitEvent) -> String {
+    Json::object()
+        .with("event", "unit")
+        .with("experiment", event.experiment)
+        .with("unit", event.unit.as_str())
+        .with("index", event.index)
+        .with("cached", event.cached)
+        .with("ms", event.wall_ms as u64)
+        .with("result", event.result.clone())
+        .to_compact()
+        + "\n"
+}
+
+/// One NDJSON line carrying the finished experiment's envelope plus run
+/// statistics: emit after `finish` when streaming.
+pub fn stream_finished(job: &dyn Job, run: &ExperimentRun, ctx: &JobContext) -> String {
+    Json::object()
+        .with("event", "finished")
+        .with("experiment", job.id())
         .with("units", run.stats.units_total)
         .with("cached_units", run.stats.units_cached)
-        .with("result", run.merged.clone())
+        .with("executed_units", run.stats.units_executed)
+        .with("wall_ms", run.stats.wall_ms as u64)
+        .with("envelope", envelope(job, run, ctx))
+        .to_compact()
+        + "\n"
 }
 
 /// Generic CSV fallback: uses the first array-of-objects field of the
@@ -153,5 +202,24 @@ mod tests {
     fn csv_falls_back_to_scalars_and_escapes() {
         let merged = Json::object().with("label", "a,b").with("n", 3i64);
         assert_eq!(csv_from_json(&merged), "label,n\n\"a,b\",3\n");
+    }
+
+    #[test]
+    fn stream_lines_are_single_line_ndjson() {
+        let event = UnitEvent {
+            experiment: "fig4",
+            unit: "noise:1".into(),
+            index: 1,
+            cached: false,
+            wall_ms: 12,
+            result: Json::object().with("capacity", 39.5),
+        };
+        let line = stream_unit(&event);
+        assert!(line.ends_with('\n'));
+        assert_eq!(line.trim_end().matches('\n').count(), 0, "one line");
+        let parsed = crate::json::parse(line.trim_end()).unwrap();
+        assert_eq!(parsed["event"].as_str(), Some("unit"));
+        assert_eq!(parsed["unit"].as_str(), Some("noise:1"));
+        assert_eq!(parsed["result"]["capacity"].as_f64(), Some(39.5));
     }
 }

@@ -155,8 +155,8 @@ fn tiny_device(prac: Option<PracConfig>) -> DramDevice {
     DramDevice::new(cfg).unwrap()
 }
 
-/// Whether `cmd` is legal in the device's *current* row state (the
-/// condition the legacy `earliest_issue` API turned into an `Err`).
+/// Whether `cmd` is legal in the device's *current* row state (when
+/// false, `earliest_legal` answers with an implied-prep lower bound).
 fn state_legal(dev: &DramDevice, cmd: &Command) -> bool {
     match *cmd {
         Command::Activate { bank, .. } => dev.open_row(bank).is_none(),

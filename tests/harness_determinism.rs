@@ -1,5 +1,6 @@
 //! Harness invariants, end to end through real experiments: parallel
-//! runs are bit-identical to serial runs, and a warm cache skips all
+//! runs are bit-identical to serial runs — including DAG-scheduled jobs
+//! with cross-unit dependencies (fig13) — and a warm cache skips all
 //! recomputation while reproducing the output byte for byte.
 
 use lh_harness::{DiskCache, JobContext, Runner, RunnerOptions, ScaleLevel};
@@ -15,7 +16,7 @@ fn runner(jobs: usize, cache: Option<DiskCache>) -> Runner {
     Runner::new(RunnerOptions {
         jobs,
         cache,
-        progress: false,
+        ..Default::default()
     })
 }
 
@@ -38,6 +39,43 @@ fn noise_sweep_is_bit_identical_across_job_counts() {
     }
     // Sanity: the sweep actually has multiple points to shard.
     assert!(serial.stats.units_total >= 3);
+}
+
+#[test]
+fn fig13_dag_is_bit_identical_across_job_counts() {
+    let registry = leakyhammer::registry();
+    let job = registry.get("fig13").expect("fig13 registered");
+
+    // The decomposition really is a DAG: per-mix baselines plus one
+    // unit per (mix, defense, NRH) cell depending on its baseline.
+    let units = job.units(&ctx());
+    let baselines = units.iter().filter(|u| u.starts_with("baseline:")).count();
+    assert!(baselines >= 2, "one baseline unit per mix");
+    assert!(
+        units.len() > baselines * 10,
+        "cells dominate: {} units for {baselines} baselines",
+        units.len()
+    );
+    for (i, unit) in units.iter().enumerate() {
+        let deps = job.deps(i, &ctx());
+        if unit.starts_with("baseline:") {
+            assert!(deps.is_empty(), "{unit} must be a root");
+        } else {
+            assert_eq!(deps.len(), 1, "{unit} depends on its mix baseline");
+            assert!(units[deps[0]].starts_with("baseline:"));
+        }
+    }
+
+    let serial = runner(1, None).run(job, &ctx()).expect("serial run");
+    let parallel = runner(8, None).run(job, &ctx()).expect("parallel run");
+    assert_eq!(
+        serial.merged, parallel.merged,
+        "--jobs 8 must produce a bit-identical merged envelope on the fig13 DAG"
+    );
+    assert_eq!(
+        job.render_text(&serial.merged, &ctx()),
+        job.render_text(&parallel.merged, &ctx())
+    );
 }
 
 #[test]
