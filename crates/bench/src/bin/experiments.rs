@@ -1,43 +1,54 @@
 //! `lh-experiments` — regenerate any figure or table of the paper on
 //! the `lh-harness` runner: units scheduled as a dependency DAG across
-//! cores, cached across reruns, with text/JSON/CSV output and an
-//! NDJSON streaming mode (`--stream`) that emits each unit's result
-//! the moment it completes.
+//! cores (`--jobs`) or across worker processes (`--workers`, the
+//! `lh-coord` coordinator), cached across reruns, with text/JSON/CSV
+//! output and an NDJSON streaming mode (`--stream`) that emits each
+//! unit's result the moment it completes — one multiplexed feed no
+//! matter how many workers produced it (`lh-experiments watch` renders
+//! it).
 //!
 //! ```text
-//! lh-experiments <id|all|list> [options]
+//! lh-experiments <id|all|list|watch> [options]
 //!
 //! options:
 //!   --scale quick|default|paper   experiment scale (default: default)
 //!   --seed N                      master seed (default: 1)
-//!   --jobs N                      worker threads (default: all cores)
+//!   --jobs N                      in-process worker threads (default: all cores)
+//!   --workers N                   distribute units across N worker child processes
 //!   --no-cache                    disable the on-disk result cache
 //!   --cache-dir PATH              cache location (default: .lh-cache)
 //!   --format text|json|csv        output format (default: text)
 //!   --stream                      stream NDJSON events to stdout as units finish
 //!   --quiet                       suppress progress lines on stderr
+//!   --worker                      internal: serve units over stdio (lh-coord protocol)
 //!   --help                        this message
 //! ```
 
-use lh_harness::{DiskCache, JobContext, OutputFormat, Runner, RunnerOptions, ScaleLevel};
+use lh_coord::{Coordinator, CoordinatorOptions, ProcessSpawner};
+use lh_harness::{
+    DiskCache, ExperimentRun, Job, JobContext, OutputFormat, Runner, RunnerOptions, ScaleLevel,
+};
 
 const USAGE: &str = "\
-usage: lh-experiments <id|all|list> [options]
+usage: lh-experiments <id|all|list|watch> [options]
 
 commands:
   <id>       run one experiment (see `lh-experiments list`)
   all        run every experiment
   list       list experiment ids and descriptions
+  watch      render an NDJSON --stream feed from stdin as live progress
 
 options:
   --scale quick|default|paper   experiment scale (default: default)
   --seed N                      master seed (default: 1)
-  --jobs N                      worker threads (default: all cores)
+  --jobs N                      in-process worker threads (default: all cores)
+  --workers N                   distribute units across N worker child processes
   --no-cache                    disable the on-disk result cache
   --cache-dir PATH              cache location (default: .lh-cache)
   --format text|json|csv        output format (default: text)
   --stream                      stream NDJSON events to stdout as units finish
   --quiet                       suppress progress lines on stderr
+  --worker                      internal: serve units over stdio (lh-coord protocol)
   --help                        this message
 ";
 
@@ -47,6 +58,8 @@ struct Args {
     scale: ScaleLevel,
     seed: u64,
     jobs: usize,
+    workers: usize,
+    worker: bool,
     cache: bool,
     cache_dir: String,
     format: Option<OutputFormat>,
@@ -61,6 +74,8 @@ impl Default for Args {
             scale: ScaleLevel::Default,
             seed: 1,
             jobs: 0,
+            workers: 0,
+            worker: false,
             cache: true,
             cache_dir: ".lh-cache".to_owned(),
             format: None,
@@ -97,6 +112,15 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     return Err("--jobs must be at least 1".to_owned());
                 }
             }
+            "--workers" => {
+                args.workers = value("--workers", &mut it)?
+                    .parse()
+                    .map_err(|_| "--workers needs a positive integer".to_owned())?;
+                if args.workers == 0 {
+                    return Err("--workers must be at least 1".to_owned());
+                }
+            }
+            "--worker" => args.worker = true,
             "--no-cache" => args.cache = false,
             "--cache-dir" => args.cache_dir = value("--cache-dir", &mut it)?.clone(),
             "--format" => args.format = Some(value("--format", &mut it)?.parse()?),
@@ -118,6 +142,18 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 .to_owned(),
         );
     }
+    if args.jobs != 0 && args.workers != 0 {
+        return Err(
+            "--jobs and --workers are mutually exclusive (threads vs worker processes)".to_owned(),
+        );
+    }
+    if args.worker && (saw_command || args.workers != 0 || args.stream || args.format.is_some()) {
+        return Err(
+            "--worker takes no command and no output flags (it serves a coordinator over \
+                    stdio)"
+                .to_owned(),
+        );
+    }
     Ok(args)
 }
 
@@ -136,6 +172,60 @@ fn emit(text: &str) {
     }
 }
 
+/// How experiments execute: the in-process thread pool (`--jobs`) or
+/// the `lh-coord` fleet of worker child processes (`--workers`).
+enum Executor {
+    Threads(Runner),
+    Fleet(Coordinator),
+}
+
+impl Executor {
+    fn run(&mut self, job: &dyn Job, ctx: &JobContext) -> Result<ExperimentRun, String> {
+        match self {
+            Executor::Threads(runner) => runner.run(job, ctx),
+            Executor::Fleet(coordinator) => coordinator.run(job, ctx),
+        }
+    }
+}
+
+/// Runs as a protocol worker over stdio: the child side of `--workers`.
+/// The chaos hook (worker 0 crashing on its n-th assignment when
+/// `LH_COORD_CHAOS=n` is set) exists so CI can prove requeue-on-death
+/// end to end with a deterministic kill.
+fn worker_mode(cache: Option<DiskCache>) -> ! {
+    let registry = leakyhammer::registry();
+    let chaos = std::env::var("LH_COORD_CHAOS")
+        .ok()
+        .filter(|_| std::env::var("LH_COORD_WORKER").as_deref() == Ok("0"))
+        .and_then(|n| n.parse().ok());
+    let options = lh_coord::WorkerOptions {
+        exit_after_assigns: chaos,
+    };
+    match lh_coord::worker_loop(&registry, lh_coord::stdio_link(), cache, options) {
+        Ok(()) => std::process::exit(0),
+        // The coordinator going away (its own exit closes our pipes) is
+        // a normal way for a worker's life to end, not worth a scare.
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => std::process::exit(0),
+        Err(e) => {
+            eprintln!("error: worker: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Renders a `--stream` NDJSON feed from stdin as live progress lines.
+fn watch_mode() -> ! {
+    let stdin = std::io::stdin();
+    match lh_coord::watch(stdin.lock(), std::io::stdout()) {
+        Ok(_) => std::process::exit(0),
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => std::process::exit(0),
+        Err(e) => {
+            eprintln!("error: watch: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match parse_args(&argv) {
@@ -150,6 +240,13 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    if args.worker {
+        worker_mode(args.cache.then(|| DiskCache::new(&args.cache_dir)));
+    }
+    if args.id == "watch" {
+        watch_mode();
+    }
 
     let registry = leakyhammer::registry();
     if args.id == "list" {
@@ -180,12 +277,37 @@ fn main() {
             emit(&lh_harness::sink::stream_unit(event));
         }) as lh_harness::UnitObserver
     });
-    let runner = Runner::new(RunnerOptions {
-        jobs: args.jobs,
-        cache: args.cache.then(|| DiskCache::new(&args.cache_dir)),
-        progress: !args.quiet,
-        observer,
-    });
+    let cache = args.cache.then(|| DiskCache::new(&args.cache_dir));
+    let mut executor = if args.workers > 0 {
+        // Distribute across worker child processes: each child is this
+        // same binary in --worker mode, so the registry — and therefore
+        // every job version and code fingerprint — matches by
+        // construction.
+        let exe = match std::env::current_exe() {
+            Ok(exe) => exe,
+            Err(e) => {
+                eprintln!("error: cannot locate own binary to spawn workers: {e}");
+                std::process::exit(1);
+            }
+        };
+        Executor::Fleet(Coordinator::new(
+            Box::new(ProcessSpawner::new(exe, Vec::new())),
+            CoordinatorOptions {
+                workers: args.workers,
+                cache,
+                progress: !args.quiet,
+                observer,
+                ..CoordinatorOptions::default()
+            },
+        ))
+    } else {
+        Executor::Threads(Runner::new(RunnerOptions {
+            jobs: args.jobs,
+            cache,
+            progress: !args.quiet,
+            observer,
+        }))
+    };
     let ctx = JobContext {
         scale: args.scale,
         seed: args.seed,
@@ -200,7 +322,7 @@ fn main() {
                 &ctx,
             ));
         }
-        match runner.run(job, &ctx) {
+        match executor.run(job, &ctx) {
             Ok(run) => {
                 if args.stream {
                     emit(&lh_harness::sink::stream_finished(job, &run, &ctx));
@@ -214,5 +336,8 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+    if let Executor::Fleet(mut coordinator) = executor {
+        coordinator.shutdown();
     }
 }

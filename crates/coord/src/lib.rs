@@ -1,0 +1,97 @@
+//! # lh-coord — distributed coordinator/worker execution for the
+//! experiment unit DAG
+//!
+//! `lh-harness` made every experiment a machine-agnostic DAG of units
+//! with content-addressed cache keys and position-derived seeds. This
+//! crate is the subsystem that exploits it at fleet scale: a
+//! [`Coordinator`] schedules the DAG across N worker processes, and a
+//! worker mode ([`worker_loop`], surfaced as `lh-experiments
+//! --worker`) executes assigned units, speaking a tiny NDJSON line
+//! protocol ([`protocol`]) over a pluggable [`transport`].
+//!
+//! The contract mirrors the in-process runner exactly:
+//!
+//! * **determinism** — a unit's seed derives from `(experiment id,
+//!   unit index, master seed)` *inside the worker*, dependency results
+//!   ship in the assignment, and the coordinator merges in unit order,
+//!   so `--workers N` envelopes are byte-identical to `--jobs M` for
+//!   any N, M and any placement of units on workers;
+//! * **incrementality** — the shared [`DiskCache`] is the warm path
+//!   (cached units never reach a worker); workers write fresh results
+//!   into private cache directories the coordinator merges back;
+//! * **fault tolerance** — a dead worker's in-flight unit is requeued
+//!   on the survivors, with a bounded respawn budget when the whole
+//!   fleet is lost;
+//! * **observability** — every worker's completions multiplex into the
+//!   one [`UnitObserver`] feed behind `--stream`, and
+//!   [`viewer::watch`] (surfaced as `lh-experiments watch`) renders
+//!   that stream for humans.
+//!
+//! Transports are small trait objects ([`transport::Sender`] /
+//! [`transport::Receiver`]); the stock ones cover child-process pipes
+//! and wire-faithful in-memory channels, and anything
+//! `Write`/`BufRead` (a `TcpStream`, say) slots in without touching
+//! scheduling.
+//!
+//! ## Example
+//!
+//! In-process workers over the wire-faithful memory transport:
+//!
+//! ```
+//! use lh_coord::{Coordinator, CoordinatorOptions, ThreadSpawner};
+//! use lh_harness::{Job, JobContext, Json, Registry, ScaleLevel};
+//!
+//! struct Squares;
+//!
+//! impl Job for Squares {
+//!     fn id(&self) -> &'static str { "squares" }
+//!     fn description(&self) -> &'static str { "squares of the first N integers" }
+//!     fn units(&self, _ctx: &JobContext) -> Vec<String> {
+//!         (0..4).map(|i| format!("square:{i}")).collect()
+//!     }
+//!     fn run_unit(&self, unit: usize, _seed: u64, _deps: &[Json], _ctx: &JobContext) -> Json {
+//!         Json::object().with("n", unit).with("sq", unit * unit)
+//!     }
+//!     fn finish(&self, units: Vec<Json>, _ctx: &JobContext) -> Json {
+//!         Json::object().with("points", Json::Array(units))
+//!     }
+//!     fn render_text(&self, merged: &Json, _ctx: &JobContext) -> String {
+//!         format!("{} squares\n", merged["points"].as_array().len())
+//!     }
+//! }
+//!
+//! fn registry() -> Registry {
+//!     let mut r = Registry::new();
+//!     r.register(Box::new(Squares));
+//!     r
+//! }
+//!
+//! let mut coordinator = Coordinator::new(
+//!     Box::new(ThreadSpawner::new(registry)),
+//!     CoordinatorOptions { workers: 2, ..CoordinatorOptions::default() },
+//! );
+//! let ctx = JobContext { scale: ScaleLevel::Quick, seed: 1 };
+//! let run = coordinator.run(registry().get("squares").unwrap(), &ctx).unwrap();
+//! assert_eq!(run.merged["points"].as_array().len(), 4);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod coordinator;
+pub mod protocol;
+pub mod transport;
+pub mod viewer;
+pub mod worker;
+
+pub use coordinator::{
+    CoordStats, Coordinator, CoordinatorOptions, ProcessSpawner, SpawnWorker, ThreadSpawner,
+};
+pub use protocol::{FromWorker, ToWorker, PROTOCOL_VERSION};
+pub use transport::{stdio_link, Link};
+pub use viewer::{watch, WatchSummary};
+pub use worker::{worker_loop, WorkerOptions};
+
+// Re-exported so transports and worker glue need only this crate.
+pub use lh_harness::cache::DiskCache;
+pub use lh_harness::UnitObserver;

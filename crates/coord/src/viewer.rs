@@ -1,0 +1,207 @@
+//! `lh-experiments watch`: a terminal viewer for the NDJSON event
+//! stream.
+//!
+//! Consumes the `started`/`unit`/`finished` lines that `--stream`
+//! emits — one multiplexed feed no matter how many workers produced
+//! the events — and renders per-experiment unit progress plus a final
+//! whole-run summary. Lines it cannot parse are counted, reported on
+//! stderr, and skipped: a viewer must never kill the pipeline feeding
+//! it.
+
+use std::io::{self, BufRead, Write};
+
+use lh_harness::json::parse;
+
+/// Whole-stream totals, rendered as the closing summary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WatchSummary {
+    /// `finished` events seen.
+    pub experiments: usize,
+    /// Units across all finished experiments.
+    pub units: usize,
+    /// Cache-replayed units across all finished experiments.
+    pub cached: usize,
+    /// Executed units across all finished experiments.
+    pub executed: usize,
+    /// Summed per-experiment wall milliseconds.
+    pub wall_ms: u64,
+    /// Lines that were not valid stream events.
+    pub malformed: usize,
+}
+
+/// Per-experiment progress while its units stream in.
+struct Tally {
+    experiment: String,
+    total: usize,
+    done: usize,
+}
+
+/// Renders the event stream from `input` onto `out` line by line,
+/// returning the totals after the stream ends.
+///
+/// # Errors
+///
+/// Propagates write failures on `out` and read failures on `input`
+/// (except the consumer closing the pipe, which callers treat as a
+/// normal end of watching).
+pub fn watch(input: impl BufRead, mut out: impl Write) -> io::Result<WatchSummary> {
+    let mut summary = WatchSummary::default();
+    let mut tallies: Vec<Tally> = Vec::new();
+
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(event) = parse(&line) else {
+            summary.malformed += 1;
+            eprintln!("watch: ignoring unparseable line");
+            continue;
+        };
+        match event["event"].as_str() {
+            Some("started") => {
+                let experiment = event["experiment"].as_str().unwrap_or("?").to_owned();
+                let total = event["units"].as_u64().unwrap_or(0) as usize;
+                writeln!(
+                    out,
+                    "{experiment}: started — {total} unit(s) at scale {}, seed {}",
+                    event["scale"].as_str().unwrap_or("?"),
+                    event["seed"].as_u64().unwrap_or(0),
+                )?;
+                tallies.retain(|t| t.experiment != experiment);
+                tallies.push(Tally {
+                    experiment,
+                    total,
+                    done: 0,
+                });
+            }
+            Some("unit") => {
+                let experiment = event["experiment"].as_str().unwrap_or("?");
+                let (done, total) = match tallies.iter_mut().find(|t| t.experiment == experiment) {
+                    Some(t) => {
+                        t.done += 1;
+                        (t.done, t.total)
+                    }
+                    None => (0, 0), // unit without a started line; still render it
+                };
+                let width = total.to_string().len();
+                let outcome = if event["cached"].as_bool() == Some(true) {
+                    "cached".to_owned()
+                } else {
+                    format!("{} ms", event["ms"].as_u64().unwrap_or(0))
+                };
+                writeln!(
+                    out,
+                    "{experiment}: [{done:>width$}/{total}] {} ({outcome})",
+                    event["unit"].as_str().unwrap_or("?"),
+                )?;
+            }
+            Some("finished") => {
+                let experiment = event["experiment"].as_str().unwrap_or("?");
+                let units = event["units"].as_u64().unwrap_or(0);
+                let cached = event["cached_units"].as_u64().unwrap_or(0);
+                let executed = event["executed_units"].as_u64().unwrap_or(0);
+                let wall_ms = event["wall_ms"].as_u64().unwrap_or(0);
+                writeln!(
+                    out,
+                    "{experiment}: finished — {units} unit(s) in {wall_ms} ms \
+                     ({cached} cached, {executed} executed)",
+                )?;
+                summary.experiments += 1;
+                summary.units += units as usize;
+                summary.cached += cached as usize;
+                summary.executed += executed as usize;
+                summary.wall_ms += wall_ms;
+                tallies.retain(|t| t.experiment != experiment);
+            }
+            _ => {
+                summary.malformed += 1;
+                eprintln!("watch: ignoring unknown event line");
+            }
+        }
+    }
+
+    writeln!(
+        out,
+        "watch: {} experiment(s), {} unit(s) — {} cached, {} executed in {} ms{}",
+        summary.experiments,
+        summary.units,
+        summary.cached,
+        summary.executed,
+        summary.wall_ms,
+        if summary.malformed > 0 {
+            format!(" ({} malformed line(s) ignored)", summary.malformed)
+        } else {
+            String::new()
+        },
+    )?;
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_watch(stream: &str) -> (WatchSummary, String) {
+        let mut out = Vec::new();
+        let summary = watch(stream.as_bytes(), &mut out).unwrap();
+        (summary, String::from_utf8(out).unwrap())
+    }
+
+    #[test]
+    fn renders_progress_and_summary_for_interleaved_experiments() {
+        // Two experiments' unit events interleaved, as a multi-worker
+        // merged stream produces them.
+        let stream = concat!(
+            r#"{"event":"started","experiment":"fig4","scale":"quick","seed":11,"units":2}"#,
+            "\n",
+            r#"{"event":"started","experiment":"fig6","scale":"quick","seed":11,"units":1}"#,
+            "\n",
+            r#"{"event":"unit","experiment":"fig6","unit":"bits:8","index":0,"cached":false,"ms":7,"result":{}}"#,
+            "\n",
+            r#"{"event":"unit","experiment":"fig4","unit":"noise:0","index":0,"cached":true,"ms":0,"result":{}}"#,
+            "\n",
+            r#"{"event":"unit","experiment":"fig4","unit":"noise:1","index":1,"cached":false,"ms":12,"result":{}}"#,
+            "\n",
+            r#"{"event":"finished","experiment":"fig6","units":1,"cached_units":0,"executed_units":1,"wall_ms":9,"envelope":{}}"#,
+            "\n",
+            r#"{"event":"finished","experiment":"fig4","units":2,"cached_units":1,"executed_units":1,"wall_ms":20,"envelope":{}}"#,
+            "\n",
+        );
+        let (summary, out) = run_watch(stream);
+        assert_eq!(
+            summary,
+            WatchSummary {
+                experiments: 2,
+                units: 3,
+                cached: 1,
+                executed: 2,
+                wall_ms: 29,
+                malformed: 0,
+            }
+        );
+        assert!(out.contains("fig4: started — 2 unit(s)"), "{out}");
+        assert!(out.contains("fig4: [1/2] noise:0 (cached)"), "{out}");
+        assert!(out.contains("fig4: [2/2] noise:1 (12 ms)"), "{out}");
+        assert!(out.contains("fig6: [1/1] bits:8 (7 ms)"), "{out}");
+        assert!(
+            out.contains("watch: 2 experiment(s), 3 unit(s) — 1 cached, 2 executed in 29 ms"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn malformed_lines_are_counted_not_fatal() {
+        let stream = concat!(
+            "{not json\n",
+            r#"{"event":"teleport"}"#,
+            "\n",
+            r#"{"event":"finished","experiment":"fig2","units":1,"cached_units":0,"executed_units":1,"wall_ms":3}"#,
+            "\n",
+        );
+        let (summary, out) = run_watch(stream);
+        assert_eq!(summary.malformed, 2);
+        assert_eq!(summary.experiments, 1);
+        assert!(out.contains("2 malformed line(s) ignored"), "{out}");
+    }
+}

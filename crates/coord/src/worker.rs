@@ -1,0 +1,284 @@
+//! The worker side of the protocol: a loop that executes assigned
+//! units against a local experiment [`Registry`].
+//!
+//! A worker is stateless between assignments — every `assign` message
+//! carries the experiment id, unit index, scale, master seed, and the
+//! unit's dependency results, so any worker can run any unit at any
+//! time and placement never influences results. The unit's RNG seed is
+//! derived locally with the same [`derive_seed`] the in-process runner
+//! uses.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+use lh_harness::cache::DiskCache;
+use lh_harness::job::{JobContext, Registry};
+use lh_harness::runner::unit_key;
+use lh_harness::seed::derive_seed;
+
+use crate::protocol::{FromWorker, ToWorker};
+use crate::transport::Link;
+
+/// Behavior knobs for [`worker_loop`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkerOptions {
+    /// Chaos-testing hook: return (simulating an abrupt crash, since
+    /// the process then exits and the connection drops) upon receiving
+    /// the n-th assignment, *before* running or acknowledging it. The
+    /// coordinator must requeue that in-flight unit. `None` disables.
+    pub exit_after_assigns: Option<usize>,
+}
+
+/// Runs the worker protocol loop until `Shutdown`, EOF, or a transport
+/// error.
+///
+/// For every assignment: resolve the experiment in `registry`, execute
+/// the unit with its derived seed and the shipped dependency results,
+/// write the result into the worker's private `cache` (if any) under
+/// the exact key the in-process runner would use — so the coordinator
+/// can later merge worker caches into the shared one — and reply
+/// `done`. A panicking unit, or an assignment this registry cannot
+/// resolve, replies `failed` (deterministic failures must not be
+/// requeued); the loop itself keeps running.
+///
+/// # Errors
+///
+/// Transport faults only: an unwritable peer, or an unparseable
+/// incoming line (a corrupt coordinator is not worth surviving).
+pub fn worker_loop(
+    registry: &Registry,
+    mut link: Link,
+    cache: Option<DiskCache>,
+    options: WorkerOptions,
+) -> std::io::Result<()> {
+    link.tx.send(&FromWorker::ready().to_json())?;
+    let mut assigns = 0usize;
+    while let Some(msg) = link.rx.recv()? {
+        let msg = ToWorker::from_json(&msg)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        let (experiment, unit, scale, seed, deps) = match msg {
+            ToWorker::Shutdown => break,
+            ToWorker::Assign {
+                experiment,
+                unit,
+                scale,
+                seed,
+                deps,
+            } => (experiment, unit, scale, seed, deps),
+        };
+
+        assigns += 1;
+        if options.exit_after_assigns.is_some_and(|n| assigns >= n) {
+            return Ok(());
+        }
+
+        let reply = match run_assignment(registry, &experiment, unit, &scale, seed, &deps, &cache) {
+            Ok((result, wall_ms)) => FromWorker::Done {
+                experiment,
+                unit,
+                wall_ms,
+                result,
+            },
+            Err(error) => FromWorker::Failed {
+                experiment,
+                unit,
+                error,
+            },
+        };
+        link.tx.send(&reply.to_json())?;
+    }
+    Ok(())
+}
+
+/// Executes one assignment, returning the result and its wall time.
+fn run_assignment(
+    registry: &Registry,
+    experiment: &str,
+    unit: usize,
+    scale: &str,
+    seed: u64,
+    deps: &[lh_harness::Json],
+    cache: &Option<DiskCache>,
+) -> Result<(lh_harness::Json, u64), String> {
+    let job = registry
+        .get(experiment)
+        .ok_or_else(|| format!("unknown experiment '{experiment}' in this worker's registry"))?;
+    let ctx = JobContext {
+        scale: scale.parse()?,
+        seed,
+    };
+    let units = job.units(&ctx);
+    let label = units
+        .get(unit)
+        .ok_or_else(|| {
+            format!(
+                "unit {unit} out of range for {experiment} ({} units at scale {scale})",
+                units.len()
+            )
+        })?
+        .clone();
+
+    let started = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        job.run_unit(unit, derive_seed(job.id(), unit, ctx.seed), deps, &ctx)
+    }))
+    .map_err(|payload| {
+        let cause = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_owned())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "unit panicked".to_owned());
+        format!("{experiment}/{label} panicked: {cause}")
+    })?;
+    let wall_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
+
+    if let Some(c) = cache {
+        if let Err(e) = c.put(&unit_key(job, &label, &ctx), &result) {
+            eprintln!("warning: worker cache write failed for {experiment}/{label}: {e}");
+        }
+    }
+    Ok((result, wall_ms))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::memory_pair;
+    use lh_harness::{Job, Json};
+
+    struct Doubler;
+
+    impl Job for Doubler {
+        fn id(&self) -> &'static str {
+            "doubler"
+        }
+        fn description(&self) -> &'static str {
+            "test job"
+        }
+        fn units(&self, _ctx: &JobContext) -> Vec<String> {
+            vec!["a".into(), "b".into(), "boom".into()]
+        }
+        fn run_unit(&self, unit: usize, seed: u64, deps: &[Json], _ctx: &JobContext) -> Json {
+            assert!(unit != 2, "unit 2 always panics");
+            let dep_sum: u64 = deps.iter().filter_map(|d| d["v"].as_u64()).sum();
+            Json::object().with("v", seed % 1000 + dep_sum)
+        }
+        fn finish(&self, units: Vec<Json>, _ctx: &JobContext) -> Json {
+            Json::Array(units)
+        }
+        fn render_text(&self, _merged: &Json, _ctx: &JobContext) -> String {
+            String::new()
+        }
+    }
+
+    fn test_registry() -> Registry {
+        let mut r = Registry::new();
+        r.register(Box::new(Doubler));
+        r
+    }
+
+    fn assign(unit: usize, deps: Vec<Json>) -> Json {
+        ToWorker::Assign {
+            experiment: "doubler".into(),
+            unit,
+            scale: "quick".into(),
+            seed: 11,
+            deps,
+        }
+        .to_json()
+    }
+
+    /// Drives a worker thread over the memory transport and returns its
+    /// replies to a scripted message sequence.
+    fn drive(messages: Vec<Json>, options: WorkerOptions) -> Vec<FromWorker> {
+        let (mut coord, worker) = memory_pair();
+        let handle = std::thread::spawn(move || {
+            let registry = test_registry();
+            worker_loop(&registry, worker, None, options)
+        });
+        for msg in &messages {
+            coord.tx.send(msg).unwrap();
+        }
+        let mut replies = Vec::new();
+        while let Some(msg) = coord.rx.recv().unwrap() {
+            replies.push(FromWorker::from_json(&msg).unwrap());
+        }
+        handle.join().unwrap().unwrap();
+        replies
+    }
+
+    #[test]
+    fn executes_assignments_with_derived_seeds_and_deps() {
+        let replies = drive(
+            vec![
+                assign(0, vec![]),
+                assign(1, vec![Json::object().with("v", 40u64)]),
+                ToWorker::Shutdown.to_json(),
+            ],
+            WorkerOptions::default(),
+        );
+        assert_eq!(replies.len(), 3, "ready + two replies: {replies:?}");
+        assert!(matches!(
+            replies[0],
+            FromWorker::Ready {
+                protocol: crate::protocol::PROTOCOL_VERSION,
+                ..
+            }
+        ));
+        let expect = |unit: usize, dep_sum: u64| {
+            Json::object().with("v", derive_seed("doubler", unit, 11) % 1000 + dep_sum)
+        };
+        match &replies[1] {
+            FromWorker::Done { unit, result, .. } => {
+                assert_eq!((*unit, result), (0, &expect(0, 0)));
+            }
+            other => panic!("expected done, got {other:?}"),
+        }
+        match &replies[2] {
+            FromWorker::Done { unit, result, .. } => {
+                assert_eq!((*unit, result), (1, &expect(1, 40)));
+            }
+            other => panic!("expected done, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failures_are_reported_not_fatal() {
+        let replies = drive(
+            vec![
+                assign(2, vec![]), // panics
+                assign(9, vec![]), // out of range
+                assign(0, vec![]), // still serving
+                ToWorker::Shutdown.to_json(),
+            ],
+            WorkerOptions::default(),
+        );
+        assert_eq!(replies.len(), 4);
+        match &replies[1] {
+            FromWorker::Failed { unit, error, .. } => {
+                assert_eq!(*unit, 2);
+                assert!(error.contains("panicked"), "{error}");
+            }
+            other => panic!("expected failed, got {other:?}"),
+        }
+        assert!(matches!(
+            &replies[2],
+            FromWorker::Failed { unit: 9, error, .. } if error.contains("out of range")
+        ));
+        assert!(matches!(&replies[3], FromWorker::Done { unit: 0, .. }));
+    }
+
+    #[test]
+    fn chaos_exit_drops_the_connection_before_acknowledging() {
+        let replies = drive(
+            vec![assign(0, vec![]), assign(1, vec![])],
+            WorkerOptions {
+                exit_after_assigns: Some(2),
+            },
+        );
+        // Ready, then one done; the second assignment is swallowed by
+        // the simulated crash and the stream just ends.
+        assert_eq!(replies.len(), 2, "{replies:?}");
+        assert!(matches!(&replies[1], FromWorker::Done { unit: 0, .. }));
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests: every coordinator↔worker message survives the wire
+//! — serialize to its NDJSON line, parse the line back, get the same
+//! message — including arbitrary nested JSON payloads (dependency
+//! results and unit results with full-range integers, floats, escaped
+//! strings, arrays and objects).
+
+use lh_coord::protocol::{parse_line, FromWorker, ToWorker};
+use lh_harness::Json;
+use proptest::collection;
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+
+/// Depth-bounded strategy over arbitrary JSON values.
+#[derive(Debug, Clone, Copy)]
+struct ArbJson {
+    depth: u8,
+}
+
+impl Strategy for ArbJson {
+    type Value = Json;
+
+    fn sample(&self, rng: &mut TestRng) -> Json {
+        let variants = if self.depth == 0 { 5 } else { 7 };
+        match rng.below(variants) {
+            0 => Json::Null,
+            1 => Json::Bool(rng.next_u64() & 1 == 1),
+            2 => Json::Int(i128::from(rng.next_u64() as i64)),
+            3 => Json::from_f64(f64::arbitrary(rng)),
+            4 => Json::Str(Strategy::sample(&"[ -~]{0,16}", rng)),
+            5 => {
+                let inner = ArbJson {
+                    depth: self.depth - 1,
+                };
+                Json::Array((0..rng.below(3)).map(|_| inner.sample(rng)).collect())
+            }
+            _ => {
+                let inner = ArbJson {
+                    depth: self.depth - 1,
+                };
+                Json::Object(
+                    (0..rng.below(3))
+                        .map(|_| (Strategy::sample(&"[a-z_]{1,8}", rng), inner.sample(rng)))
+                        .collect(),
+                )
+            }
+        }
+    }
+}
+
+fn payload() -> ArbJson {
+    ArbJson { depth: 2 }
+}
+
+/// One wire round trip: message → NDJSON line → message.
+fn wire_to_worker(msg: &ToWorker) -> Result<ToWorker, String> {
+    let line = msg.to_json().to_compact();
+    assert!(!line.contains('\n'), "messages must be single lines");
+    ToWorker::from_json(&parse_line(&line)?)
+}
+
+fn wire_from_worker(msg: &FromWorker) -> Result<FromWorker, String> {
+    let line = msg.to_json().to_compact();
+    assert!(!line.contains('\n'), "messages must be single lines");
+    FromWorker::from_json(&parse_line(&line)?)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn assign_round_trips(
+        experiment in "[ -~]{1,24}",
+        unit in any::<usize>(),
+        scale in "[a-z]{1,8}",
+        seed in any::<u64>(),
+        deps in collection::vec(payload(), 0..4),
+    ) {
+        let msg = ToWorker::Assign { experiment, unit, scale, seed, deps };
+        prop_assert_eq!(wire_to_worker(&msg), Ok(msg));
+    }
+
+    #[test]
+    fn done_round_trips(
+        experiment in "[ -~]{1,24}",
+        unit in any::<usize>(),
+        wall_ms in any::<u64>(),
+        result in payload(),
+    ) {
+        let msg = FromWorker::Done { experiment, unit, wall_ms, result };
+        prop_assert_eq!(wire_from_worker(&msg), Ok(msg));
+    }
+
+    #[test]
+    fn failed_round_trips(
+        experiment in "[ -~]{1,24}",
+        unit in any::<usize>(),
+        error in "[ -~]{0,64}",
+    ) {
+        let msg = FromWorker::Failed { experiment, unit, error };
+        prop_assert_eq!(wire_from_worker(&msg), Ok(msg));
+    }
+
+    #[test]
+    fn ready_round_trips(protocol in any::<u64>(), pid in any::<u64>()) {
+        let msg = FromWorker::Ready { protocol, pid };
+        prop_assert_eq!(wire_from_worker(&msg), Ok(msg));
+    }
+}
+
+#[test]
+fn shutdown_round_trips() {
+    assert_eq!(wire_to_worker(&ToWorker::Shutdown), Ok(ToWorker::Shutdown));
+}

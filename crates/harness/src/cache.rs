@@ -103,6 +103,49 @@ impl DiskCache {
             other => other,
         }
     }
+
+    /// Merges another cache directory into this one, moving every entry
+    /// (`<experiment>/<digest>.json`) across and replacing duplicates —
+    /// both sides of a duplicate digest hold the same content, so
+    /// either copy is correct. Hidden files (in-flight `.*.tmp.*`
+    /// writes) are skipped. A missing `from` directory merges zero
+    /// entries. Returns the number of entries absorbed.
+    ///
+    /// This is how a coordinator folds per-worker cache directories
+    /// back into the shared cache after a distributed run.
+    pub fn absorb(&self, from: &Path) -> io::Result<usize> {
+        let experiments = match fs::read_dir(from) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+            other => other?,
+        };
+        let mut moved = 0;
+        for experiment in experiments {
+            let experiment = experiment?.path();
+            if !experiment.is_dir() {
+                continue;
+            }
+            let dest_dir = self
+                .dir
+                .join(experiment.file_name().expect("read_dir names"));
+            fs::create_dir_all(&dest_dir)?;
+            for entry in fs::read_dir(&experiment)? {
+                let entry = entry?.path();
+                let name = match entry.file_name().and_then(|n| n.to_str()) {
+                    Some(n) if !n.starts_with('.') && n.ends_with(".json") => n.to_owned(),
+                    _ => continue,
+                };
+                let dest = dest_dir.join(&name);
+                if fs::rename(&entry, &dest).is_err() {
+                    // Cross-device fallback: copy, then best-effort
+                    // cleanup of the source.
+                    fs::copy(&entry, &dest)?;
+                    let _ = fs::remove_file(&entry);
+                }
+                moved += 1;
+            }
+        }
+        Ok(moved)
+    }
 }
 
 #[cfg(test)]
@@ -164,6 +207,36 @@ mod tests {
         other.fingerprint = "crates:abc123".into();
         assert_ne!(digest, other.digest());
         assert_eq!(digest, base.digest(), "digest must be pure");
+    }
+
+    #[test]
+    fn absorb_moves_entries_and_replaces_duplicates() {
+        let main = temp_cache("absorb-main");
+        let worker = temp_cache("absorb-worker");
+        // One entry only the worker has, one both have, plus a stray
+        // temp file that must not travel.
+        worker.put(&key("point:1"), &Json::Int(1)).unwrap();
+        worker.put(&key("point:2"), &Json::Int(2)).unwrap();
+        main.put(&key("point:2"), &Json::Int(2)).unwrap();
+        std::fs::write(worker.dir().join("fig4").join(".orphan.tmp.1"), "junk").unwrap();
+
+        let moved = main.absorb(worker.dir()).unwrap();
+        assert_eq!(moved, 2);
+        assert_eq!(main.get(&key("point:1")), Some(Json::Int(1)));
+        assert_eq!(main.get(&key("point:2")), Some(Json::Int(2)));
+        assert!(
+            worker.get(&key("point:1")).is_none(),
+            "absorb moves, not copies"
+        );
+        assert!(!main.dir().join("fig4").join(".orphan.tmp.1").exists());
+
+        // Absorbing a missing directory is a no-op.
+        assert_eq!(
+            main.absorb(&worker.dir().join("does-not-exist")).unwrap(),
+            0
+        );
+        main.clear().unwrap();
+        worker.clear().unwrap();
     }
 
     #[test]

@@ -76,6 +76,10 @@ pub mod sink;
 pub use cache::{CacheKey, DiskCache};
 pub use job::{Job, JobContext, Registry, ScaleLevel};
 pub use json::Json;
-pub use runner::{ExperimentRun, RunStats, Runner, RunnerOptions, UnitEvent, UnitObserver};
+pub use pool::DagSchedule;
+pub use runner::{
+    merged_fingerprint, probe_unit_cache, unit_key, ExperimentRun, RunStats, Runner, RunnerOptions,
+    UnitEvent, UnitObserver,
+};
 pub use seed::derive_seed;
 pub use sink::OutputFormat;

@@ -75,8 +75,19 @@ fn dependents_of(deps: &[Vec<usize>]) -> Vec<Vec<usize>> {
     dependents
 }
 
-/// Shared scheduler state behind one mutex.
-struct SchedState {
+/// An incremental topological scheduler over a validated unit DAG.
+///
+/// The scheduling core shared by the in-process thread pool
+/// ([`run_dag`]) and the multi-process coordinator (`lh-coord`): track
+/// which units are *ready* (all dependencies completed), hand them out
+/// lowest-index-first, and relax dependents as completions arrive.
+/// [`DagSchedule::requeue`] puts a claimed-but-unfinished unit back in
+/// the ready set, which is how the coordinator tolerates a worker dying
+/// mid-unit.
+#[derive(Debug)]
+pub struct DagSchedule {
+    /// Reverse adjacency, fixed at construction.
+    dependents: Vec<Vec<usize>>,
     /// Remaining unfinished dependencies per unit.
     indegree: Vec<usize>,
     /// Min-heap of ready unit indices (lowest index claimed first, so
@@ -84,6 +95,73 @@ struct SchedState {
     ready: BinaryHeap<std::cmp::Reverse<usize>>,
     /// Completed units.
     completed: usize,
+}
+
+impl DagSchedule {
+    /// Builds a schedule over `deps`, validating it as a DAG first.
+    ///
+    /// # Errors
+    ///
+    /// The same conditions as [`validate_dag`].
+    pub fn new(deps: &[Vec<usize>]) -> Result<DagSchedule, String> {
+        validate_dag(deps)?;
+        let indegree: Vec<usize> = deps.iter().map(Vec::len).collect();
+        let ready = (0..deps.len())
+            .filter(|&u| indegree[u] == 0)
+            .map(std::cmp::Reverse)
+            .collect();
+        Ok(DagSchedule {
+            dependents: dependents_of(deps),
+            indegree,
+            ready,
+            completed: 0,
+        })
+    }
+
+    /// Claims the lowest-index ready unit, if any. `None` means either
+    /// everything is done or all remaining units wait on claimed ones.
+    pub fn claim(&mut self) -> Option<usize> {
+        self.ready.pop().map(|std::cmp::Reverse(u)| u)
+    }
+
+    /// Returns a claimed unit to the ready set without completing it
+    /// (its executor died; someone else must run it).
+    pub fn requeue(&mut self, unit: usize) {
+        self.ready.push(std::cmp::Reverse(unit));
+    }
+
+    /// Marks a claimed unit complete, readying any dependents whose
+    /// last dependency this was.
+    pub fn complete(&mut self, unit: usize) {
+        self.completed += 1;
+        for &t in &self.dependents[unit] {
+            self.indegree[t] -= 1;
+            if self.indegree[t] == 0 {
+                self.ready.push(std::cmp::Reverse(t));
+            }
+        }
+    }
+
+    /// Completed units so far.
+    pub fn completed(&self) -> usize {
+        self.completed
+    }
+
+    /// Total units in the schedule.
+    pub fn total(&self) -> usize {
+        self.indegree.len()
+    }
+
+    /// Whether every unit has completed.
+    pub fn is_done(&self) -> bool {
+        self.completed == self.total()
+    }
+}
+
+/// Shared scheduler state behind one mutex.
+struct SchedState {
+    /// The topological schedule.
+    sched: DagSchedule,
     /// Set when a worker panicked; everyone else drains and exits.
     poisoned: bool,
 }
@@ -124,26 +202,22 @@ where
     };
 
     let jobs = jobs.max(1).min(n.max(1));
-    let dependents = dependents_of(deps);
     if jobs <= 1 {
         // Serial: claim in the same lowest-index-first topological
         // order the parallel scheduler uses.
-        let mut state = fresh_state(deps);
-        while let Some(std::cmp::Reverse(u)) = state.ready.pop() {
+        let mut sched = DagSchedule::new(deps).expect("deps validated above");
+        while let Some(u) = sched.claim() {
             let result = work(u, take_deps(u));
             *slots[u].lock().expect("result slot poisoned") = Some(result);
-            state.completed += 1;
-            for &t in &dependents[u] {
-                state.indegree[t] -= 1;
-                if state.indegree[t] == 0 {
-                    state.ready.push(std::cmp::Reverse(t));
-                }
-            }
+            sched.complete(u);
         }
         return Ok(collect(slots));
     }
 
-    let state = Mutex::new(fresh_state(deps));
+    let state = Mutex::new(SchedState {
+        sched: DagSchedule::new(deps).expect("deps validated above"),
+        poisoned: false,
+    });
     let ready_cv = Condvar::new();
     let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
 
@@ -153,10 +227,10 @@ where
                 let unit = {
                     let mut s = state.lock().expect("scheduler state poisoned");
                     loop {
-                        if s.poisoned || s.completed == n {
+                        if s.poisoned || s.sched.is_done() {
                             return;
                         }
-                        if let Some(std::cmp::Reverse(u)) = s.ready.pop() {
+                        if let Some(u) = s.sched.claim() {
                             break u;
                         }
                         s = ready_cv.wait(s).expect("scheduler state poisoned");
@@ -169,13 +243,7 @@ where
                     Ok(result) => {
                         *slots[unit].lock().expect("result slot poisoned") = Some(result);
                         let mut s = state.lock().expect("scheduler state poisoned");
-                        s.completed += 1;
-                        for &t in &dependents[unit] {
-                            s.indegree[t] -= 1;
-                            if s.indegree[t] == 0 {
-                                s.ready.push(std::cmp::Reverse(t));
-                            }
-                        }
+                        s.sched.complete(unit);
                         ready_cv.notify_all();
                     }
                     Err(payload) => {
@@ -196,20 +264,6 @@ where
         std::panic::resume_unwind(payload);
     }
     Ok(collect(slots))
-}
-
-fn fresh_state(deps: &[Vec<usize>]) -> SchedState {
-    let indegree: Vec<usize> = deps.iter().map(Vec::len).collect();
-    let ready = (0..deps.len())
-        .filter(|&u| indegree[u] == 0)
-        .map(std::cmp::Reverse)
-        .collect();
-    SchedState {
-        indegree,
-        ready,
-        completed: 0,
-        poisoned: false,
-    }
 }
 
 fn collect<R>(slots: Vec<Mutex<Option<R>>>) -> Vec<R> {
@@ -328,6 +382,34 @@ mod tests {
         .unwrap();
         assert_eq!(results[31], (0..32).sum::<usize>());
         assert_eq!(results[1], 1);
+    }
+
+    /// The standalone schedule honors edges across claim/requeue: a
+    /// requeued unit becomes claimable again, and a dependent only
+    /// readies once its last dependency *completes* (not when claimed).
+    #[test]
+    fn dag_schedule_claims_requeues_and_completes() {
+        let deps = vec![vec![], vec![], vec![0, 1]];
+        let mut sched = DagSchedule::new(&deps).unwrap();
+        assert_eq!(sched.total(), 3);
+        assert_eq!(sched.claim(), Some(0));
+        assert_eq!(sched.claim(), Some(1));
+        assert_eq!(sched.claim(), None, "unit 2 waits on 0 and 1");
+
+        // Unit 0's executor dies: requeue hands it to the next claimant.
+        sched.requeue(0);
+        assert_eq!(sched.claim(), Some(0));
+
+        sched.complete(0);
+        assert_eq!(sched.claim(), None, "unit 2 still waits on 1");
+        sched.complete(1);
+        assert_eq!(sched.claim(), Some(2));
+        assert!(!sched.is_done());
+        sched.complete(2);
+        assert!(sched.is_done());
+        assert_eq!(sched.completed(), 3);
+
+        assert!(DagSchedule::new(&[vec![1], vec![0]]).is_err());
     }
 
     #[test]

@@ -15,12 +15,67 @@ use crate::seed::derive_seed;
 /// Unit fingerprint of a job's merged (post-`finish`) result. Includes
 /// the unit list digest so a changed decomposition invalidates the
 /// merged entry even at an unchanged job version.
-fn merged_fingerprint(units: &[String]) -> String {
+///
+/// Public because every executor that shares the cache — the in-process
+/// [`Runner`] and the `lh-coord` coordinator — must address merged
+/// entries identically for warm paths to interoperate.
+pub fn merged_fingerprint(units: &[String]) -> String {
     let mut h = crate::hash::Hasher::new();
     for u in units {
         h.field(u);
     }
     format!("merged:{}", h.digest())
+}
+
+/// The cache key of one unit (or, with [`merged_fingerprint`] as the
+/// unit, of the merged result) of `job` under `ctx`.
+///
+/// The single source of truth for cache addressing: the [`Runner`], the
+/// `lh-coord` coordinator's warm-path probe, and distributed workers'
+/// private cache writes all construct keys through here, so entries
+/// written by any executor replay under every other.
+pub fn unit_key(job: &dyn Job, unit: &str, ctx: &JobContext) -> CacheKey {
+    CacheKey {
+        experiment: job.id().to_owned(),
+        unit: unit.to_owned(),
+        scale: ctx.scale.as_str().to_owned(),
+        seed: ctx.seed,
+        job_version: job.version(),
+        fingerprint: job.fingerprint(),
+    }
+}
+
+/// Probes the cache for every unit up front and prunes the dependency
+/// edges of hits: a replayed unit consumes no inputs, so on a partially
+/// warm cache it neither waits for its dependencies nor re-consumes
+/// their outputs. Returns `(hits, effective deps)`.
+///
+/// The one warm-path semantic, shared by the [`Runner`] and the
+/// `lh-coord` coordinator so the two executors can never drift in what
+/// they replay or how they prune.
+pub fn probe_unit_cache(
+    job: &dyn Job,
+    units: &[String],
+    deps: &[Vec<usize>],
+    cache: Option<&DiskCache>,
+    ctx: &JobContext,
+) -> (Vec<Option<Json>>, Vec<Vec<usize>>) {
+    let hits: Vec<Option<Json>> = units
+        .iter()
+        .map(|unit| cache.and_then(|c| c.get(&unit_key(job, unit, ctx))))
+        .collect();
+    let eff_deps = deps
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            if hits[i].is_some() {
+                Vec::new()
+            } else {
+                d.clone()
+            }
+        })
+        .collect();
+    (hits, eff_deps)
 }
 
 /// One completed unit, reported to a [`UnitObserver`] the moment it
@@ -118,14 +173,7 @@ impl Runner {
     }
 
     fn key(&self, job: &dyn Job, unit: &str, ctx: &JobContext) -> CacheKey {
-        CacheKey {
-            experiment: job.id().to_owned(),
-            unit: unit.to_owned(),
-            scale: ctx.scale.as_str().to_owned(),
-            seed: ctx.seed,
-            job_version: job.version(),
-            fingerprint: job.fingerprint(),
-        }
+        unit_key(job, unit, ctx)
     }
 
     /// Runs one experiment end to end.
@@ -174,25 +222,7 @@ impl Runner {
         pool::validate_dag(&deps).map_err(|e| format!("{}: invalid unit DAG: {e}", job.id()))?;
         let cache = self.options.cache.as_ref();
 
-        // Probe the cache for every unit up front, and prune the
-        // dependency edges of hits: a replayed unit consumes no inputs,
-        // so on a partially warm cache it neither waits for its
-        // dependencies nor clones their outputs.
-        let hits: Vec<Option<Json>> = units
-            .iter()
-            .map(|unit| cache.and_then(|c| c.get(&self.key(job, unit, ctx))))
-            .collect();
-        let eff_deps: Vec<Vec<usize>> = deps
-            .iter()
-            .enumerate()
-            .map(|(i, d)| {
-                if hits[i].is_some() {
-                    Vec::new()
-                } else {
-                    d.clone()
-                }
-            })
-            .collect();
+        let (hits, eff_deps) = probe_unit_cache(job, &units, &deps, cache, ctx);
 
         let progress = Progress::new(job.id(), units.len(), self.options.progress);
         let observer = self.options.observer.as_ref();

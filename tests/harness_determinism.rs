@@ -1,7 +1,8 @@
 //! Harness invariants, end to end through real experiments: parallel
 //! runs are bit-identical to serial runs — including DAG-scheduled jobs
-//! with cross-unit dependencies (fig13) — and a warm cache skips all
-//! recomputation while reproducing the output byte for byte.
+//! with cross-unit dependencies (fig13) and distributed execution
+//! across `lh-coord` workers — and a warm cache skips all recomputation
+//! while reproducing the output byte for byte.
 
 use lh_harness::{DiskCache, JobContext, Runner, RunnerOptions, ScaleLevel};
 
@@ -75,6 +76,40 @@ fn fig13_dag_is_bit_identical_across_job_counts() {
     assert_eq!(
         job.render_text(&serial.merged, &ctx()),
         job.render_text(&parallel.merged, &ctx())
+    );
+}
+
+#[test]
+fn fig13_distributed_workers_are_bit_identical_to_in_process() {
+    // The coordinator ships dependency results in assignment messages
+    // and workers derive per-unit seeds themselves, so where a unit
+    // lands — which worker, in what order — must not leak into the
+    // envelope: `--workers 4` reproduces `--jobs 1` byte for byte.
+    // Thread workers speak the same serialized protocol as process
+    // workers; CI additionally diffs real child-process runs.
+    let registry = leakyhammer::registry();
+    let job = registry.get("fig13").expect("fig13 registered");
+    let serial = runner(1, None).run(job, &ctx()).expect("serial run");
+
+    let mut coordinator = lh_coord::Coordinator::new(
+        Box::new(lh_coord::ThreadSpawner::new(leakyhammer::registry)),
+        lh_coord::CoordinatorOptions {
+            workers: 4,
+            ..Default::default()
+        },
+    );
+    let distributed = coordinator.run(job, &ctx()).expect("distributed run");
+    assert_eq!(
+        serial.merged, distributed.merged,
+        "--workers 4 must produce a bit-identical merged envelope on the fig13 DAG"
+    );
+    assert_eq!(
+        distributed.stats.units_executed, serial.stats.units_total,
+        "an uncached distributed run executes every unit"
+    );
+    assert_eq!(
+        job.render_text(&serial.merged, &ctx()),
+        job.render_text(&distributed.merged, &ctx())
     );
 }
 
