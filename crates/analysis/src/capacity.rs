@@ -78,19 +78,36 @@ impl ChannelResult {
 
     /// Merges several transmissions (e.g. the four message patterns of
     /// §6.3) into an aggregate result.
+    ///
+    /// Total when the input is empty or degenerate: an empty iterator
+    /// merges to the all-zero result (0 bits, rate 0, capacity 0), a
+    /// zero-bit entry contributes nothing, and an entry with bits but a
+    /// non-positive rate ("the transmission never finished") pins the
+    /// merged rate to 0 rather than poisoning it with NaN.
     pub fn merge<'a, I: IntoIterator<Item = &'a ChannelResult>>(results: I) -> ChannelResult {
         let mut bits = 0;
         let mut errors = 0;
         let mut secs = 0.0;
+        let mut stalled = false;
         for r in results {
             bits += r.bits;
             errors += r.bit_errors;
-            secs += r.bits as f64 / r.raw_bit_rate;
+            if r.bits > 0 {
+                if r.raw_bit_rate > 0.0 {
+                    secs += r.bits as f64 / r.raw_bit_rate;
+                } else {
+                    stalled = true;
+                }
+            }
         }
         ChannelResult {
             bits,
             bit_errors: errors,
-            raw_bit_rate: if secs > 0.0 { bits as f64 / secs } else { 0.0 },
+            raw_bit_rate: if secs > 0.0 && !stalled {
+                bits as f64 / secs
+            } else {
+                0.0
+            },
         }
     }
 }
@@ -154,6 +171,52 @@ mod tests {
         assert_eq!(m.bit_errors, 10);
         assert!((m.error_probability() - 0.05).abs() < 1e-12);
         assert!((m.raw_bit_rate - 40_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_of_nothing_is_the_zero_result() {
+        let m = ChannelResult::merge([]);
+        assert_eq!(m.bits, 0);
+        assert_eq!(m.bit_errors, 0);
+        assert_eq!(m.raw_bit_rate, 0.0);
+        // Every derived metric stays finite and zero — no NaN, no
+        // division by zero.
+        assert_eq!(m.error_probability(), 0.0);
+        assert_eq!(m.capacity(), 0.0);
+        assert_eq!(m.capacity_kbps(), 0.0);
+    }
+
+    #[test]
+    fn merge_tolerates_degenerate_entries_without_nan() {
+        // A zero-bit result (e.g. a skipped pattern) contributes
+        // nothing; 0/0 must not poison the aggregate.
+        let empty = ChannelResult {
+            bits: 0,
+            bit_errors: 0,
+            raw_bit_rate: 0.0,
+        };
+        let real = ChannelResult {
+            bits: 100,
+            bit_errors: 5,
+            raw_bit_rate: 40_000.0,
+        };
+        let m = ChannelResult::merge([&empty, &real]);
+        assert!(m.raw_bit_rate.is_finite());
+        assert!((m.raw_bit_rate - 40_000.0).abs() < 1e-6);
+        assert_eq!(m.bits, 100);
+
+        // A stalled transmission (bits but no rate) means the aggregate
+        // took unbounded time: the merged rate is 0, not inflated.
+        let stalled = ChannelResult {
+            bits: 100,
+            bit_errors: 50,
+            raw_bit_rate: 0.0,
+        };
+        let m = ChannelResult::merge([&stalled, &real]);
+        assert_eq!(m.raw_bit_rate, 0.0);
+        assert_eq!(m.bits, 200);
+        assert!(m.capacity().is_finite());
+        assert_eq!(m.capacity(), 0.0);
     }
 
     #[test]

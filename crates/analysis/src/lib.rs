@@ -3,6 +3,7 @@
 //! The quantitative vocabulary of the LeakyHammer paper:
 //!
 //! * [`capacity`] — channel capacity and binary entropy (Eq. 1),
+//! * [`curves`] — BER-vs-noise and capacity-vs-`N_RH` sweep curves,
 //! * [`message`] — test-message patterns, text↔bit and bit↔symbol codecs,
 //! * [`noise`] — the noise-intensity mapping (Eq. 2),
 //! * [`speedup`] — weighted speedup for the Fig. 13 performance study,
@@ -24,12 +25,14 @@
 #![warn(missing_debug_implementations)]
 
 pub mod capacity;
+pub mod curves;
 pub mod message;
 pub mod noise;
 pub mod speedup;
 pub mod stats;
 
 pub use capacity::{binary_entropy, channel_capacity, ChannelResult};
+pub use curves::{BerCurve, BerPoint, CapacityCurve, CapacityPoint};
 pub use message::{bits_of_str, bits_to_symbols, str_of_bits, symbols_to_bits, MessagePattern};
 pub use noise::{intensity_of_sleep, sleep_of_intensity};
 pub use speedup::{normalized_ws, weighted_speedup, AppPerf};

@@ -18,6 +18,11 @@
 //!
 //! The sender and receiver are [`Process`]es; decoding happens outside
 //! the simulated processes from the receiver's per-window observations.
+//! [`CovertReceiver::decode_binary`] is the receiver's raw thresholded
+//! view; everything richer — multibit amplitude demodulation,
+//! pulse-position decoding, preamble synchronization, channel codecs —
+//! lives in the `lh-link` link layer, which consumes the
+//! [`WindowObservation`] stream this module produces.
 
 use core::any::Any;
 
@@ -177,33 +182,6 @@ impl CovertReceiver {
     /// in the window.
     pub fn decode_binary(&self, trecv: u32) -> Vec<u8> {
         self.obs.iter().map(|o| (o.events >= trecv) as u8).collect()
-    }
-
-    /// Multibit decoding: maps `accesses_before_event` to a symbol using
-    /// calibrated bin boundaries (ascending). Windows without any event
-    /// decode to symbol 0; otherwise the count is compared against
-    /// `bins`: counts below `bins[0]` decode to the highest symbol, and
-    /// so on (more sender pressure → earlier back-off → fewer receiver
-    /// accesses → higher symbol).
-    pub fn decode_multibit(&self, bins: &[u32]) -> Vec<u8> {
-        self.obs
-            .iter()
-            .map(|o| {
-                if o.events == 0 {
-                    return 0u8;
-                }
-                let c = o.accesses_before_event;
-                // Fewer receiver accesses before the back-off → the sender
-                // hammered harder → higher symbol.
-                let mut sym = bins.len() as u8 + 1;
-                for (i, &b) in bins.iter().enumerate() {
-                    if c >= b {
-                        sym = (bins.len() - i) as u8;
-                    }
-                }
-                sym
-            })
-            .collect()
     }
 
     fn window_of(&self, t: Time) -> Option<usize> {
@@ -616,36 +594,6 @@ mod tests {
         access_until(&mut rx, &mut t, Time::from_us(14));
         assert_eq!(rx.filtered_events(), 3, "grid events filtered");
         assert_eq!(rx.observations()[0].events, 1, "off-grid event counted");
-    }
-
-    #[test]
-    fn multibit_decode_maps_counts_to_symbols() {
-        let mut rx = CovertReceiver::new(rx_cfg(4));
-        rx.obs = vec![
-            WindowObservation {
-                events: 0,
-                accesses_before_event: 200,
-                accesses: 200,
-            },
-            WindowObservation {
-                events: 1,
-                accesses_before_event: 210,
-                accesses: 220,
-            },
-            WindowObservation {
-                events: 1,
-                accesses_before_event: 160,
-                accesses: 200,
-            },
-            WindowObservation {
-                events: 1,
-                accesses_before_event: 100,
-                accesses: 150,
-            },
-        ];
-        // Bins: ≥190 → symbol 1, ≥140 → symbol 2, below → symbol 3.
-        let symbols = rx.decode_multibit(&[140, 190]);
-        assert_eq!(symbols, vec![0, 1, 2, 3]);
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //!   RFM / refresh / back-off) an attacker uses to decode events;
 //! * [`CovertSender`] / [`CovertReceiver`] — the window-synchronized
 //!   covert channels over PRAC back-offs (§6.3) and PRFM RFMs (§7.3),
-//!   including the multibit (ternary/quaternary) extension;
+//!   including the multibit (ternary/quaternary) sender intensity
+//!   tables; demodulation beyond the binary threshold lives in the
+//!   `lh-link` link layer;
 //! * [`NoiseProcess`] — the §6.3 noise-generator microbenchmark (Eq. 2);
 //! * [`FingerprintProbe`] / [`Fingerprint`] — the §8 website
 //!   fingerprinting routine (Listing 2) and its feature extraction;

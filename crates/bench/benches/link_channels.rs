@@ -1,0 +1,28 @@
+//! Link-layer bench: one calibrated, preamble-synchronized OOK
+//! transmission (repetition-coded) over PRAC — the hot path every
+//! chansweep cell runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lh_defenses::DefenseKind;
+use lh_link::{calibrate, transmit_message, LinkConfig, OnOffKeying, Repetition};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("link_channels");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(10));
+    let msg = lh_analysis::bits_of_str("LK");
+    g.bench_function("ook_rep3_prac_2bytes", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let cfg = LinkConfig::against(DefenseKind::Prac, 128, seed);
+            let cal = calibrate(&cfg, &OnOffKeying, 4);
+            transmit_message(&cfg, &OnOffKeying, &Repetition::new(3), &cal, &msg)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -48,6 +48,10 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
         "closed-row policy vs DRAMA and LeakyHammer (sec. 9)",
     ),
     ("taxonomy", "defense taxonomy (sec. 12)"),
+    (
+        "chansweep",
+        "link-layer BER/capacity sweep: every defense x modulation x noise",
+    ),
 ];
 
 #[cfg(test)]

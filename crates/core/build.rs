@@ -21,6 +21,7 @@ const CRATES: &[(&str, &str)] = &[
     ("lh-defenses", "../defenses/src"),
     ("lh-dram", "../dram/src"),
     ("lh-harness", "../harness/src"),
+    ("lh-link", "../link/src"),
     ("lh-memctrl", "../memctrl/src"),
     ("lh-ml", "../ml/src"),
     ("lh-sim", "../sim/src"),

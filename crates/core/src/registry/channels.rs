@@ -224,8 +224,14 @@ impl Job for MultibitJob {
         Json::object().with("points", Json::Array(units))
     }
 
+    fn version(&self) -> u32 {
+        // v2: runs on the lh-link pipeline (preamble-synchronized, link
+        // tuning) instead of the bespoke sender/receiver pair.
+        2
+    }
+
     fn fingerprint(&self) -> String {
-        sim_fingerprint()
+        crate::registry::link_fingerprint()
     }
 
     fn render_text(&self, merged: &Json, _ctx: &JobContext) -> String {

@@ -16,6 +16,7 @@
 
 mod channels;
 mod fingerprint;
+mod link;
 mod perf;
 mod sweeps;
 
@@ -76,6 +77,16 @@ pub(crate) fn ml_fingerprint() -> String {
     code_fingerprint(&crates)
 }
 
+/// Fingerprint for jobs whose results flow through the `lh-link` link
+/// layer (the channel sweep and the refactored §6.3 multibit rows):
+/// editing `lh-link` invalidates these and only these.
+pub(crate) fn link_fingerprint() -> String {
+    let mut crates: Vec<&str> = SIM_CRATES.to_vec();
+    crates.push("lh-link");
+    crates.sort_unstable();
+    code_fingerprint(&crates)
+}
+
 /// Converts the harness's scale mirror into the simulator's [`Scale`].
 pub fn scale_of(ctx: &JobContext) -> Scale {
     match ctx.scale {
@@ -108,6 +119,7 @@ pub fn registry() -> Registry {
     r.register(Box::new(channels::MitigationJob));
     r.register(Box::new(channels::RowPolicyJob));
     r.register(Box::new(channels::TaxonomyJob));
+    r.register(Box::new(link::ChannelSweepJob));
     r
 }
 
@@ -128,8 +140,8 @@ mod tests {
     #[test]
     fn catalog_matches_the_paper() {
         let r = registry();
-        assert_eq!(r.len(), 20);
-        for id in ["fig2", "fig13", "table2", "table3", "taxonomy"] {
+        assert_eq!(r.len(), 21);
+        for id in ["fig2", "fig13", "table2", "table3", "taxonomy", "chansweep"] {
             assert!(r.get(id).is_some(), "missing {id}");
         }
         // Registration ids are unique and descriptions non-empty.
@@ -189,11 +201,12 @@ mod tests {
     #[test]
     fn fingerprint_lists_cover_the_whole_manifest() {
         // Every crate build.rs hashes must reach some job's cache key:
-        // a manifest entry missing from SIM_CRATES + lh-ml would mean
-        // edits to that crate silently replay stale cached results.
+        // a manifest entry missing from SIM_CRATES + lh-ml + lh-link
+        // would mean edits to that crate silently replay stale cached
+        // results.
         for (name, _) in manifest::CODE_MANIFEST {
             assert!(
-                SIM_CRATES.contains(name) || *name == "lh-ml",
+                SIM_CRATES.contains(name) || *name == "lh-ml" || *name == "lh-link",
                 "crate '{name}' is hashed by build.rs but absent from the fingerprint lists"
             );
         }
@@ -201,5 +214,38 @@ mod tests {
         // (code_fingerprint panics otherwise — exercise it here).
         let _ = sim_fingerprint();
         let _ = ml_fingerprint();
+        let _ = link_fingerprint();
+    }
+
+    #[test]
+    fn editing_lh_link_invalidates_only_the_channel_jobs() {
+        // Cache keys digest `Job::fingerprint`, and an `lh-link` edit
+        // changes exactly one manifest digest — so the set of jobs it
+        // can invalidate is precisely the set whose fingerprint folds
+        // that digest in. Pin the partition: only the link-layer jobs
+        // carry `link_fingerprint`, everything else carries a
+        // fingerprint `lh-link` cannot reach.
+        let link_jobs: Vec<&str> = registry()
+            .jobs()
+            .filter(|j| j.fingerprint() == link_fingerprint())
+            .map(|j| j.id())
+            .collect();
+        assert_eq!(
+            link_jobs,
+            vec!["multibit", "chansweep"],
+            "exactly the link-layer channel jobs use link_fingerprint"
+        );
+        for job in registry().jobs() {
+            let fp = job.fingerprint();
+            assert!(
+                [sim_fingerprint(), ml_fingerprint(), link_fingerprint()].contains(&fp),
+                "{} has an unrecognized fingerprint — its invalidation surface is unknown",
+                job.id()
+            );
+        }
+        // The three fingerprints are pairwise distinct, so the
+        // partitions cannot alias.
+        assert_ne!(link_fingerprint(), sim_fingerprint());
+        assert_ne!(link_fingerprint(), ml_fingerprint());
     }
 }

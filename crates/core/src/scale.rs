@@ -76,6 +76,35 @@ impl Scale {
         }
     }
 
+    /// Payload bits per link-layer channel-sweep transmission.
+    pub fn link_payload_bits(&self) -> usize {
+        match self {
+            Scale::Quick => 16,
+            Scale::Default => 64,
+            Scale::Paper => 256,
+        }
+    }
+
+    /// Noise-intensity grid for the link-layer channel sweep (0 = the
+    /// quiet baseline cell).
+    pub fn link_noise_points(&self) -> Vec<f64> {
+        match self {
+            Scale::Quick => vec![0.0, 50.0],
+            Scale::Default => vec![0.0, 25.0, 50.0, 100.0],
+            Scale::Paper => vec![0.0, 10.0, 25.0, 50.0, 75.0, 100.0],
+        }
+    }
+
+    /// Calibration repetitions per symbol level for the link sweep's
+    /// per-defense baseline units.
+    pub fn link_calibration_reps(&self) -> usize {
+        match self {
+            Scale::Quick => 4,
+            Scale::Default => 6,
+            Scale::Paper => 8,
+        }
+    }
+
     /// Counter-leak trials (§9.1).
     pub fn leak_trials(&self) -> usize {
         match self {

@@ -45,6 +45,48 @@ pub enum DefenseKind {
 }
 
 impl DefenseKind {
+    /// Every registered defense, including the no-defense control — the
+    /// axis the link-layer channel sweep runs over.
+    pub fn all() -> [DefenseKind; 12] {
+        [
+            DefenseKind::None,
+            DefenseKind::Prac,
+            DefenseKind::Prfm,
+            DefenseKind::FrRfm,
+            DefenseKind::PracRiac,
+            DefenseKind::PracBank,
+            DefenseKind::Para,
+            DefenseKind::Graphene,
+            DefenseKind::Hydra,
+            DefenseKind::Comet,
+            DefenseKind::Mint,
+            DefenseKind::BlockHammer,
+        ]
+    }
+
+    /// Position of `self` in [`DefenseKind::all`]. The exhaustive match
+    /// ties the list to the enum: a new variant fails `cargo test`
+    /// compilation here until it is given a slot, and the
+    /// `all_is_exhaustive` test then forces the slot to agree with the
+    /// array.
+    #[cfg(test)]
+    fn ordinal(self) -> usize {
+        match self {
+            DefenseKind::None => 0,
+            DefenseKind::Prac => 1,
+            DefenseKind::Prfm => 2,
+            DefenseKind::FrRfm => 3,
+            DefenseKind::PracRiac => 4,
+            DefenseKind::PracBank => 5,
+            DefenseKind::Para => 6,
+            DefenseKind::Graphene => 7,
+            DefenseKind::Hydra => 8,
+            DefenseKind::Comet => 9,
+            DefenseKind::Mint => 10,
+            DefenseKind::BlockHammer => 11,
+        }
+    }
+
     /// All defenses evaluated in Fig. 13 (excludes `None` and `Para`).
     pub fn figure13_set() -> [DefenseKind; 5] {
         [
@@ -437,5 +479,19 @@ mod tests {
         assert_eq!(DefenseKind::FrRfm.to_string(), "FR-RFM");
         assert_eq!(DefenseKind::PracRiac.to_string(), "PRAC-RIAC");
         assert_eq!(DefenseKind::figure13_set().len(), 5);
+    }
+
+    #[test]
+    fn all_is_exhaustive() {
+        // `ordinal`'s match is exhaustive over the enum, so a new
+        // variant cannot compile without a slot; this pins every slot
+        // to the matching array position, so the slot cannot point at
+        // an existing entry (or past the end) either.
+        let all = DefenseKind::all();
+        for (i, kind) in all.iter().enumerate() {
+            assert_eq!(kind.ordinal(), i, "{kind} sits at the wrong slot");
+        }
+        // Together: |variants| ≤ |ordinals| = |array| and no duplicates.
+        assert_eq!(all.len(), 12);
     }
 }

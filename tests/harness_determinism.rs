@@ -80,6 +80,45 @@ fn fig13_dag_is_bit_identical_across_job_counts() {
 }
 
 #[test]
+fn chansweep_dag_is_bit_identical_across_job_counts() {
+    // The link-layer channel sweep shards like fig13: per-defense
+    // calibration baselines feed every (defense, modulation, noise)
+    // cell through the dependency channel. Placement must not leak
+    // into the envelope.
+    let registry = leakyhammer::registry();
+    let job = registry.get("chansweep").expect("chansweep registered");
+
+    let units = job.units(&ctx());
+    let baselines = units.iter().filter(|u| u.starts_with("baseline:")).count();
+    assert!(baselines >= 12, "one baseline per registered defense");
+    assert!(
+        units.len() >= baselines * 4,
+        "cells dominate: {} units for {baselines} baselines",
+        units.len()
+    );
+    for (i, unit) in units.iter().enumerate() {
+        let deps = job.deps(i, &ctx());
+        if unit.starts_with("baseline:") {
+            assert!(deps.is_empty(), "{unit} must be a root");
+        } else {
+            assert_eq!(deps.len(), 1, "{unit} depends on its defense baseline");
+            assert!(units[deps[0]].starts_with("baseline:"));
+        }
+    }
+
+    let serial = runner(1, None).run(job, &ctx()).expect("serial run");
+    let parallel = runner(8, None).run(job, &ctx()).expect("parallel run");
+    assert_eq!(
+        serial.merged, parallel.merged,
+        "--jobs 8 must produce a bit-identical merged envelope on the chansweep DAG"
+    );
+    assert_eq!(
+        job.render_text(&serial.merged, &ctx()),
+        job.render_text(&parallel.merged, &ctx())
+    );
+}
+
+#[test]
 fn fig13_distributed_workers_are_bit_identical_to_in_process() {
     // The coordinator ships dependency results in assignment messages
     // and workers derive per-unit seeds themselves, so where a unit
