@@ -7,8 +7,15 @@
 //! matter how many workers produced it (`lh-experiments watch` renders
 //! it).
 //!
+//! Observability: every experiment envelope carries a deterministic
+//! `metrics` block (per-unit simulator counters plus totals);
+//! `lh-experiments report` condenses envelopes or `--stream` feeds into
+//! a canonical metrics document CI diffs against committed snapshots,
+//! and `--trace-out FILE` exports wall-clock spans as Chrome
+//! `trace_event` JSON loadable in `chrome://tracing` or Perfetto.
+//!
 //! ```text
-//! lh-experiments <id|all|list|watch> [options]
+//! lh-experiments <id|all|list|watch|report> [options]
 //!
 //! options:
 //!   --scale quick|default|paper   experiment scale (default: default)
@@ -19,6 +26,7 @@
 //!   --cache-dir PATH              cache location (default: .lh-cache)
 //!   --format text|json|csv        output format (default: text)
 //!   --stream                      stream NDJSON events to stdout as units finish
+//!   --trace-out FILE              export wall-clock spans as Chrome trace_event JSON
 //!   --quiet                       suppress progress lines on stderr
 //!   --worker                      internal: serve units over stdio (lh-coord protocol)
 //!   --help                        this message
@@ -30,13 +38,15 @@ use lh_harness::{
 };
 
 const USAGE: &str = "\
-usage: lh-experiments <id|all|list|watch> [options]
+usage: lh-experiments <id|all|list|watch|report> [options]
 
 commands:
-  <id>       run one experiment (see `lh-experiments list`)
-  all        run every experiment
-  list       list experiment ids and descriptions
-  watch      render an NDJSON --stream feed from stdin as live progress
+  <id>           run one experiment (see `lh-experiments list`)
+  all            run every experiment
+  list           list experiment ids and descriptions
+  watch          render an NDJSON --stream feed from stdin as live progress
+  report FILE..  condense envelope JSON / --stream feeds ('-' = stdin) into
+                 a canonical deterministic-metrics document
 
 options:
   --scale quick|default|paper   experiment scale (default: default)
@@ -45,8 +55,9 @@ options:
   --workers N                   distribute units across N worker child processes
   --no-cache                    disable the on-disk result cache
   --cache-dir PATH              cache location (default: .lh-cache)
-  --format text|json|csv        output format (default: text)
+  --format text|json|csv        output format (default: text; report: text|json)
   --stream                      stream NDJSON events to stdout as units finish
+  --trace-out FILE              export wall-clock spans as Chrome trace_event JSON
   --quiet                       suppress progress lines on stderr
   --worker                      internal: serve units over stdio (lh-coord protocol)
   --help                        this message
@@ -64,7 +75,9 @@ struct Args {
     cache_dir: String,
     format: Option<OutputFormat>,
     stream: bool,
+    trace_out: Option<String>,
     quiet: bool,
+    files: Vec<String>,
 }
 
 impl Default for Args {
@@ -80,7 +93,9 @@ impl Default for Args {
             cache_dir: ".lh-cache".to_owned(),
             format: None,
             stream: false,
+            trace_out: None,
             quiet: false,
+            files: Vec::new(),
         }
     }
 }
@@ -125,16 +140,26 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--cache-dir" => args.cache_dir = value("--cache-dir", &mut it)?.clone(),
             "--format" => args.format = Some(value("--format", &mut it)?.parse()?),
             "--stream" => args.stream = true,
+            "--trace-out" => args.trace_out = Some(value("--trace-out", &mut it)?.clone()),
             "--quiet" | "-q" => args.quiet = true,
-            flag if flag.starts_with('-') => {
+            // `-` names stdin for `report`; every other dash-leading
+            // token is an option.
+            flag if flag.starts_with('-') && flag != "-" => {
                 return Err(format!("unknown option '{flag}'"));
             }
             id if !saw_command => {
                 args.id = id.to_owned();
                 saw_command = true;
             }
+            file if args.id == "report" => args.files.push(file.to_owned()),
             extra => return Err(format!("unexpected argument '{extra}'")),
         }
+    }
+    if args.id == "report" && args.files.is_empty() {
+        return Err("report needs at least one input file ('-' = stdin)".to_owned());
+    }
+    if args.id == "report" && args.format == Some(OutputFormat::Csv) {
+        return Err("report emits text or json, not csv".to_owned());
     }
     if args.stream && args.format.is_some() {
         return Err(
@@ -147,7 +172,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--jobs and --workers are mutually exclusive (threads vs worker processes)".to_owned(),
         );
     }
-    if args.worker && (saw_command || args.workers != 0 || args.stream || args.format.is_some()) {
+    if args.worker
+        && (saw_command
+            || args.workers != 0
+            || args.stream
+            || args.format.is_some()
+            || args.trace_out.is_some())
+    {
         return Err(
             "--worker takes no command and no output flags (it serves a coordinator over \
                     stdio)"
@@ -213,6 +244,105 @@ fn worker_mode(cache: Option<DiskCache>) -> ! {
     }
 }
 
+/// Extracts `(experiment id, metrics block)` pairs from one report
+/// input: either a single envelope document (a committed snapshot, or
+/// `--format json` output for one experiment) or an NDJSON `--stream`
+/// feed whose `finished` lines carry envelopes.
+fn collect_metrics(content: &str, origin: &str) -> Result<Vec<(String, lh_harness::Json)>, String> {
+    use lh_harness::json::parse;
+
+    let from_envelope = |envelope: &lh_harness::Json| -> Option<(String, lh_harness::Json)> {
+        let id = envelope["experiment"].as_str()?;
+        Some((id.to_owned(), envelope["metrics"].clone()))
+    };
+
+    if let Ok(doc) = parse(content.trim()) {
+        return from_envelope(&doc)
+            .map(|pair| vec![pair])
+            .ok_or_else(|| format!("{origin}: JSON document is not an experiment envelope"));
+    }
+    // Not one document: treat as an NDJSON stream and harvest the
+    // envelopes off `finished` events.
+    let mut found = Vec::new();
+    for line in content.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(event) = parse(line) else { continue };
+        if event["event"].as_str() == Some("finished") {
+            if let Some(pair) = from_envelope(&event["envelope"]) {
+                found.push(pair);
+            }
+        }
+    }
+    if found.is_empty() {
+        return Err(format!(
+            "{origin}: no envelopes found (expected an envelope document or a --stream feed)"
+        ));
+    }
+    Ok(found)
+}
+
+/// `lh-experiments report`: condenses envelopes into one canonical
+/// deterministic-metrics document — experiments sorted by id, each with
+/// its per-unit counters and totals, plus cross-experiment grand
+/// totals. Byte-stable for byte-stable inputs, which is what the CI
+/// perf-trend gate diffs against committed snapshots.
+fn report_mode(files: &[String], format: OutputFormat) -> ! {
+    use lh_harness::{metrics_from_json, metrics_to_json, Json};
+
+    let mut experiments: Vec<(String, Json)> = Vec::new();
+    for file in files {
+        let content = if file == "-" {
+            let mut buf = String::new();
+            std::io::Read::read_to_string(&mut std::io::stdin().lock(), &mut buf)
+                .map(|_| buf)
+                .map_err(|e| format!("reading stdin failed: {e}"))
+        } else {
+            std::fs::read_to_string(file).map_err(|e| format!("reading {file} failed: {e}"))
+        };
+        let origin = if file == "-" { "<stdin>" } else { file };
+        let collected = content.and_then(|c| collect_metrics(&c, origin));
+        match collected {
+            Ok(pairs) => experiments.extend(pairs),
+            Err(e) => {
+                eprintln!("error: report: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    experiments.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let mut grand = lh_obs::Metrics::new();
+    let mut by_id = Json::object();
+    for (id, metrics) in &experiments {
+        grand.merge(&metrics_from_json(&metrics["totals"]));
+        by_id.set(id, metrics.clone());
+    }
+    let doc = Json::object()
+        .with("experiments", by_id)
+        .with("totals", metrics_to_json(&grand));
+
+    match format {
+        OutputFormat::Json => emit(&(doc.to_pretty() + "\n")),
+        _ => {
+            emit("== deterministic metrics ==\n");
+            for (id, metrics) in &experiments {
+                let units = metrics["units"].as_object().len();
+                emit(&format!("{id}: {units} unit(s)\n"));
+                for (name, value) in metrics["totals"].as_object() {
+                    emit(&format!("  {name} = {value}\n"));
+                }
+            }
+            emit("totals:\n");
+            for (name, value) in grand.iter() {
+                emit(&format!("  {name} = {value}\n"));
+            }
+        }
+    }
+    std::process::exit(0);
+}
+
 /// Renders a `--stream` NDJSON feed from stdin as live progress lines.
 fn watch_mode() -> ! {
     let stdin = std::io::stdin();
@@ -246,6 +376,16 @@ fn main() {
     }
     if args.id == "watch" {
         watch_mode();
+    }
+    if args.id == "report" {
+        report_mode(&args.files, args.format.unwrap_or_default());
+    }
+    // Tracing collects wall-clock spans process-wide; they export as
+    // Chrome trace_event JSON at exit and never touch the deterministic
+    // envelopes. (Worker child processes are separate processes — a
+    // coordinator's trace covers its own spans only.)
+    if args.trace_out.is_some() {
+        lh_obs::trace::enable();
     }
 
     let registry = leakyhammer::registry();
@@ -339,5 +479,18 @@ fn main() {
     }
     if let Executor::Fleet(mut coordinator) = executor {
         coordinator.shutdown();
+    }
+    if let Some(path) = &args.trace_out {
+        match lh_obs::export_chrome_trace(path) {
+            Ok(events) => {
+                if !args.quiet {
+                    eprintln!("trace: wrote {events} span(s) to {path}");
+                }
+            }
+            Err(e) => {
+                eprintln!("error: writing trace to {path} failed: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }

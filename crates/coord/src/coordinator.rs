@@ -35,6 +35,7 @@ use std::time::Instant;
 use lh_harness::cache::DiskCache;
 use lh_harness::job::{Job, JobContext, Registry};
 use lh_harness::json::Json;
+use lh_harness::metrics::{metrics_block, unwrap_entry, wrap_entry};
 use lh_harness::pool::{validate_dag, DagSchedule};
 use lh_harness::progress::{Progress, UnitOutcome};
 use lh_harness::runner::{
@@ -399,7 +400,8 @@ impl Coordinator {
         let merged_key = unit_key(job, &merged_fingerprint(&units), ctx);
 
         if let Some(cache) = &self.options.cache {
-            if let Some(merged) = cache.get(&merged_key) {
+            if let Some(entry) = cache.get(&merged_key) {
+                let (metrics, merged) = unwrap_entry(entry);
                 if self.options.progress {
                     note(format_args!(
                         "{}: merged result cached, nothing to do",
@@ -409,6 +411,7 @@ impl Coordinator {
                 return Ok(ExperimentRun {
                     id: job.id(),
                     merged,
+                    metrics,
                     stats: RunStats {
                         units_total: n,
                         units_cached: n,
@@ -442,6 +445,7 @@ impl Coordinator {
         }
         let progress = Progress::new(job.id(), n, self.options.progress);
         let mut results: Vec<Option<Json>> = vec![None; n];
+        let mut unit_metrics: Vec<Option<Json>> = vec![None; n];
 
         while !sched.is_done() {
             // Dispatch everything ready: cache hits complete on the
@@ -449,14 +453,17 @@ impl Coordinator {
             // results inlined.
             while let Some(unit) = sched.claim() {
                 if let Some(hit) = hits[unit].take() {
+                    let (metrics, result) = unwrap_entry(hit);
                     self.complete_unit(
                         job,
                         &units,
                         unit,
-                        hit,
+                        result,
+                        metrics,
                         true,
                         0,
                         &mut results,
+                        &mut unit_metrics,
                         &mut sched,
                         &progress,
                     );
@@ -520,6 +527,7 @@ impl Coordinator {
                     experiment,
                     unit,
                     wall_ms,
+                    metrics,
                     result,
                 }) => {
                     if !self.slots[w].alive {
@@ -539,9 +547,11 @@ impl Coordinator {
                         &units,
                         unit,
                         result,
+                        metrics,
                         false,
                         wall_ms,
                         &mut results,
+                        &mut unit_metrics,
                         &mut sched,
                         &progress,
                     );
@@ -576,6 +586,11 @@ impl Coordinator {
             }
         }
 
+        let per_unit: Vec<Json> = unit_metrics
+            .into_iter()
+            .map(|m| m.expect("all units completed"))
+            .collect();
+        let metrics = metrics_block(&units, &per_unit);
         let merged = job.finish(
             results
                 .into_iter()
@@ -584,7 +599,8 @@ impl Coordinator {
             ctx,
         );
         if let Some(c) = cache {
-            if let Err(e) = c.put(&merged_key, &merged) {
+            let entry = wrap_entry(metrics.clone(), merged.clone());
+            if let Err(e) = c.put(&merged_key, &entry) {
                 note(format_args!(
                     "warning: cache write failed for {} merge: {e}",
                     job.id()
@@ -596,6 +612,7 @@ impl Coordinator {
         Ok(ExperimentRun {
             id: job.id(),
             merged,
+            metrics,
             stats: RunStats {
                 units_total: n,
                 units_cached,
@@ -606,8 +623,8 @@ impl Coordinator {
         })
     }
 
-    /// Records a completed unit: result slot, schedule relaxation,
-    /// progress line, observer event.
+    /// Records a completed unit: result slot, metrics slot, schedule
+    /// relaxation, progress line, observer event.
     #[allow(clippy::too_many_arguments)]
     fn complete_unit(
         &self,
@@ -615,9 +632,11 @@ impl Coordinator {
         units: &[String],
         unit: usize,
         result: Json,
+        metrics: Json,
         cached: bool,
         wall_ms: u64,
         results: &mut [Option<Json>],
+        unit_metrics: &mut [Option<Json>],
         sched: &mut DagSchedule,
         progress: &Progress,
     ) {
@@ -629,6 +648,9 @@ impl Coordinator {
                 UnitOutcome::Ran(u128::from(wall_ms))
             },
         );
+        // Lifetime accounting for dashboards; the deterministic
+        // channel (envelopes, cache entries) never reads the registry.
+        lh_obs::Registry::global().absorb(&lh_harness::metrics::metrics_from_json(&metrics));
         if let Some(observe) = &self.options.observer {
             observe(&UnitEvent {
                 experiment: job.id(),
@@ -636,10 +658,12 @@ impl Coordinator {
                 index: unit,
                 cached,
                 wall_ms: u128::from(wall_ms),
+                metrics: metrics.clone(),
                 result: result.clone(),
             });
         }
         results[unit] = Some(result);
+        unit_metrics[unit] = Some(metrics);
         sched.complete(unit);
     }
 

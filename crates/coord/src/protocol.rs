@@ -17,7 +17,10 @@ use lh_harness::json::{parse, Json};
 /// Wire protocol version, carried in [`FromWorker::Ready`]. Bump on any
 /// incompatible message change; the coordinator refuses mismatched
 /// workers instead of mis-parsing them.
-pub const PROTOCOL_VERSION: u64 = 1;
+///
+/// v2: [`FromWorker::Done`] carries the unit's deterministic `metrics`
+/// object alongside its result.
+pub const PROTOCOL_VERSION: u64 = 2;
 
 /// Messages the coordinator sends to a worker.
 #[derive(Debug, Clone, PartialEq)]
@@ -59,6 +62,11 @@ pub enum FromWorker {
         unit: usize,
         /// Wall-clock milliseconds spent executing.
         wall_ms: u64,
+        /// Deterministic counters recorded while the unit ran, as a
+        /// sorted-key JSON object. Unlike `wall_ms` these are part of
+        /// the unit's *result* identity: they ride cache entries and
+        /// envelopes, so they must not depend on placement or timing.
+        metrics: Json,
         /// The unit's JSON result.
         result: Json,
     },
@@ -140,12 +148,14 @@ impl FromWorker {
                 experiment,
                 unit,
                 wall_ms,
+                metrics,
                 result,
             } => Json::object()
                 .with("type", "done")
                 .with("experiment", experiment.as_str())
                 .with("unit", *unit)
                 .with("ms", *wall_ms)
+                .with("metrics", metrics.clone())
                 .with("result", result.clone()),
             FromWorker::Failed {
                 experiment,
@@ -174,6 +184,7 @@ impl FromWorker {
                 experiment: str_field(msg, "experiment")?,
                 unit: usize_field(msg, "unit")?,
                 wall_ms: u64_field(msg, "ms")?,
+                metrics: msg["metrics"].clone(),
                 result: msg["result"].clone(),
             }),
             Some("failed") => Ok(FromWorker::Failed {
@@ -243,6 +254,7 @@ mod tests {
                 experiment: "fig6".into(),
                 unit: 3,
                 wall_ms: 12,
+                metrics: Json::object().with("sim.service_wakes", 42u64),
                 result: Json::object().with("capacity", 39.5),
             },
             FromWorker::Failed {

@@ -10,7 +10,7 @@
 
 use std::io::{self, BufRead, Write};
 
-use lh_harness::json::parse;
+use lh_harness::json::{parse, Json};
 
 /// Whole-stream totals, rendered as the closing summary.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -25,7 +25,10 @@ pub struct WatchSummary {
     pub executed: usize,
     /// Summed per-experiment wall milliseconds.
     pub wall_ms: u64,
-    /// Lines that were not valid stream events.
+    /// Summed `sim.service_wakes` across unit events' metrics blocks.
+    pub sim_wakes: u64,
+    /// Lines that were not valid stream events, including unit lines
+    /// whose `metrics` field is present but not an object.
     pub malformed: usize,
 }
 
@@ -76,6 +79,21 @@ pub fn watch(input: impl BufRead, mut out: impl Write) -> io::Result<WatchSummar
                 });
             }
             Some("unit") => {
+                // The metrics block is optional (pre-v2 streams omit
+                // it) but when present it must be an object; a mangled
+                // one is counted like any other malformed line without
+                // suppressing the unit's progress render.
+                match &event["metrics"] {
+                    Json::Object(_) => {
+                        summary.sim_wakes +=
+                            event["metrics"]["sim.service_wakes"].as_u64().unwrap_or(0);
+                    }
+                    Json::Null => {}
+                    _ => {
+                        summary.malformed += 1;
+                        eprintln!("watch: ignoring non-object metrics block on a unit line");
+                    }
+                }
                 let experiment = event["experiment"].as_str().unwrap_or("?");
                 let (done, total) = match tallies.iter_mut().find(|t| t.experiment == experiment) {
                     Some(t) => {
@@ -123,12 +141,17 @@ pub fn watch(input: impl BufRead, mut out: impl Write) -> io::Result<WatchSummar
 
     writeln!(
         out,
-        "watch: {} experiment(s), {} unit(s) — {} cached, {} executed in {} ms{}",
+        "watch: {} experiment(s), {} unit(s) — {} cached, {} executed in {} ms{}{}",
         summary.experiments,
         summary.units,
         summary.cached,
         summary.executed,
         summary.wall_ms,
+        if summary.sim_wakes > 0 {
+            format!(", {} sim wake(s)", summary.sim_wakes)
+        } else {
+            String::new()
+        },
         if summary.malformed > 0 {
             format!(" ({} malformed line(s) ignored)", summary.malformed)
         } else {
@@ -177,6 +200,7 @@ mod tests {
                 cached: 1,
                 executed: 2,
                 wall_ms: 29,
+                sim_wakes: 0,
                 malformed: 0,
             }
         );
@@ -188,6 +212,33 @@ mod tests {
             out.contains("watch: 2 experiment(s), 3 unit(s) — 1 cached, 2 executed in 29 ms"),
             "{out}"
         );
+    }
+
+    #[test]
+    fn malformed_metric_blocks_are_counted_not_fatal() {
+        let stream = concat!(
+            // Well-formed metrics: tallied into sim_wakes.
+            r#"{"event":"unit","experiment":"fig2","unit":"d:0","index":0,"cached":false,"ms":5,"metrics":{"sim.service_wakes":30},"result":{}}"#,
+            "\n",
+            // Metrics present but not an object: malformed, unit still renders.
+            r#"{"event":"unit","experiment":"fig2","unit":"d:1","index":1,"cached":false,"ms":5,"metrics":"garbage","result":{}}"#,
+            "\n",
+            // No metrics at all (pre-v2 stream): neither malformed nor tallied.
+            r#"{"event":"unit","experiment":"fig2","unit":"d:2","index":2,"cached":true,"ms":0,"result":{}}"#,
+            "\n",
+            r#"{"event":"finished","experiment":"fig2","units":3,"cached_units":1,"executed_units":2,"wall_ms":10}"#,
+            "\n",
+        );
+        let (summary, out) = run_watch(stream);
+        assert_eq!(summary.malformed, 1);
+        assert_eq!(summary.sim_wakes, 30);
+        assert_eq!(summary.experiments, 1);
+        assert!(
+            out.contains("d:1"),
+            "malformed metrics must not drop the unit: {out}"
+        );
+        assert!(out.contains("30 sim wake(s)"), "{out}");
+        assert!(out.contains("1 malformed line(s) ignored"), "{out}");
     }
 
     #[test]

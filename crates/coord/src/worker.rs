@@ -13,6 +13,7 @@ use std::time::Instant;
 
 use lh_harness::cache::DiskCache;
 use lh_harness::job::{JobContext, Registry};
+use lh_harness::metrics::{metrics_to_json, wrap_entry};
 use lh_harness::runner::unit_key;
 use lh_harness::seed::derive_seed;
 
@@ -73,10 +74,11 @@ pub fn worker_loop(
         }
 
         let reply = match run_assignment(registry, &experiment, unit, &scale, seed, &deps, &cache) {
-            Ok((result, wall_ms)) => FromWorker::Done {
+            Ok((result, metrics, wall_ms)) => FromWorker::Done {
                 experiment,
                 unit,
                 wall_ms,
+                metrics,
                 result,
             },
             Err(error) => FromWorker::Failed {
@@ -90,7 +92,8 @@ pub fn worker_loop(
     Ok(())
 }
 
-/// Executes one assignment, returning the result and its wall time.
+/// Executes one assignment, returning the result, its deterministic
+/// metrics, and its wall time.
 fn run_assignment(
     registry: &Registry,
     experiment: &str,
@@ -99,7 +102,7 @@ fn run_assignment(
     seed: u64,
     deps: &[lh_harness::Json],
     cache: &Option<DiskCache>,
-) -> Result<(lh_harness::Json, u64), String> {
+) -> Result<(lh_harness::Json, lh_harness::Json, u64), String> {
     let job = registry
         .get(experiment)
         .ok_or_else(|| format!("unknown experiment '{experiment}' in this worker's registry"))?;
@@ -119,8 +122,9 @@ fn run_assignment(
         .clone();
 
     let started = Instant::now();
-    let result = catch_unwind(AssertUnwindSafe(|| {
-        job.run_unit(unit, derive_seed(job.id(), unit, ctx.seed), deps, &ctx)
+    let (result, recorded) = catch_unwind(AssertUnwindSafe(|| {
+        let _span = lh_obs::Span::enter("unit.run", "worker");
+        lh_obs::record(|| job.run_unit(unit, derive_seed(job.id(), unit, ctx.seed), deps, &ctx))
     }))
     .map_err(|payload| {
         let cause = payload
@@ -130,14 +134,16 @@ fn run_assignment(
             .unwrap_or_else(|| "unit panicked".to_owned());
         format!("{experiment}/{label} panicked: {cause}")
     })?;
+    let metrics = metrics_to_json(&recorded);
     let wall_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
 
     if let Some(c) = cache {
-        if let Err(e) = c.put(&unit_key(job, &label, &ctx), &result) {
+        let entry = wrap_entry(metrics.clone(), result.clone());
+        if let Err(e) = c.put(&unit_key(job, &label, &ctx), &entry) {
             eprintln!("warning: worker cache write failed for {experiment}/{label}: {e}");
         }
     }
-    Ok((result, wall_ms))
+    Ok((result, metrics, wall_ms))
 }
 
 #[cfg(test)]

@@ -84,9 +84,10 @@ proptest! {
         experiment in "[ -~]{1,24}",
         unit in any::<usize>(),
         wall_ms in any::<u64>(),
+        metrics in payload(),
         result in payload(),
     ) {
-        let msg = FromWorker::Done { experiment, unit, wall_ms, result };
+        let msg = FromWorker::Done { experiment, unit, wall_ms, metrics, result };
         prop_assert_eq!(wire_from_worker(&msg), Ok(msg));
     }
 

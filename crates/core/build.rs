@@ -24,6 +24,7 @@ const CRATES: &[(&str, &str)] = &[
     ("lh-link", "../link/src"),
     ("lh-memctrl", "../memctrl/src"),
     ("lh-ml", "../ml/src"),
+    ("lh-obs", "../obs/src"),
     ("lh-sim", "../sim/src"),
     ("lh-workloads", "../workloads/src"),
     ("rand", "../compat/rand/src"),

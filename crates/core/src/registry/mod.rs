@@ -47,6 +47,8 @@ pub(crate) fn code_fingerprint(crates: &[&str]) -> String {
 /// The crates every simulation-backed experiment's results flow
 /// through — all of CODE_MANIFEST except `lh-ml`. The vendored `rand`
 /// stand-in is part of the stack: its RNG drives every sampled value.
+/// `lh-obs` is too: the deterministic metrics it collects ride every
+/// cached unit entry, so an edit there must invalidate them.
 /// (A test below asserts these lists cover the whole manifest, so a
 /// crate added to `build.rs` cannot silently miss the cache keys.)
 const SIM_CRATES: &[&str] = &[
@@ -57,6 +59,7 @@ const SIM_CRATES: &[&str] = &[
     "lh-dram",
     "lh-harness",
     "lh-memctrl",
+    "lh-obs",
     "lh-sim",
     "lh-workloads",
     "rand",

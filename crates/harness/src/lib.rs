@@ -22,11 +22,14 @@
 //! * **observably** — structured output sinks render any result as
 //!   text, JSON or CSV, stream per-unit NDJSON events as they complete
 //!   ([`sink`], [`runner::UnitObserver`]), with live progress on stderr
-//!   ([`progress`]).
+//!   ([`progress`]); every unit runs under an [`lh_obs::record`] metric
+//!   scope, so deterministic counters the simulator emits attribute to
+//!   exactly one unit, ride its cache entry, and land in the envelope's
+//!   `metrics` block ([`metrics`]).
 //!
-//! The crate is dependency-free (std only) and knows nothing about the
-//! simulator: jobs communicate through the hand-rolled [`json::Json`]
-//! value type.
+//! The crate is std-only (its one dependency, `lh-obs`, is too) and
+//! knows nothing about the simulator: jobs communicate through the
+//! hand-rolled [`json::Json`] value type.
 //!
 //! ## Example
 //!
@@ -67,6 +70,7 @@ pub mod cache;
 pub mod hash;
 pub mod job;
 pub mod json;
+pub mod metrics;
 pub mod pool;
 pub mod progress;
 pub mod runner;
@@ -76,6 +80,7 @@ pub mod sink;
 pub use cache::{CacheKey, DiskCache};
 pub use job::{Job, JobContext, Registry, ScaleLevel};
 pub use json::Json;
+pub use metrics::{metrics_block, metrics_from_json, metrics_to_json, unwrap_entry, wrap_entry};
 pub use pool::DagSchedule;
 pub use runner::{
     merged_fingerprint, probe_unit_cache, unit_key, ExperimentRun, RunStats, Runner, RunnerOptions,

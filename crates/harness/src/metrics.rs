@@ -1,0 +1,174 @@
+//! Deterministic per-unit metrics: JSON conversion, the cache-entry
+//! wrapper, and the envelope metrics block.
+//!
+//! The harness records every unit execution inside an
+//! [`lh_obs::record`] scope, so simulator-emitted counters (scheduler
+//! wakes, DRAM commands by kind, maintenance on-time/deferred, cache
+//! probe hits/misses) attribute to exactly one unit. Those counters are
+//! a pure function of the computation — never of wall-clock or thread
+//! placement — which is what lets them
+//!
+//! * ride the disk cache next to the unit result ([`wrap_entry`] /
+//!   [`unwrap_entry`]), so a warm replay reports the same metrics as
+//!   the cold run that produced the entry;
+//! * multiplex through the `--stream` NDJSON feed and the `lh-coord`
+//!   assign/result protocol without breaking byte-identity across
+//!   `--jobs` and `--workers`;
+//! * land in a `metrics` block of the JSON envelope ([`metrics_block`])
+//!   that CI can diff against committed snapshots as a perf-trend gate.
+//!
+//! Wall-clock timings deliberately never pass through here: they travel
+//! only in the separate Chrome `trace_event` export
+//! ([`lh_obs::trace`]).
+
+use lh_obs::Metrics;
+
+use crate::json::Json;
+
+/// Converts a metric set to a JSON object with counter names as keys,
+/// in sorted-name order (the iteration order of [`Metrics`]), so the
+/// serialization is canonical regardless of recording order.
+pub fn metrics_to_json(metrics: &Metrics) -> Json {
+    let mut obj = Json::object();
+    for (name, value) in metrics.iter() {
+        obj.set(name, value);
+    }
+    obj
+}
+
+/// Parses a metric set back out of a JSON object, ignoring any
+/// non-integer fields. The inverse of [`metrics_to_json`] (up to the
+/// canonical sorted order).
+pub fn metrics_from_json(json: &Json) -> Metrics {
+    let mut metrics = Metrics::new();
+    for (name, value) in json.as_object() {
+        if let Some(v) = value.as_u64() {
+            metrics.add(name, v);
+        }
+    }
+    metrics
+}
+
+/// Wraps a result and its metrics into the cache-entry / wire schema
+/// `{"metrics": ..., "result": ...}`.
+///
+/// Every executor that shares the disk cache — the in-process
+/// [`Runner`](crate::Runner), the `lh-coord` coordinator and its
+/// workers — stores unit and merged entries through this wrapper, so
+/// entries written by any one of them replay (metrics included) under
+/// every other.
+pub fn wrap_entry(metrics: Json, result: Json) -> Json {
+    Json::object()
+        .with("metrics", metrics)
+        .with("result", result)
+}
+
+/// Splits a cache entry or wire payload written by [`wrap_entry`] into
+/// `(metrics, result)`.
+///
+/// Tolerates an unwrapped value (returned as the result with empty
+/// metrics) so schema evolution cannot turn stale-but-keyed-valid
+/// entries into hard failures.
+pub fn unwrap_entry(entry: Json) -> (Json, Json) {
+    if let Json::Object(ref fields) = entry {
+        if fields.len() == 2 && fields[0].0 == "metrics" && fields[1].0 == "result" {
+            if let Json::Object(mut fields) = entry {
+                let result = fields.pop().expect("len checked").1;
+                let metrics = fields.pop().expect("len checked").1;
+                return (metrics, result);
+            }
+            unreachable!("matched Object above");
+        }
+    }
+    (Json::object(), entry)
+}
+
+/// Builds the envelope `metrics` block from per-unit counter objects:
+/// `{"units": {label: {counter: value, ...}}, "totals": {...}}`.
+///
+/// Units appear in declaration order (the job's unit order), counters
+/// within each unit in sorted-name order, and `totals` is the
+/// counter-wise sum across units — all independent of completion order,
+/// which is what keeps the block byte-identical between `--jobs N` and
+/// `--workers N` runs. Units that recorded nothing are included as
+/// empty objects so the set of keys is a function of the decomposition
+/// alone.
+pub fn metrics_block(units: &[String], per_unit: &[Json]) -> Json {
+    assert_eq!(units.len(), per_unit.len(), "one metrics object per unit");
+    let mut totals = Metrics::new();
+    let mut by_unit = Json::object();
+    for (label, metrics) in units.iter().zip(per_unit) {
+        totals.merge(&metrics_from_json(metrics));
+        by_unit.set(label, metrics.clone());
+    }
+    Json::object()
+        .with("units", by_unit)
+        .with("totals", metrics_to_json(&totals))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Metrics {
+        let mut m = Metrics::new();
+        m.add("sim.service_wakes", 7);
+        m.add("sim.cmd.act", 3);
+        m
+    }
+
+    #[test]
+    fn json_round_trip_is_canonical() {
+        let json = metrics_to_json(&sample());
+        // Sorted counter order, independent of recording order.
+        assert_eq!(
+            json.to_compact(),
+            r#"{"sim.cmd.act":3,"sim.service_wakes":7}"#
+        );
+        let back = metrics_from_json(&json);
+        assert_eq!(back, sample());
+    }
+
+    #[test]
+    fn wrap_then_unwrap_is_identity() {
+        let metrics = metrics_to_json(&sample());
+        let result = Json::object().with("capacity", 39.5);
+        let (m, r) = unwrap_entry(wrap_entry(metrics.clone(), result.clone()));
+        assert_eq!(m, metrics);
+        assert_eq!(r, result);
+    }
+
+    #[test]
+    fn unwrapped_values_pass_through_with_empty_metrics() {
+        let bare = Json::object().with("capacity", 39.5);
+        let (m, r) = unwrap_entry(bare.clone());
+        assert_eq!(m, Json::object());
+        assert_eq!(r, bare);
+        // A two-field object with the wrong keys is also not a wrapper.
+        let near_miss = Json::object().with("metrics", 1).with("value", 2);
+        let (m, r) = unwrap_entry(near_miss.clone());
+        assert_eq!(m, Json::object());
+        assert_eq!(r, near_miss);
+    }
+
+    #[test]
+    fn block_sums_totals_in_unit_order() {
+        let units = vec!["a".to_owned(), "b".to_owned(), "quiet".to_owned()];
+        let per_unit = vec![
+            metrics_to_json(&sample()),
+            metrics_to_json(&sample()),
+            Json::object(),
+        ];
+        let block = metrics_block(&units, &per_unit);
+        assert_eq!(block["totals"]["sim.service_wakes"].as_u64(), Some(14));
+        assert_eq!(block["totals"]["sim.cmd.act"].as_u64(), Some(6));
+        assert_eq!(block["units"]["quiet"], Json::object());
+        // Unit order is declaration order, not sorted.
+        let keys: Vec<&str> = block["units"]
+            .as_object()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, ["a", "b", "quiet"]);
+    }
+}

@@ -8,6 +8,7 @@ use std::time::Instant;
 use crate::cache::{CacheKey, DiskCache};
 use crate::job::{Job, JobContext};
 use crate::json::Json;
+use crate::metrics::{metrics_block, metrics_from_json, metrics_to_json, unwrap_entry, wrap_entry};
 use crate::pool;
 use crate::progress::{Progress, UnitOutcome};
 use crate::seed::derive_seed;
@@ -49,6 +50,10 @@ pub fn unit_key(job: &dyn Job, unit: &str, ctx: &JobContext) -> CacheKey {
 /// edges of hits: a replayed unit consumes no inputs, so on a partially
 /// warm cache it neither waits for its dependencies nor re-consumes
 /// their outputs. Returns `(hits, effective deps)`.
+///
+/// Hits are returned as stored — the `{"metrics": ..., "result": ...}`
+/// wrapper of [`crate::metrics::wrap_entry`] — so callers split them
+/// with [`crate::metrics::unwrap_entry`].
 ///
 /// The one warm-path semantic, shared by the [`Runner`] and the
 /// `lh-coord` coordinator so the two executors can never drift in what
@@ -92,6 +97,9 @@ pub struct UnitEvent {
     pub cached: bool,
     /// Wall-clock milliseconds spent executing (0 for cache hits).
     pub wall_ms: u128,
+    /// Deterministic counters recorded while the unit ran (replayed
+    /// from the cache entry for hits), as a sorted-key JSON object.
+    pub metrics: Json,
     /// The unit's JSON result.
     pub result: Json,
 }
@@ -147,6 +155,12 @@ pub struct ExperimentRun {
     pub id: &'static str,
     /// The merged (post-`finish`) result.
     pub merged: Json,
+    /// The deterministic metrics block
+    /// (`{"units": {label: counters}, "totals": counters}`, see
+    /// [`metrics_block`]): per-unit counters in unit order plus their
+    /// counter-wise sum. Byte-stable across `--jobs`, cache states and
+    /// worker counts, unlike [`RunStats`].
+    pub metrics: Json,
     /// What it took.
     pub stats: RunStats,
 }
@@ -196,7 +210,8 @@ impl Runner {
         let merged_key = self.key(job, &merged_fingerprint(&units), ctx);
 
         if let Some(cache) = &self.options.cache {
-            if let Some(merged) = cache.get(&merged_key) {
+            if let Some(entry) = cache.get(&merged_key) {
+                let (metrics, merged) = unwrap_entry(entry);
                 let stats = RunStats {
                     units_total: units.len(),
                     units_cached: units.len(),
@@ -213,6 +228,7 @@ impl Runner {
                 return Ok(ExperimentRun {
                     id: job.id(),
                     merged,
+                    metrics,
                     stats,
                 });
             }
@@ -226,54 +242,69 @@ impl Runner {
 
         let progress = Progress::new(job.id(), units.len(), self.options.progress);
         let observer = self.options.observer.as_ref();
-        let results: Vec<(Json, bool)> = pool::run_dag(self.jobs(), &eff_deps, |i, dep_results| {
-            let unit = &units[i];
-            let unit_started = Instant::now();
-            let (result, cached) = match &hits[i] {
-                Some(hit) => {
-                    progress.unit_done(unit, UnitOutcome::Cached);
-                    (hit.clone(), true)
-                }
-                None => {
-                    let dep_outputs: Vec<Json> =
-                        dep_results.into_iter().map(|(json, _)| json).collect();
-                    let result =
-                        job.run_unit(i, derive_seed(job.id(), i, ctx.seed), &dep_outputs, ctx);
-                    if let Some(c) = cache {
-                        if let Err(e) = c.put(&self.key(job, unit, ctx), &result) {
-                            crate::progress::note(format_args!(
-                                "warning: cache write failed for {}/{unit}: {e}",
-                                job.id()
-                            ));
-                        }
+        let results: Vec<(Json, Json, bool)> =
+            pool::run_dag(self.jobs(), &eff_deps, |i, dep_results| {
+                let unit = &units[i];
+                let unit_started = Instant::now();
+                let (result, metrics, cached) = match &hits[i] {
+                    Some(hit) => {
+                        let (metrics, result) = unwrap_entry(hit.clone());
+                        progress.unit_done(unit, UnitOutcome::Cached);
+                        (result, metrics, true)
                     }
-                    progress.unit_done(unit, UnitOutcome::Ran(unit_started.elapsed().as_millis()));
-                    (result, false)
+                    None => {
+                        let dep_outputs: Vec<Json> =
+                            dep_results.into_iter().map(|(json, _, _)| json).collect();
+                        let _span = lh_obs::Span::enter("unit.run", "harness");
+                        let (result, recorded) = lh_obs::record(|| {
+                            job.run_unit(i, derive_seed(job.id(), i, ctx.seed), &dep_outputs, ctx)
+                        });
+                        let metrics = metrics_to_json(&recorded);
+                        if let Some(c) = cache {
+                            let entry = wrap_entry(metrics.clone(), result.clone());
+                            if let Err(e) = c.put(&self.key(job, unit, ctx), &entry) {
+                                crate::progress::note(format_args!(
+                                    "warning: cache write failed for {}/{unit}: {e}",
+                                    job.id()
+                                ));
+                            }
+                        }
+                        progress
+                            .unit_done(unit, UnitOutcome::Ran(unit_started.elapsed().as_millis()));
+                        (result, metrics, false)
+                    }
+                };
+                // Lifetime accounting: the process-global registry sums
+                // every completed unit's counters (cached or fresh) for
+                // dashboards; the deterministic channel never reads it.
+                lh_obs::Registry::global().absorb(&metrics_from_json(&metrics));
+                if let Some(observe) = observer {
+                    observe(&UnitEvent {
+                        experiment: job.id(),
+                        unit: unit.clone(),
+                        index: i,
+                        cached,
+                        wall_ms: if cached {
+                            0
+                        } else {
+                            unit_started.elapsed().as_millis()
+                        },
+                        metrics: metrics.clone(),
+                        result: result.clone(),
+                    });
                 }
-            };
-            if let Some(observe) = observer {
-                observe(&UnitEvent {
-                    experiment: job.id(),
-                    unit: unit.clone(),
-                    index: i,
-                    cached,
-                    wall_ms: if cached {
-                        0
-                    } else {
-                        unit_started.elapsed().as_millis()
-                    },
-                    result: result.clone(),
-                });
-            }
-            (result, cached)
-        })
-        .expect("deps validated above; pruning edges cannot introduce a cycle");
+                (result, metrics, cached)
+            })
+            .expect("deps validated above; pruning edges cannot introduce a cycle");
 
-        let units_cached = results.iter().filter(|(_, cached)| *cached).count();
+        let units_cached = results.iter().filter(|(_, _, cached)| *cached).count();
         let units_executed = results.len() - units_cached;
-        let merged = job.finish(results.into_iter().map(|(r, _)| r).collect(), ctx);
+        let per_unit: Vec<Json> = results.iter().map(|(_, m, _)| m.clone()).collect();
+        let metrics = metrics_block(&units, &per_unit);
+        let merged = job.finish(results.into_iter().map(|(r, _, _)| r).collect(), ctx);
         if let Some(c) = cache {
-            if let Err(e) = c.put(&merged_key, &merged) {
+            let entry = wrap_entry(metrics.clone(), merged.clone());
+            if let Err(e) = c.put(&merged_key, &entry) {
                 crate::progress::note(format_args!(
                     "warning: cache write failed for {} merge: {e}",
                     job.id()
@@ -285,6 +316,7 @@ impl Runner {
         Ok(ExperimentRun {
             id: job.id(),
             merged,
+            metrics,
             stats: RunStats {
                 units_total: units.len(),
                 units_cached,

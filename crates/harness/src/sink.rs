@@ -66,6 +66,14 @@ pub fn render(
 /// lets CI diff committed envelope snapshots across refactors. Run
 /// statistics travel in [`RunStats`](crate::RunStats) and the streaming
 /// events instead.
+///
+/// The `metrics` block is the one piece of execution telemetry that
+/// *is* included, because it is deterministic by contract: per-unit
+/// counters in unit order plus their totals
+/// ([`metrics_block`](crate::metrics::metrics_block)), identical
+/// whether units ran cold, replayed from cache, or executed on remote
+/// workers. Wall-clock span timings never appear here — they export
+/// separately as Chrome `trace_event` JSON.
 pub fn envelope(job: &dyn Job, run: &ExperimentRun, ctx: &JobContext) -> Json {
     Json::object()
         .with("experiment", job.id())
@@ -73,6 +81,7 @@ pub fn envelope(job: &dyn Job, run: &ExperimentRun, ctx: &JobContext) -> Json {
         .with("scale", ctx.scale.as_str())
         .with("seed", ctx.seed)
         .with("result", run.merged.clone())
+        .with("metrics", run.metrics.clone())
 }
 
 /// One NDJSON line announcing that an experiment started: emit before
@@ -99,6 +108,7 @@ pub fn stream_unit(event: &UnitEvent) -> String {
         .with("index", event.index)
         .with("cached", event.cached)
         .with("ms", event.wall_ms as u64)
+        .with("metrics", event.metrics.clone())
         .with("result", event.result.clone())
         .to_compact()
         + "\n"
@@ -212,6 +222,7 @@ mod tests {
             index: 1,
             cached: false,
             wall_ms: 12,
+            metrics: Json::object().with("sim.service_wakes", 42u64),
             result: Json::object().with("capacity", 39.5),
         };
         let line = stream_unit(&event);
@@ -220,6 +231,7 @@ mod tests {
         let parsed = crate::json::parse(line.trim_end()).unwrap();
         assert_eq!(parsed["event"].as_str(), Some("unit"));
         assert_eq!(parsed["unit"].as_str(), Some("noise:1"));
+        assert_eq!(parsed["metrics"]["sim.service_wakes"].as_u64(), Some(42));
         assert_eq!(parsed["result"]["capacity"].as_f64(), Some(39.5));
     }
 }

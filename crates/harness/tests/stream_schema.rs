@@ -1,0 +1,128 @@
+//! `--stream` NDJSON schema coverage: every `unit` line the harness can
+//! emit — arbitrary labels, indices, cache states, metrics blocks and
+//! result payloads — is a single line that parses back to exactly the
+//! [`UnitEvent`] it encoded, and the deterministic metrics object
+//! survives the `lh_obs::Metrics` ⇄ JSON conversion unchanged.
+//!
+//! The viewer-side counterpart (malformed metric lines are counted, not
+//! fatal) lives in `lh_coord::viewer`'s tests.
+
+use lh_harness::runner::UnitEvent;
+use lh_harness::sink::stream_unit;
+use lh_harness::{json, metrics_from_json, metrics_to_json, Json};
+use proptest::collection;
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+
+/// Depth-bounded strategy over arbitrary JSON result payloads.
+#[derive(Debug, Clone, Copy)]
+struct ArbJson {
+    depth: u8,
+}
+
+impl Strategy for ArbJson {
+    type Value = Json;
+
+    fn sample(&self, rng: &mut TestRng) -> Json {
+        let variants = if self.depth == 0 { 5 } else { 7 };
+        match rng.below(variants) {
+            0 => Json::Null,
+            1 => Json::Bool(rng.next_u64() & 1 == 1),
+            2 => Json::Int(i128::from(rng.next_u64() as i64)),
+            3 => Json::from_f64(f64::arbitrary(rng)),
+            4 => Json::Str(Strategy::sample(&"[ -~]{0,16}", rng)),
+            5 => {
+                let inner = ArbJson {
+                    depth: self.depth - 1,
+                };
+                Json::Array((0..rng.below(3)).map(|_| inner.sample(rng)).collect())
+            }
+            _ => {
+                let inner = ArbJson {
+                    depth: self.depth - 1,
+                };
+                Json::Object(
+                    (0..rng.below(3))
+                        .map(|_| (Strategy::sample(&"[a-z_]{1,8}", rng), inner.sample(rng)))
+                        .collect(),
+                )
+            }
+        }
+    }
+}
+
+/// Experiment ids are `&'static str` in [`UnitEvent`]; sample from a
+/// fixed catalog like the registry does.
+const EXPERIMENTS: &[&str] = &["fig2", "fig4", "fig13", "chansweep", "taxonomy"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// counter map → JSON object → counter map is the identity, and the
+    /// JSON object iterates in sorted key order regardless of insertion
+    /// order (that ordering is what makes metric blocks byte-stable).
+    #[test]
+    fn metrics_survive_json_round_trip(
+        counters in collection::vec(("[a-z.]{1,20}", 1u64..u64::MAX / 2), 0..8),
+    ) {
+        let mut metrics = lh_obs::Metrics::new();
+        for (name, value) in &counters {
+            metrics.add(name, *value);
+        }
+        let json = metrics_to_json(&metrics);
+        prop_assert_eq!(&metrics_from_json(&json), &metrics);
+        let keys: Vec<&str> = json.as_object().iter().map(|(k, _)| k.as_str()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(keys, sorted, "metric JSON must iterate in sorted key order");
+    }
+
+    /// Every stream `unit` line is single-line NDJSON that parses back
+    /// to the event it encoded — metrics block included.
+    #[test]
+    fn unit_stream_lines_round_trip(
+        exp_idx in 0usize..EXPERIMENTS.len(),
+        unit in "[ -~]{1,32}",
+        index in any::<usize>(),
+        cached in any::<bool>(),
+        wall_ms in any::<u64>(),
+        counters in collection::vec(("[a-z.]{1,20}", 1u64..u64::MAX / 2), 0..6),
+        result in ArbJson { depth: 2 },
+    ) {
+        let mut metrics = lh_obs::Metrics::new();
+        for (name, value) in &counters {
+            metrics.add(name, *value);
+        }
+        let event = UnitEvent {
+            experiment: EXPERIMENTS[exp_idx],
+            unit,
+            index,
+            cached,
+            wall_ms: u128::from(wall_ms),
+            metrics: metrics_to_json(&metrics),
+            result,
+        };
+
+        let line = stream_unit(&event);
+        prop_assert!(line.ends_with('\n'), "NDJSON lines are newline-terminated");
+        prop_assert_eq!(
+            line.trim_end_matches('\n').matches('\n').count(),
+            0,
+            "stream events must serialize to a single line"
+        );
+
+        let parsed = json::parse(line.trim_end());
+        prop_assert!(parsed.is_ok(), "stream line does not parse: {parsed:?}");
+        let parsed = parsed.unwrap();
+        prop_assert_eq!(parsed["event"].as_str(), Some("unit"));
+        prop_assert_eq!(parsed["experiment"].as_str(), Some(event.experiment));
+        prop_assert_eq!(parsed["unit"].as_str(), Some(event.unit.as_str()));
+        prop_assert_eq!(parsed["index"].as_u64(), Some(index as u64));
+        prop_assert_eq!(parsed["cached"].as_bool(), Some(cached));
+        prop_assert_eq!(parsed["ms"].as_u64(), Some(wall_ms));
+        prop_assert_eq!(&parsed["result"], &event.result);
+        // The metrics block round-trips through the line back to the
+        // exact counter map that was recorded.
+        prop_assert_eq!(&metrics_from_json(&parsed["metrics"]), &metrics);
+    }
+}

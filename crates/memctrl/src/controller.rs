@@ -122,6 +122,10 @@ pub struct CtrlStats {
     pub writes_served: u64,
     /// Requests rejected because a queue was full.
     pub rejections: u64,
+    /// ACT commands issued.
+    pub activates: u64,
+    /// PRE/PREab commands issued.
+    pub precharges: u64,
     /// Periodic REF commands issued.
     pub refreshes: u64,
     /// Refreshes that were postponed by one interval.
@@ -898,6 +902,7 @@ impl MemoryController {
 
         match cmd {
             Command::Activate { bank, row } => {
+                self.stats.activates += 1;
                 // PARA victim activation bookkeeping.
                 if let Some(job) = self.para_queue.front_mut() {
                     if job.bank == bank && job.victim == row && !job.activated {
@@ -1006,10 +1011,12 @@ impl MemoryController {
                 });
             }
             Command::Precharge { bank } => {
+                self.stats.precharges += 1;
                 let flat = self.device.geometry().flat_bank(bank);
                 self.streak[flat] = (u32::MAX, 0);
             }
             Command::PrechargeAll { rank, .. } => {
+                self.stats.precharges += 1;
                 let g = *self.device.geometry();
                 for b in g.banks_in_channel(0).filter(|b| b.rank == rank) {
                     self.streak[g.flat_bank(b)] = (u32::MAX, 0);

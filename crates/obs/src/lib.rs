@@ -1,0 +1,49 @@
+//! # lh-obs — deterministic metrics and wall-clock tracing
+//!
+//! The observability spine of the LeakyHammer reproduction, split into
+//! two channels with deliberately different guarantees:
+//!
+//! * **Deterministic counters** ([`metrics`]) — named `u64` counters
+//!   ([`Counter`]) whose increments land in a per-thread scope
+//!   ([`record`]). The harness wraps every experiment-unit execution in
+//!   a scope, so simulator-emitted counts (scheduler wakes, commands by
+//!   kind, maintenance on-time/deferred, cache probe hits/misses)
+//!   attribute to exactly one unit. Counter values must depend only on
+//!   the computation — never on wall-clock or thread scheduling — so
+//!   they can ride cached results and distributed-run envelopes
+//!   byte-identically.
+//! * **Wall-clock spans** ([`trace`]) — RAII [`Span`]s collected in a
+//!   process-global buffer and exported as Chrome `trace_event` JSON
+//!   (`chrome://tracing`, Perfetto). Timings never enter the
+//!   deterministic channel, so profiling cannot perturb envelopes.
+//!
+//! Both channels are **zero-cost when disabled**: an unscoped
+//! [`Counter::add`] is a thread-local check, and a [`Span::enter`] with
+//! tracing off is one relaxed atomic load. The crate is std-only, like
+//! the rest of the harness substrate.
+//!
+//! ## Example
+//!
+//! ```
+//! use lh_obs::{record, Counter};
+//!
+//! const WAKES: Counter = Counter::new("sim.service_wakes");
+//!
+//! let (value, metrics) = record(|| {
+//!     WAKES.add(3); // inside the simulator's flush path
+//!     42
+//! });
+//! assert_eq!(value, 42);
+//! assert_eq!(metrics.get("sim.service_wakes"), 3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod metrics;
+pub mod registry;
+pub mod trace;
+
+pub use metrics::{record, scoped, Counter, Metrics};
+pub use registry::Registry;
+pub use trace::{chrome_trace_json, export_chrome_trace, Span, TraceEvent};

@@ -1,0 +1,221 @@
+//! Deterministic named counters with scoped per-unit collection.
+//!
+//! A [`Counter`] is a named, monotonically increasing `u64`. Increments
+//! land in the *metric scope* installed on the current thread (if any);
+//! with no scope installed every increment is a branch-and-return — the
+//! zero-cost-when-disabled contract that lets hot simulator paths carry
+//! permanent instrumentation.
+//!
+//! Scopes nest per thread: [`record`] installs a fresh scope, runs a
+//! closure, and returns whatever the closure produced alongside the
+//! [`Metrics`] it accumulated. The harness wraps every experiment-unit
+//! execution this way, so counters flushed by the simulator attribute
+//! to exactly one unit no matter how many worker threads run units
+//! concurrently.
+//!
+//! Determinism contract: counter values must be a pure function of the
+//! computation being measured — simulated event counts, command tallies,
+//! cache probe outcomes — never wall-clock time, pointer values, or
+//! scheduling order. Wall-clock data belongs in [`crate::trace`] spans,
+//! which are kept strictly apart from these metrics so cached results
+//! and distributed runs stay byte-identical.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+/// An ordered map of named counter totals.
+///
+/// Backed by a `BTreeMap` so iteration — and therefore any rendering —
+/// is deterministic in the counter names alone.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Metrics {
+    counts: BTreeMap<String, u64>,
+}
+
+impl Metrics {
+    /// An empty set of counters.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Adds `n` to counter `name` (creating it at zero).
+    pub fn add(&mut self, name: &str, n: u64) {
+        if let Some(slot) = self.counts.get_mut(name) {
+            *slot = slot.saturating_add(n);
+        } else {
+            self.counts.insert(name.to_owned(), n);
+        }
+    }
+
+    /// The value of counter `name` (zero when absent).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counts.get(name).copied().unwrap_or(0)
+    }
+
+    /// Folds another set of counters into this one, key by key.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (name, n) in &other.counts {
+            self.add(name, *n);
+        }
+    }
+
+    /// Iterates `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counts.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of distinct counters.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether no counter has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+}
+
+thread_local! {
+    /// The stack of metric scopes active on this thread. Increments go
+    /// to the innermost scope only; [`record`] merges child scopes into
+    /// nothing — each scope is returned to its installer.
+    static SCOPES: RefCell<Vec<Metrics>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A named counter handle.
+///
+/// Construction is free (`const`): declare counters as constants next
+/// to the code they instrument and call [`Counter::add`] at the natural
+/// points. With no scope installed on the calling thread, `add` is a
+/// thread-local read and a branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Counter(&'static str);
+
+impl Counter {
+    /// A handle for counter `name`.
+    pub const fn new(name: &'static str) -> Counter {
+        Counter(name)
+    }
+
+    /// The counter's name.
+    pub fn name(&self) -> &'static str {
+        self.0
+    }
+
+    /// Adds `n` to this counter in the current thread's innermost
+    /// metric scope; a no-op without one.
+    pub fn add(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        SCOPES.with(|scopes| {
+            if let Some(scope) = scopes.borrow_mut().last_mut() {
+                scope.add(self.0, n);
+            }
+        });
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+}
+
+/// Whether a metric scope is installed on the current thread.
+pub fn scoped() -> bool {
+    SCOPES.with(|scopes| !scopes.borrow().is_empty())
+}
+
+/// Runs `f` under a fresh metric scope on this thread and returns its
+/// result together with every counter recorded while it ran.
+///
+/// Scopes nest: increments inside an inner `record` are invisible to
+/// the outer scope. The scope is removed even if `f` panics (the
+/// accumulated counts are discarded with it).
+pub fn record<T>(f: impl FnOnce() -> T) -> (T, Metrics) {
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            SCOPES.with(|scopes| {
+                scopes.borrow_mut().pop();
+            });
+        }
+    }
+
+    SCOPES.with(|scopes| scopes.borrow_mut().push(Metrics::new()));
+    let guard = Guard;
+    let value = f();
+    let metrics = SCOPES.with(|scopes| scopes.borrow().last().cloned().unwrap_or_default());
+    drop(guard);
+    (value, metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WAKES: Counter = Counter::new("sim.service_wakes");
+
+    #[test]
+    fn unscoped_increments_are_dropped() {
+        assert!(!scoped());
+        WAKES.add(5); // must not panic or leak anywhere observable
+        let ((), m) = record(|| {});
+        assert!(m.is_empty(), "pre-scope increments must not attribute");
+    }
+
+    #[test]
+    fn record_captures_and_merges() {
+        let ((), m) = record(|| {
+            assert!(scoped());
+            WAKES.add(3);
+            WAKES.incr();
+            Counter::new("sim.cmd.rfm").add(2);
+        });
+        assert_eq!(m.get("sim.service_wakes"), 4);
+        assert_eq!(m.get("sim.cmd.rfm"), 2);
+        assert_eq!(m.get("absent"), 0);
+        let names: Vec<&str> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["sim.cmd.rfm", "sim.service_wakes"], "sorted");
+    }
+
+    #[test]
+    fn scopes_nest_without_leaking() {
+        let ((), outer) = record(|| {
+            WAKES.add(1);
+            let ((), inner) = record(|| WAKES.add(10));
+            assert_eq!(inner.get("sim.service_wakes"), 10);
+            WAKES.add(2);
+        });
+        assert_eq!(
+            outer.get("sim.service_wakes"),
+            3,
+            "inner scope's counts stay in the inner scope"
+        );
+        assert!(!scoped());
+    }
+
+    #[test]
+    fn panics_unwind_the_scope() {
+        let caught = std::panic::catch_unwind(|| {
+            record(|| -> () { panic!("boom") });
+        });
+        assert!(caught.is_err());
+        assert!(!scoped(), "a panicking scope must still be popped");
+    }
+
+    #[test]
+    fn merge_sums_key_by_key() {
+        let mut a = Metrics::new();
+        a.add("x", 1);
+        a.add("y", u64::MAX);
+        let mut b = Metrics::new();
+        b.add("y", 7);
+        b.add("z", 2);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 1);
+        assert_eq!(a.get("y"), u64::MAX, "saturating");
+        assert_eq!(a.get("z"), 2);
+        assert_eq!(a.len(), 3);
+    }
+}

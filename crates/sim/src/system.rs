@@ -21,6 +21,63 @@ use crate::process::{MemAccess, Process, ProcessStep};
 /// Identifier of a process (and its core) within a [`System`].
 pub type ProcId = usize;
 
+/// Deterministic observability counters every system flushes into the
+/// active `lh-obs` metric scope (the harness installs one per
+/// experiment unit). Names are the stable metrics vocabulary that
+/// envelopes, metrics snapshots, and the `report` subcommand key on.
+mod counters {
+    use lh_obs::Counter;
+
+    /// `MemoryController::service` invocations (scheduler wakes).
+    pub const SERVICE_WAKES: Counter = Counter::new("sim.service_wakes");
+    /// ACT commands issued.
+    pub const CMD_ACT: Counter = Counter::new("sim.cmd.act");
+    /// PRE/PREab commands issued.
+    pub const CMD_PRE: Counter = Counter::new("sim.cmd.pre");
+    /// Column reads served.
+    pub const CMD_RD: Counter = Counter::new("sim.cmd.rd");
+    /// Column writes served.
+    pub const CMD_WR: Counter = Counter::new("sim.cmd.wr");
+    /// Periodic REF commands issued.
+    pub const CMD_REF: Counter = Counter::new("sim.cmd.ref");
+    /// RFM commands issued (any cause).
+    pub const CMD_RFM: Counter = Counter::new("sim.cmd.rfm");
+    /// Scheduled maintenance taken exactly at its deadline.
+    pub const MAINT_ON_TIME: Counter = Counter::new("sim.maintenance.on_time");
+    /// Scheduled maintenance that slipped past its deadline.
+    pub const MAINT_DEFERRED: Counter = Counter::new("sim.maintenance.deferred");
+    /// Cache-level probes that hit (L1 + L2 + LLC).
+    pub const CACHE_PROBE_HITS: Counter = Counter::new("sim.cache.probe_hits");
+    /// Cache-level probes that missed (L1 + L2 + LLC).
+    pub const CACHE_PROBE_MISSES: Counter = Counter::new("sim.cache.probe_misses");
+    /// Systems that contributed counters (one per flushed [`super::System`]).
+    pub const SYSTEMS: Counter = Counter::new("sim.systems");
+}
+
+/// Counter values already flushed into the metric scope, so repeated
+/// flushes (explicit plus the drop flush) emit exact deltas.
+#[derive(Debug, Clone, Copy, Default)]
+struct ObsFlushed {
+    announced: bool,
+    service_wakes: u64,
+    acts: u64,
+    pres: u64,
+    rds: u64,
+    wrs: u64,
+    refs: u64,
+    rfms: u64,
+    maint_on_time: u64,
+    maint_deferred: u64,
+    probe_hits: u64,
+    probe_misses: u64,
+}
+
+/// Emits `total - *flushed` into `counter` and advances the watermark.
+fn emit_delta(counter: lh_obs::Counter, total: u64, flushed: &mut u64) {
+    counter.add(total.saturating_sub(*flushed));
+    *flushed = total;
+}
+
 /// Full-system configuration.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -249,6 +306,16 @@ pub struct System {
     ctrl_scheduled: Time,
     cache_cfg: CacheConfig,
     prefetch_cfg: Option<BopConfig>,
+    obs_flushed: ObsFlushed,
+}
+
+impl Drop for System {
+    fn drop(&mut self) {
+        // Final delta flush so a unit's metric scope sees the complete
+        // command/maintenance/cache tallies without experiment code
+        // having to remember an explicit flush.
+        self.flush_obs();
+    }
 }
 
 impl std::fmt::Debug for System {
@@ -290,6 +357,7 @@ impl System {
             ctrl_scheduled: Time::ZERO,
             cache_cfg: config.caches,
             prefetch_cfg: config.prefetch,
+            obs_flushed: ObsFlushed::default(),
         };
         // Start the controller's self-scheduling (refresh timers tick even
         // on an idle system).
@@ -370,8 +438,59 @@ impl System {
         }));
     }
 
+    /// Flushes deterministic counters accumulated since the previous
+    /// flush into the active `lh-obs` metric scope.
+    ///
+    /// Dropping the system flushes implicitly, so experiment code never
+    /// has to call this; it exists for callers that sample mid-run. The
+    /// emitted values are exact deltas against an internal watermark, so
+    /// flushing early never double-counts. A no-op when no metric scope
+    /// is installed (i.e. outside `lh_obs::record`).
+    pub fn flush_obs(&mut self) {
+        if !lh_obs::scoped() {
+            return;
+        }
+        if !self.obs_flushed.announced {
+            self.obs_flushed.announced = true;
+            counters::SYSTEMS.incr();
+        }
+        let f = &mut self.obs_flushed;
+        let cs = self.mc.stats();
+        emit_delta(
+            counters::SERVICE_WAKES,
+            cs.service_calls,
+            &mut f.service_wakes,
+        );
+        emit_delta(counters::CMD_ACT, cs.activates, &mut f.acts);
+        emit_delta(counters::CMD_PRE, cs.precharges, &mut f.pres);
+        emit_delta(counters::CMD_RD, cs.reads_served, &mut f.rds);
+        emit_delta(counters::CMD_WR, cs.writes_served, &mut f.wrs);
+        emit_delta(counters::CMD_REF, cs.refreshes, &mut f.refs);
+        emit_delta(counters::CMD_RFM, cs.rfms, &mut f.rfms);
+        let ds = self.mc.defense_stats();
+        emit_delta(
+            counters::MAINT_ON_TIME,
+            ds.maintenance_on_time,
+            &mut f.maint_on_time,
+        );
+        emit_delta(
+            counters::MAINT_DEFERRED,
+            ds.maintenance_deferred,
+            &mut f.maint_deferred,
+        );
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for cache in &self.caches {
+            let s = cache.stats();
+            hits += s.l1_hits + s.l2_hits + s.llc_hits;
+            misses += s.l1_misses + s.l2_misses + s.llc_misses;
+        }
+        emit_delta(counters::CACHE_PROBE_HITS, hits, &mut f.probe_hits);
+        emit_delta(counters::CACHE_PROBE_MISSES, misses, &mut f.probe_misses);
+    }
+
     /// Runs until `t_end` (events after it stay queued).
     pub fn run_until(&mut self, t_end: Time) {
+        let _span = lh_obs::Span::enter("sim.run_until", "sim");
         while let Some(&Reverse(ev)) = self.events.peek() {
             if ev.at > t_end {
                 break;

@@ -1,72 +1,156 @@
-//! Regression test for the FR-RFM low-`N_RH` scheduler hot loop.
+//! Per-defense scheduler wake budgets, gated by a recorded metrics
+//! snapshot.
 //!
-//! With a dense fixed-rate RFM schedule (FR-RFM provisioned for
-//! `N_RH` = 64 has a period of ~1.26 µs), the pre-redesign controller
-//! degenerated into picosecond-granularity re-arming whenever a wake
-//! deadline had passed but the due command was still transiently
-//! illegal: one quick-scale four-core mix over 150 µs of simulated time
-//! cost **100,578,972** `service()` invocations (~75 s of release CPU).
+//! This began life as a single FR-RFM regression test: with a dense
+//! fixed-rate RFM schedule (FR-RFM provisioned for `N_RH` = 64 has a
+//! period of ~1.26 µs), the pre-redesign controller degenerated into
+//! picosecond-granularity re-arming whenever a wake deadline had passed
+//! but the due command was still transiently illegal — one quick-scale
+//! four-core mix over 150 µs of simulated time cost **100,578,972**
+//! `service()` invocations (~75 s of release CPU). The total-time
+//! scheduling redesign brought the same mix to **15,853** wakes while
+//! issuing the identical command stream.
 //!
-//! Under the total-time scheduling contract every wake is the exact
-//! next decision point, and the same mix costs **15,853** invocations
-//! (a ~6,300× reduction) while issuing the *identical* command stream
-//! (476 RFMs, 76 REFs, 5,021 served reads).
+//! The same pathology could regress in *any* defense's maintenance
+//! schedule, so the test now runs the identical four-core mix under
+//! every [`DefenseKind`] and pins each scheduler's exact
+//! `sim.service_wakes` count — read through the `lh-obs` deterministic
+//! metrics channel, not the raw stats structs, so the observability
+//! pipeline itself is exercised against ground truth — to the recorded
+//! snapshot in `crates/bench/snapshots/metrics/wake_budgets.quick.json`.
 //!
-//! The test counts wakes, not wall-clock, so it is deterministic; the
-//! cap has ~6× headroom over the measured count but sits four orders of
-//! magnitude below the pathological baseline.
+//! Wake counts are a pure function of the simulated computation, so
+//! exact equality is the right gate: any drift is either a deliberate
+//! scheduler change (regenerate with `LH_UPDATE_SNAPSHOTS=1`) or a bug.
 
 use lh_defenses::{DefenseConfig, DefenseKind};
 use lh_dram::{DramTiming, Span, Time};
+use lh_harness::Json;
 use lh_memctrl::AddressMapping;
 use lh_sim::SystemBuilder;
 use lh_workloads::{four_core_mixes, SyntheticApp};
 
-/// The pre-redesign wake count for this exact scenario (measured at the
-/// commit that introduced this test).
+/// The pre-redesign FR-RFM wake count for this exact scenario (measured
+/// at the commit that introduced the original regression test).
 const BASELINE_WAKES: u64 = 100_578_972;
 
-/// Deterministic cap: measured post-redesign count is 15,853.
-const MAX_WAKES: u64 = 100_000;
+/// Deterministic spin cap: no defense's scheduler should come within an
+/// order of magnitude of the old pathology on this 150 µs mix.
+const MAX_WAKES: u64 = 1_000_000;
+
+/// Committed wake-budget snapshot (repo-relative; the umbrella crate's
+/// manifest dir is the repo root).
+const SNAPSHOT: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/crates/bench/snapshots/metrics/wake_budgets.quick.json"
+);
+
+/// Runs the quick-scale four-core mix scenario under `kind` and returns
+/// the deterministic metrics the simulation flushed into `lh-obs`,
+/// alongside the controller's directly observed wake count.
+fn run_mix(kind: DefenseKind) -> (lh_obs::Metrics, u64) {
+    let mut direct_wakes = 0;
+    let ((), metrics) = lh_obs::record(|| {
+        let timing = DramTiming::ddr5_4800();
+        let defense = DefenseConfig::for_threshold(kind, 64, &timing);
+        let mut sys = SystemBuilder::new(defense)
+            .seed(7)
+            .disturb_tracking(false)
+            .build()
+            .expect("valid configuration");
+        let mapping: AddressMapping = *sys.mapping();
+        let span = Span::from_us(150); // Scale::Quick perf span
+        let end = Time::ZERO + span;
+        let mix = &four_core_mixes(2, 7)[0];
+        for (i, profile) in mix.iter().enumerate() {
+            let app = SyntheticApp::new(profile.clone(), mapping, 7 ^ (i as u64 * 31), end);
+            let mlp = app.mlp();
+            sys.add_process(Box::new(app), mlp, Time::ZERO);
+        }
+        sys.run_until(end + Span::from_us(5));
+        direct_wakes = sys.controller().stats().service_calls;
+        // Dropping the system inside the recording scope flushes its
+        // counters into `metrics`.
+    });
+    (metrics, direct_wakes)
+}
 
 #[test]
-fn frrfm_nrh64_mix_does_not_spin() {
-    let timing = DramTiming::ddr5_4800();
-    let defense = DefenseConfig::for_threshold(DefenseKind::FrRfm, 64, &timing);
-    let mut sys = SystemBuilder::new(defense)
-        .seed(7)
-        .disturb_tracking(false)
-        .build()
-        .expect("valid configuration");
-    let mapping: AddressMapping = *sys.mapping();
-    let span = Span::from_us(150); // Scale::Quick perf span
-    let end = Time::ZERO + span;
-    let mix = &four_core_mixes(2, 7)[0];
-    for (i, profile) in mix.iter().enumerate() {
-        let app = SyntheticApp::new(profile.clone(), mapping, 7 ^ (i as u64 * 31), end);
-        let mlp = app.mlp();
-        sys.add_process(Box::new(app), mlp, Time::ZERO);
-    }
-    sys.run_until(end + Span::from_us(5));
+fn per_defense_wake_budgets_match_recorded_snapshot() {
+    let mut budgets = Json::object();
+    for kind in DefenseKind::all() {
+        let (metrics, direct_wakes) = run_mix(kind);
+        let wakes = metrics.get("sim.service_wakes");
+        // The obs channel must agree with the controller's own stats —
+        // this pins the delta-flush plumbing to ground truth.
+        assert_eq!(
+            wakes,
+            direct_wakes,
+            "{}: recorded metrics disagree with CtrlStats::service_calls",
+            kind.label()
+        );
+        assert!(
+            wakes <= MAX_WAKES,
+            "{}: scheduler woke {wakes} times (cap {MAX_WAKES}); \
+             the 1-ps re-arm pathology is back",
+            kind.label()
+        );
+        assert!(
+            wakes * 10 <= BASELINE_WAKES,
+            "{}: less than a 10x reduction over the pre-redesign FR-RFM baseline",
+            kind.label()
+        );
 
-    let stats = *sys.controller().stats();
-    println!(
-        "service_calls={} rfms={} refreshes={} reads={}",
-        stats.service_calls, stats.rfms, stats.refreshes, stats.reads_served
-    );
-    assert!(
-        stats.service_calls <= MAX_WAKES,
-        "FR-RFM@64 scheduler woke {} times (cap {MAX_WAKES}); \
-         the 1-ps re-arm pathology is back",
-        stats.service_calls
-    );
-    assert!(
-        stats.service_calls * 10 <= BASELINE_WAKES,
-        "less than a 10x reduction over the pre-redesign baseline"
-    );
-    // The redesign must not change *what* the controller does — only
-    // when it wakes. These counts are the pre-redesign values.
-    assert_eq!(stats.rfms, 476, "fixed-rate RFM stream changed");
-    assert_eq!(stats.refreshes, 76, "refresh schedule changed");
-    assert_eq!(stats.reads_served, 5021, "served request stream changed");
+        if kind == DefenseKind::FrRfm {
+            // The scheduling redesign must not change *what* the
+            // controller does — only when it wakes. These counts are
+            // the pre-redesign values, read back through the metrics
+            // channel.
+            assert_eq!(
+                metrics.get("sim.cmd.rfm"),
+                476,
+                "fixed-rate RFM stream changed"
+            );
+            assert_eq!(metrics.get("sim.cmd.ref"), 76, "refresh schedule changed");
+            assert_eq!(
+                metrics.get("sim.cmd.rd"),
+                5021,
+                "served request stream changed"
+            );
+        }
+
+        budgets.set(kind.label(), wakes);
+    }
+
+    if std::env::var("LH_UPDATE_SNAPSHOTS").as_deref() == Ok("1") {
+        std::fs::create_dir_all(std::path::Path::new(SNAPSHOT).parent().unwrap())
+            .expect("create snapshot dir");
+        std::fs::write(SNAPSHOT, budgets.to_pretty() + "\n").expect("write snapshot");
+        eprintln!("updated {SNAPSHOT}");
+        return;
+    }
+
+    let recorded = std::fs::read_to_string(SNAPSHOT).unwrap_or_else(|e| {
+        panic!(
+            "missing wake-budget snapshot {SNAPSHOT} ({e}); regenerate with LH_UPDATE_SNAPSHOTS=1"
+        )
+    });
+    let recorded = lh_harness::json::parse(&recorded).expect("snapshot parses");
+    for kind in DefenseKind::all() {
+        let want = recorded[kind.label()].as_u64().unwrap_or_else(|| {
+            panic!(
+                "{}: missing from wake-budget snapshot; regenerate with LH_UPDATE_SNAPSHOTS=1",
+                kind.label()
+            )
+        });
+        let got = budgets[kind.label()].as_u64().expect("just recorded");
+        assert_eq!(
+            got,
+            want,
+            "{}: scheduler wake count drifted from the recorded budget \
+             ({want} recorded, {got} measured); if the scheduling change is \
+             deliberate, regenerate with LH_UPDATE_SNAPSHOTS=1",
+            kind.label()
+        );
+    }
 }

@@ -194,6 +194,23 @@ fn warm_cache_skips_recompute_and_reproduces_output() {
         "cached render must match the cold run byte for byte"
     );
 
+    // The deterministic metrics block replays from cache too: the warm
+    // run executed zero units, yet its full JSON envelope — result AND
+    // metrics — is byte-identical to the cold run's. This is the
+    // contract that lets volatile wall-clock data never enter cacheable
+    // envelopes: everything in here is a pure function of the
+    // computation.
+    assert_eq!(
+        lh_harness::sink::envelope(job, &warm, &ctx()).to_pretty(),
+        lh_harness::sink::envelope(job, &cold, &ctx()).to_pretty(),
+        "warm-cache envelope must be byte-identical, metrics included"
+    );
+    let totals = &cold.metrics["totals"];
+    assert!(
+        totals["sim.service_wakes"].as_u64().unwrap_or(0) > 0,
+        "the envelope being compared actually carries sim counters: {totals:?}"
+    );
+
     // A different master seed must not be served from this cache.
     let other_ctx = JobContext { seed: 12, ..ctx() };
     let other = runner(8, Some(cache.clone()))
