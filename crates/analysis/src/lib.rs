@@ -6,6 +6,7 @@
 //! * [`curves`] — BER-vs-noise and capacity-vs-`N_RH` sweep curves,
 //! * [`message`] — test-message patterns, text↔bit and bit↔symbol codecs,
 //! * [`noise`] — the noise-intensity mapping (Eq. 2),
+//! * [`pareto`] — security-vs-cost curves for the mitigation sweep,
 //! * [`speedup`] — weighted speedup for the Fig. 13 performance study,
 //! * [`stats`] — summary statistics and histograms for reports.
 //!
@@ -28,6 +29,7 @@ pub mod capacity;
 pub mod curves;
 pub mod message;
 pub mod noise;
+pub mod pareto;
 pub mod speedup;
 pub mod stats;
 
@@ -35,5 +37,6 @@ pub use capacity::{binary_entropy, channel_capacity, ChannelResult};
 pub use curves::{BerCurve, BerPoint, CapacityCurve, CapacityPoint};
 pub use message::{bits_of_str, bits_to_symbols, str_of_bits, symbols_to_bits, MessagePattern};
 pub use noise::{intensity_of_sleep, sleep_of_intensity};
+pub use pareto::{ParetoCurve, ParetoPoint};
 pub use speedup::{normalized_ws, weighted_speedup, AppPerf};
 pub use stats::{geo_mean, mean, percentile, std_dev, Histogram};

@@ -247,40 +247,59 @@ fn worker_mode(cache: Option<DiskCache>) -> ! {
 /// Extracts `(experiment id, metrics block)` pairs from one report
 /// input: either a single envelope document (a committed snapshot, or
 /// `--format json` output for one experiment) or an NDJSON `--stream`
-/// feed whose `finished` lines carry envelopes.
-fn collect_metrics(content: &str, origin: &str) -> Result<Vec<(String, lh_harness::Json)>, String> {
+/// feed whose `finished` lines carry envelopes. Envelopes predating the
+/// deterministic-metrics block (no `metrics` key) are skipped, not
+/// fatal: the second return counts them so the caller can warn once.
+fn collect_metrics(
+    content: &str,
+    origin: &str,
+) -> Result<(Vec<(String, lh_harness::Json)>, usize), String> {
     use lh_harness::json::parse;
 
-    let from_envelope = |envelope: &lh_harness::Json| -> Option<(String, lh_harness::Json)> {
-        let id = envelope["experiment"].as_str()?;
-        Some((id.to_owned(), envelope["metrics"].clone()))
+    // `Ok(pair)` for a usable envelope, `Err(true)` for a pre-metrics
+    // envelope (recognized, skipped), `Err(false)` for a non-envelope.
+    let from_envelope = |envelope: &lh_harness::Json| -> Result<(String, lh_harness::Json), bool> {
+        let Some(id) = envelope["experiment"].as_str() else {
+            return Err(false);
+        };
+        match &envelope["metrics"] {
+            lh_harness::Json::Null => Err(true),
+            metrics => Ok((id.to_owned(), metrics.clone())),
+        }
     };
 
     if let Ok(doc) = parse(content.trim()) {
-        return from_envelope(&doc)
-            .map(|pair| vec![pair])
-            .ok_or_else(|| format!("{origin}: JSON document is not an experiment envelope"));
+        return match from_envelope(&doc) {
+            Ok(pair) => Ok((vec![pair], 0)),
+            Err(true) => Ok((Vec::new(), 1)),
+            Err(false) => Err(format!(
+                "{origin}: JSON document is not an experiment envelope"
+            )),
+        };
     }
     // Not one document: treat as an NDJSON stream and harvest the
     // envelopes off `finished` events.
     let mut found = Vec::new();
+    let mut skipped = 0;
     for line in content.lines() {
         if line.trim().is_empty() {
             continue;
         }
         let Ok(event) = parse(line) else { continue };
         if event["event"].as_str() == Some("finished") {
-            if let Some(pair) = from_envelope(&event["envelope"]) {
-                found.push(pair);
+            match from_envelope(&event["envelope"]) {
+                Ok(pair) => found.push(pair),
+                Err(true) => skipped += 1,
+                Err(false) => {}
             }
         }
     }
-    if found.is_empty() {
+    if found.is_empty() && skipped == 0 {
         return Err(format!(
             "{origin}: no envelopes found (expected an envelope document or a --stream feed)"
         ));
     }
-    Ok(found)
+    Ok((found, skipped))
 }
 
 /// `lh-experiments report`: condenses envelopes into one canonical
@@ -292,6 +311,7 @@ fn report_mode(files: &[String], format: OutputFormat) -> ! {
     use lh_harness::{metrics_from_json, metrics_to_json, Json};
 
     let mut experiments: Vec<(String, Json)> = Vec::new();
+    let mut without_metrics = 0;
     for file in files {
         let content = if file == "-" {
             let mut buf = String::new();
@@ -304,12 +324,21 @@ fn report_mode(files: &[String], format: OutputFormat) -> ! {
         let origin = if file == "-" { "<stdin>" } else { file };
         let collected = content.and_then(|c| collect_metrics(&c, origin));
         match collected {
-            Ok(pairs) => experiments.extend(pairs),
+            Ok((pairs, skipped)) => {
+                experiments.extend(pairs);
+                without_metrics += skipped;
+            }
             Err(e) => {
                 eprintln!("error: report: {e}");
                 std::process::exit(1);
             }
         }
+    }
+    if without_metrics > 0 {
+        eprintln!(
+            "warning: report: skipped {without_metrics} envelope(s) without a metrics block \
+             (written before deterministic metrics landed; re-run to refresh them)"
+        );
     }
     experiments.sort_by(|a, b| a.0.cmp(&b.0));
 

@@ -52,6 +52,10 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
         "chansweep",
         "link-layer BER/capacity sweep: every defense x modulation x noise",
     ),
+    (
+        "mitsweep",
+        "defense x mitigation Pareto sweep: capacity collapse vs scheduling cost",
+    ),
 ];
 
 #[cfg(test)]

@@ -23,6 +23,7 @@ const CRATES: &[(&str, &str)] = &[
     ("lh-harness", "../harness/src"),
     ("lh-link", "../link/src"),
     ("lh-memctrl", "../memctrl/src"),
+    ("lh-mitigate", "../mitigate/src"),
     ("lh-ml", "../ml/src"),
     ("lh-obs", "../obs/src"),
     ("lh-sim", "../sim/src"),

@@ -1,22 +1,66 @@
 //! Countermeasure evaluation (§11.4): how much channel capacity each
 //! countermeasure removes relative to plain PRAC.
 //!
-//! The paper reports FR-RFM eliminating the channel (100 % reduction) and
-//! RIAC reducing it by ≈86 % on average.
+//! The paper reports FR-RFM eliminating the channel (100 % reduction)
+//! and RIAC reducing it by ≈86 % on average. Since the `lh-mitigate`
+//! wrappers landed, the study runs *arms* rather than bare defenses:
+//! each arm deploys a defense plus a (possibly empty) countermeasure
+//! wrapper stack, flowing through the same
+//! [`SimConfig::mitigations`](lh_sim::SimConfig) plumbing the
+//! `mitsweep` Pareto matrix uses — the figure path and the sweep share
+//! one mitigation implementation.
 
 use serde::{Deserialize, Serialize};
 
 use lh_analysis::{ChannelResult, MessagePattern};
 use lh_defenses::{DefenseConfig, DefenseKind};
 use lh_dram::DramTiming;
+use lh_mitigate::{MitigationConfig, MitigationKind};
 
 use crate::experiment::covert::{run_covert, ChannelKind, CovertOptions};
 use crate::Scale;
 
-/// Capacity measurement of the PRAC-style attack under one defense.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+/// One arm of the §11.4 study: a deployed defense plus the
+/// countermeasure wrappers stacked over it (empty = the bare defense).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MitigationArm {
+    /// Report label (`"PRAC"`, `"PRAC+shaper"`, …).
+    pub label: String,
+    /// The underlying defense engine.
+    pub defense: DefenseConfig,
+    /// Wrapper stack deployed over it, innermost first.
+    pub mitigations: Vec<MitigationConfig>,
+}
+
+impl MitigationArm {
+    /// A bare-defense arm, labeled with the defense's paper name.
+    pub fn bare(defense: DefenseConfig) -> MitigationArm {
+        MitigationArm {
+            label: defense.kind.label().to_owned(),
+            defense,
+            mitigations: Vec::new(),
+        }
+    }
+
+    /// A wrapped arm: `defense` with a single wrapper provisioned for
+    /// its `N_RH`, labeled `"{defense}+{wrapper}"`.
+    pub fn wrapped(defense: DefenseConfig, kind: MitigationKind, nrh: u32) -> MitigationArm {
+        let t = DramTiming::ddr5_4800();
+        let cfg = MitigationConfig::for_threshold(kind, nrh, &t);
+        MitigationArm {
+            label: format!("{}+{}", defense.kind.label(), cfg.label()),
+            defense,
+            mitigations: vec![cfg],
+        }
+    }
+}
+
+/// Capacity measurement of the PRAC-style attack under one arm.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MitigationPoint {
-    /// Which configuration the attack ran against.
+    /// Which arm the attack ran against.
+    pub label: String,
+    /// The arm's underlying defense kind.
     pub defense: DefenseKind,
     /// Error probability.
     pub error_probability: f64,
@@ -29,19 +73,20 @@ pub struct MitigationPoint {
 /// The §11.4 capacity-reduction study.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MitigationStudy {
-    /// PRAC baseline, then each countermeasure.
+    /// PRAC baseline, then each countermeasure arm.
     pub points: Vec<MitigationPoint>,
 }
 
 /// Error probability and capacity of the PRAC-style attack against one
-/// defense configuration; exposed so the harness can evaluate the
-/// countermeasures in parallel (the baseline-relative reductions are
-/// computed from the per-defense capacities afterwards).
-pub fn attack_capacity(defense: DefenseConfig, bits_per_pattern: usize, seed: u64) -> (f64, f64) {
+/// arm; exposed so the harness can evaluate the countermeasures in
+/// parallel (the baseline-relative reductions are computed from the
+/// per-arm capacities afterwards).
+pub fn attack_capacity(arm: &MitigationArm, bits_per_pattern: usize, seed: u64) -> (f64, f64) {
     let mut results = Vec::new();
     for (i, pattern) in MessagePattern::paper_set().iter().enumerate() {
         let mut opts = CovertOptions::new(ChannelKind::Prac, pattern.bits(bits_per_pattern));
-        opts.sim.defense = defense.clone();
+        opts.sim.defense = arm.defense.clone();
+        opts.sim.mitigations = arm.mitigations.clone();
         opts.seed = seed ^ ((i as u64) << 3);
         results.push(run_covert(&opts).result);
     }
@@ -49,27 +94,38 @@ pub fn attack_capacity(defense: DefenseConfig, bits_per_pattern: usize, seed: u6
     (merged.error_probability(), merged.capacity_kbps())
 }
 
-/// The §11.4 defense configurations: PRAC (baseline), FR-RFM and
-/// PRAC-RIAC, in report order.
-pub fn mitigation_configs() -> [DefenseConfig; 3] {
+/// The §11.4 arms, in report order: the paper's three defense
+/// configurations (PRAC baseline, FR-RFM, PRAC-RIAC) bare, then the
+/// strongest wrapper arms over the PRAC baseline — the constant-rate
+/// shaper and the isolation quota, the two mitigations the `mitsweep`
+/// Pareto frontier keeps.
+pub fn mitigation_arms() -> Vec<MitigationArm> {
     let t = DramTiming::ddr5_4800();
-    [
-        DefenseConfig::prac(128),
-        DefenseConfig::fr_rfm(64, t.t_rc),
-        DefenseConfig::riac(128),
+    vec![
+        MitigationArm::bare(DefenseConfig::prac(128)),
+        MitigationArm::bare(DefenseConfig::fr_rfm(64, t.t_rc)),
+        MitigationArm::bare(DefenseConfig::riac(128)),
+        MitigationArm::wrapped(
+            DefenseConfig::prac(128),
+            MitigationKind::ConstantRateShaper,
+            128,
+        ),
+        MitigationArm::wrapped(
+            DefenseConfig::prac(128),
+            MitigationKind::IsolationQuota,
+            128,
+        ),
     ]
 }
 
-/// Runs the study: PRAC (baseline), FR-RFM and PRAC-RIAC.
+/// Runs the study over every arm of [`mitigation_arms`].
 pub fn run_mitigation_study(scale: Scale, seed: u64) -> MitigationStudy {
     let bits = scale.message_bits() / 4;
-    let configs = mitigation_configs();
     let mut points = Vec::new();
     let mut baseline = 0.0;
-    for cfg in configs {
-        let kind = cfg.kind;
-        let (e, cap) = attack_capacity(cfg, bits, seed);
-        if kind == DefenseKind::Prac {
+    for arm in mitigation_arms() {
+        let (e, cap) = attack_capacity(&arm, bits, seed);
+        if arm.label == "PRAC" {
             baseline = cap;
         }
         let reduction = if baseline > 0.0 {
@@ -78,7 +134,8 @@ pub fn run_mitigation_study(scale: Scale, seed: u64) -> MitigationStudy {
             0.0
         };
         points.push(MitigationPoint {
-            defense: kind,
+            label: arm.label,
+            defense: arm.defense.kind,
             error_probability: e,
             capacity_kbps: cap,
             reduction_pct: reduction,
@@ -88,11 +145,20 @@ pub fn run_mitigation_study(scale: Scale, seed: u64) -> MitigationStudy {
 }
 
 impl MitigationStudy {
-    /// The capacity reduction (percent) of one defense, if present.
+    /// The capacity reduction (percent) of the first arm with the given
+    /// underlying defense (the bare arms precede the wrapped ones).
     pub fn reduction_of(&self, kind: DefenseKind) -> Option<f64> {
         self.points
             .iter()
             .find(|p| p.defense == kind)
+            .map(|p| p.reduction_pct)
+    }
+
+    /// The capacity reduction (percent) of the arm with this label.
+    pub fn reduction_of_arm(&self, label: &str) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.label == label)
             .map(|p| p.reduction_pct)
     }
 }
@@ -104,11 +170,7 @@ mod tests {
     #[test]
     fn fr_rfm_eliminates_and_riac_degrades() {
         let study = run_mitigation_study(Scale::Quick, 13);
-        let prac = study
-            .points
-            .iter()
-            .find(|p| p.defense == DefenseKind::Prac)
-            .unwrap();
+        let prac = study.points.iter().find(|p| p.label == "PRAC").unwrap();
         assert!(
             prac.capacity_kbps > 20.0,
             "baseline capacity {}",
@@ -128,5 +190,45 @@ mod tests {
             riac < frrfm + 1.0,
             "RIAC reduces less than FR-RFM eliminates ({riac}% vs {frrfm}%)"
         );
+    }
+
+    #[test]
+    fn arms_share_the_sweep_mitigation_plumbing() {
+        let arms = mitigation_arms();
+        assert_eq!(arms[0].label, "PRAC");
+        assert!(arms[0].mitigations.is_empty(), "the baseline is bare");
+        let labels: Vec<&str> = arms.iter().map(|a| a.label.as_str()).collect();
+        assert!(labels.contains(&"PRAC+shaper"));
+        assert!(labels.contains(&"PRAC+quota"));
+        for arm in &arms[3..] {
+            assert_eq!(
+                arm.mitigations.len(),
+                1,
+                "{} is a single wrapper",
+                arm.label
+            );
+        }
+    }
+
+    #[test]
+    fn wrapper_arms_do_not_widen_the_channel() {
+        // The wrapped arms ride the same run_covert path; the shaper's
+        // constant RFM stream must cost the PRAC channel capacity, and
+        // no wrapper may make the channel *faster* than bare PRAC.
+        let study = run_mitigation_study(Scale::Quick, 13);
+        let baseline = study.points[0].capacity_kbps;
+        let shaper = study.reduction_of_arm("PRAC+shaper").unwrap();
+        assert!(
+            shaper > 20.0,
+            "the shaper must cost the PRAC channel real capacity, got {shaper}%"
+        );
+        for p in &study.points {
+            assert!(
+                p.capacity_kbps <= baseline + 1e-9,
+                "{} widened the channel ({} > {baseline} Kbps)",
+                p.label,
+                p.capacity_kbps
+            );
+        }
     }
 }

@@ -41,6 +41,7 @@ fn link_config(seed: u64) -> LinkConfig {
     let timing = DramTiming::ddr5_4800();
     LinkConfig {
         defense: DefenseConfig::prac(128),
+        mitigations: Vec::new(),
         tuning: LinkTuning::for_defense(DefenseKind::Prac, &timing, Span::from_ns(30)),
         sync: PreambleSync::barker7(4),
         noise_intensity: None,

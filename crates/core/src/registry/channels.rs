@@ -359,19 +359,18 @@ impl Job for MitigationJob {
     }
 
     fn units(&self, _ctx: &JobContext) -> Vec<String> {
-        countermeasures::mitigation_configs()
+        countermeasures::mitigation_arms()
             .iter()
-            .map(|cfg| format!("defense:{}", cfg.kind.label()))
+            .map(|arm| format!("arm:{}", arm.label))
             .collect()
     }
 
     fn run_unit(&self, unit: usize, seed: u64, _deps: &[Json], ctx: &JobContext) -> Json {
-        let cfg = countermeasures::mitigation_configs()[unit].clone();
+        let arm = countermeasures::mitigation_arms().swap_remove(unit);
         let bits = scale_of(ctx).message_bits() / 4;
-        let label = cfg.kind.label();
-        let (e, cap) = countermeasures::attack_capacity(cfg, bits, seed);
+        let (e, cap) = countermeasures::attack_capacity(&arm, bits, seed);
         Json::object()
-            .with("defense", label)
+            .with("defense", arm.label)
             .with("error_probability", e)
             .with("capacity_kbps", cap)
     }

@@ -100,7 +100,9 @@ impl ChannelSweepJob {
 }
 
 /// Serializes a calibration into the baseline unit's JSON result.
-fn calibration_json(cal: &Calibration) -> Json {
+/// (Shared with the `mitsweep` adapter, which reuses the same
+/// baseline → cell calibration hand-off.)
+pub(crate) fn calibration_json(cal: &Calibration) -> Json {
     Json::object()
         .with("trecv", u64::from(cal.trecv))
         .with(
@@ -113,7 +115,7 @@ fn calibration_json(cal: &Calibration) -> Json {
 }
 
 /// Reconstructs the calibration a baseline unit shipped.
-fn calibration_of(base: &Json) -> Calibration {
+pub(crate) fn calibration_of(base: &Json) -> Calibration {
     Calibration {
         trecv: base["trecv"].as_u64().expect("baseline trecv") as u32,
         bins: base["bins"]

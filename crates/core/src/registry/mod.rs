@@ -17,6 +17,7 @@
 mod channels;
 mod fingerprint;
 mod link;
+mod mitigate;
 mod perf;
 mod sweeps;
 
@@ -45,10 +46,13 @@ pub(crate) fn code_fingerprint(crates: &[&str]) -> String {
 }
 
 /// The crates every simulation-backed experiment's results flow
-/// through — all of CODE_MANIFEST except `lh-ml`. The vendored `rand`
-/// stand-in is part of the stack: its RNG drives every sampled value.
-/// `lh-obs` is too: the deterministic metrics it collects ride every
-/// cached unit entry, so an edit there must invalidate them.
+/// through — all of CODE_MANIFEST except `lh-ml` and `lh-link`. The
+/// vendored `rand` stand-in is part of the stack: its RNG drives every
+/// sampled value. `lh-obs` is too: the deterministic metrics it
+/// collects ride every cached unit entry, so an edit there must
+/// invalidate them. And `lh-mitigate` is: controller construction
+/// routes every defense engine through its `apply_mitigations` (an
+/// empty stack today, but an edit there still sits on the path).
 /// (A test below asserts these lists cover the whole manifest, so a
 /// crate added to `build.rs` cannot silently miss the cache keys.)
 const SIM_CRATES: &[&str] = &[
@@ -59,6 +63,7 @@ const SIM_CRATES: &[&str] = &[
     "lh-dram",
     "lh-harness",
     "lh-memctrl",
+    "lh-mitigate",
     "lh-obs",
     "lh-sim",
     "lh-workloads",
@@ -123,6 +128,7 @@ pub fn registry() -> Registry {
     r.register(Box::new(channels::RowPolicyJob));
     r.register(Box::new(channels::TaxonomyJob));
     r.register(Box::new(link::ChannelSweepJob));
+    r.register(Box::new(mitigate::MitigationSweepJob));
     r
 }
 
@@ -143,8 +149,16 @@ mod tests {
     #[test]
     fn catalog_matches_the_paper() {
         let r = registry();
-        assert_eq!(r.len(), 21);
-        for id in ["fig2", "fig13", "table2", "table3", "taxonomy", "chansweep"] {
+        assert_eq!(r.len(), 22);
+        for id in [
+            "fig2",
+            "fig13",
+            "table2",
+            "table3",
+            "taxonomy",
+            "chansweep",
+            "mitsweep",
+        ] {
             assert!(r.get(id).is_some(), "missing {id}");
         }
         // Registration ids are unique and descriptions non-empty.
@@ -235,7 +249,7 @@ mod tests {
             .collect();
         assert_eq!(
             link_jobs,
-            vec!["multibit", "chansweep"],
+            vec!["multibit", "chansweep", "mitsweep"],
             "exactly the link-layer channel jobs use link_fingerprint"
         );
         for job in registry().jobs() {

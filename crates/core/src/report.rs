@@ -304,7 +304,7 @@ pub fn mitigation_report(study: &MitigationStudy) -> String {
         .iter()
         .map(|p| {
             vec![
-                p.defense.label().to_owned(),
+                p.label.clone(),
                 format!("{:.3}", p.error_probability),
                 format!("{:.1}", p.capacity_kbps),
                 format!("{:.0}%", p.reduction_pct),

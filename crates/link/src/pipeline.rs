@@ -15,6 +15,7 @@ use lh_attacks::{
 };
 use lh_defenses::{DefenseConfig, DefenseKind, DefenseStats};
 use lh_dram::{DramTiming, Span, Time};
+use lh_mitigate::MitigationConfig;
 use lh_sim::{SimConfig, SystemBuilder};
 
 use crate::codec::Codec;
@@ -108,6 +109,11 @@ impl LinkTuning {
 pub struct LinkConfig {
     /// The defense under attack.
     pub defense: DefenseConfig,
+    /// Countermeasure wrappers deployed over the defense (innermost
+    /// first; empty for the bare defense). The attacker calibrates and
+    /// transmits against the *mitigated* system — an adaptive-adversary
+    /// model.
+    pub mitigations: Vec<MitigationConfig>,
     /// Per-defense attack parameters.
     pub tuning: LinkTuning,
     /// Synchronizer (preamble + search space).
@@ -129,6 +135,7 @@ impl LinkConfig {
         let timing = DramTiming::ddr5_4800();
         LinkConfig {
             defense: DefenseConfig::for_threshold(kind, nrh, &timing),
+            mitigations: Vec::new(),
             tuning: LinkTuning::for_defense(kind, &timing, Span::from_ns(30)),
             sync: PreambleSync::barker7(4),
             noise_intensity: None,
@@ -199,7 +206,9 @@ pub fn transmit_windows(
     rx_windows: usize,
 ) -> WireOutcome {
     let window = cfg.tuning.window;
-    let mut sys = SystemBuilder::from_config(SimConfig::paper_default(cfg.defense.clone()))
+    let mut sim = SimConfig::paper_default(cfg.defense.clone());
+    sim.mitigations = cfg.mitigations.clone();
+    let mut sys = SystemBuilder::from_config(sim)
         .seed(cfg.seed)
         .build()
         .expect("valid link system configuration");

@@ -42,6 +42,7 @@ use lh_defenses::{build_defense, Defense, DefenseAction, DefenseConfig, DefenseS
 use lh_dram::{
     Alert, AlertScope, BankId, Command, DeviceConfig, DramDevice, DramError, RfmScope, Span, Time,
 };
+use lh_mitigate::MitigationConfig;
 
 use crate::request::{AccessKind, Completion, MemRequest};
 
@@ -259,8 +260,26 @@ impl MemoryController {
     /// Propagates device construction errors (invalid timing/geometry).
     pub fn new(
         cfg: CtrlConfig,
+        device_cfg: DeviceConfig,
+        defense: DefenseConfig,
+        seed: u64,
+    ) -> Result<MemoryController, DramError> {
+        MemoryController::with_mitigations(cfg, device_cfg, defense, &[], seed)
+    }
+
+    /// Builds a controller whose defense engine is wrapped in the given
+    /// mitigation stack (innermost layer first). An empty stack is
+    /// exactly [`MemoryController::new`]: the engine is the bare
+    /// defense, bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device construction errors (invalid timing/geometry).
+    pub fn with_mitigations(
+        cfg: CtrlConfig,
         mut device_cfg: DeviceConfig,
         defense: DefenseConfig,
+        mitigations: &[MitigationConfig],
         seed: u64,
     ) -> Result<MemoryController, DramError> {
         device_cfg.prac = defense.device_prac();
@@ -269,7 +288,12 @@ impl MemoryController {
         let g = *device.geometry();
         let t = *device.timing();
         let ranks = g.ranks_per_channel() as usize;
-        let engine = build_defense(&defense, &g, seed ^ 0x5eed);
+        let engine = lh_mitigate::apply_mitigations(
+            mitigations,
+            &g,
+            seed ^ 0x317_16a7e,
+            build_defense(&defense, &g, seed ^ 0x5eed),
+        );
         let maint_period = engine.maintenance_period();
         Ok(MemoryController {
             cfg,

@@ -13,6 +13,7 @@ use lh_dram::{DeviceConfig, DramError, Span, Time};
 use lh_memctrl::{
     AccessKind, AddressMapping, CtrlConfig, MappingScheme, MemRequest, MemoryController,
 };
+use lh_mitigate::MitigationConfig;
 
 use crate::cache::{CacheConfig, CacheHierarchy, CacheStats};
 use crate::prefetch::{BestOffsetPrefetcher, BopConfig};
@@ -87,6 +88,9 @@ pub struct SimConfig {
     pub ctrl: CtrlConfig,
     /// RowHammer defense.
     pub defense: DefenseConfig,
+    /// Countermeasure wrappers applied over the defense, innermost
+    /// first (empty: the bare defense, bit for bit).
+    pub mitigations: Vec<MitigationConfig>,
     /// Physical-address mapping scheme.
     pub mapping: MappingScheme,
     /// Per-core cache hierarchy.
@@ -104,6 +108,7 @@ impl SimConfig {
             device: DeviceConfig::paper_default(),
             ctrl: CtrlConfig::paper_default(),
             defense,
+            mitigations: Vec::new(),
             mapping: MappingScheme::RowBankCol,
             caches: CacheConfig::paper_default(),
             prefetch: None,
@@ -158,6 +163,13 @@ impl SystemBuilder {
     /// Replaces the defense.
     pub fn defense(mut self, defense: DefenseConfig) -> SystemBuilder {
         self.config.defense = defense;
+        self
+    }
+
+    /// Replaces the mitigation stack wrapped over the defense
+    /// (innermost layer first; empty for the bare defense).
+    pub fn mitigations(mut self, mitigations: Vec<MitigationConfig>) -> SystemBuilder {
+        self.config.mitigations = mitigations;
         self
     }
 
@@ -336,10 +348,11 @@ impl System {
     /// Propagates device/controller construction errors.
     pub fn new(config: SimConfig) -> Result<System, DramError> {
         let mapping = AddressMapping::new(config.mapping, config.device.geometry);
-        let mc = MemoryController::new(
+        let mc = MemoryController::with_mitigations(
             config.ctrl,
             config.device.clone(),
             config.defense.clone(),
+            &config.mitigations,
             config.seed,
         )?;
         let mut sys = System {

@@ -1,8 +1,9 @@
-//! The three LeakyHammer countermeasures (§11).
+//! The LeakyHammer countermeasures (§11).
 //!
 //! Runs the PRAC-style covert attack against plain PRAC, FR-RFM and
-//! PRAC-RIAC, prints the §11.4 capacity-reduction table, and shows the
-//! §12 qualitative taxonomy of defense classes.
+//! PRAC-RIAC, plus PRAC wrapped in the lh-mitigate shaper and quota
+//! countermeasures, prints the §11.4 capacity-reduction table, and
+//! shows the §12 qualitative taxonomy of defense classes.
 //!
 //! Run with: `cargo run --release --example countermeasures`
 
@@ -18,7 +19,8 @@ fn main() {
     println!(
         "\nFR-RFM decouples preventive actions from access patterns (fixed-rate\n\
          RFMs) and eliminates the channel; RIAC randomizes counter phases and\n\
-         only degrades it.\n"
+         only degrades it. The +shaper/+quota arms are lh-mitigate wrappers\n\
+         over plain PRAC -- the same stack the mitsweep Pareto matrix sweeps.\n"
     );
     println!("defense taxonomy (sec. 12):");
     print!("{}", report::taxonomy_report());
