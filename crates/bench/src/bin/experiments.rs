@@ -477,10 +477,7 @@ fn main() {
             observer,
         }))
     };
-    let ctx = JobContext {
-        scale: args.scale,
-        seed: args.seed,
-    };
+    let ctx = JobContext::new(args.scale, args.seed);
 
     for id in ids {
         let job = registry.get(id).expect("id comes from the registry");

@@ -7,7 +7,13 @@
 //! reports mean / min / max wall-clock time per iteration. There is no
 //! statistical analysis or HTML report — just enough to catch gross
 //! timing regressions and keep `cargo bench` compiling.
+//!
+//! When `CRITERION_SUMMARY_FILE` is set, every finished bench also
+//! appends one JSON line — `{"group","id","mean_ns","min_ns","max_ns",
+//! "samples"}` — to that file, so CI can persist wall-clock summaries
+//! as an artifact and print advisory trend diffs between runs.
 
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 /// Prevents the optimizer from discarding a benchmarked value.
@@ -27,6 +33,7 @@ impl Criterion {
         println!("\n== {name} ==");
         BenchmarkGroup {
             _criterion: self,
+            name: name.to_owned(),
             sample_size: 10,
             measurement_time: Duration::from_secs(3),
         }
@@ -37,6 +44,7 @@ impl Criterion {
 #[derive(Debug)]
 pub struct BenchmarkGroup<'a> {
     _criterion: &'a mut Criterion,
+    name: String,
     sample_size: usize,
     measurement_time: Duration,
 }
@@ -88,7 +96,37 @@ impl BenchmarkGroup<'_> {
         println!(
             "{id:<40} mean {mean:>12.3?}   min {min:>12.3?}   max {max:>12.3?}   ({n} samples)"
         );
+        self.append_summary(id, mean, min, max, n);
         self
+    }
+
+    /// Appends the bench's JSON summary line to the file named by
+    /// `CRITERION_SUMMARY_FILE`, if set. Write errors are reported to
+    /// stderr but never fail the bench: summaries are advisory.
+    fn append_summary(&self, id: &str, mean: Duration, min: Duration, max: Duration, n: usize) {
+        let Ok(path) = std::env::var("CRITERION_SUMMARY_FILE") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        let line = format!(
+            "{{\"group\":\"{}\",\"id\":\"{}\",\"mean_ns\":{},\"min_ns\":{},\"max_ns\":{},\"samples\":{}}}\n",
+            self.name.escape_default(),
+            id.escape_default(),
+            mean.as_nanos(),
+            min.as_nanos(),
+            max.as_nanos(),
+            n
+        );
+        let written = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| f.write_all(line.as_bytes()));
+        if let Err(e) = written {
+            eprintln!("criterion summary: cannot write {path}: {e}");
+        }
     }
 
     /// Ends the group (printing is already done incrementally).

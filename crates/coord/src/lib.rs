@@ -70,7 +70,7 @@
 //!     Box::new(ThreadSpawner::new(registry)),
 //!     CoordinatorOptions { workers: 2, ..CoordinatorOptions::default() },
 //! );
-//! let ctx = JobContext { scale: ScaleLevel::Quick, seed: 1 };
+//! let ctx = JobContext::new(ScaleLevel::Quick, 1);
 //! let run = coordinator.run(registry().get("squares").unwrap(), &ctx).unwrap();
 //! assert_eq!(run.merged["points"].as_array().len(), 4);
 //! ```

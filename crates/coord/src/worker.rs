@@ -53,6 +53,9 @@ pub fn worker_loop(
     options: WorkerOptions,
 ) -> std::io::Result<()> {
     link.tx.send(&FromWorker::ready().to_json())?;
+    // Build-once intermediates (decoded traces) shared across every
+    // assignment this worker process executes.
+    let memo = lh_harness::Memo::new();
     let mut assigns = 0usize;
     while let Some(msg) = link.rx.recv()? {
         let msg = ToWorker::from_json(&msg)
@@ -73,7 +76,16 @@ pub fn worker_loop(
             return Ok(());
         }
 
-        let reply = match run_assignment(registry, &experiment, unit, &scale, seed, &deps, &cache) {
+        let reply = match run_assignment(
+            registry,
+            &experiment,
+            unit,
+            &scale,
+            seed,
+            &deps,
+            &cache,
+            &memo,
+        ) {
             Ok((result, metrics, wall_ms)) => FromWorker::Done {
                 experiment,
                 unit,
@@ -94,6 +106,7 @@ pub fn worker_loop(
 
 /// Executes one assignment, returning the result, its deterministic
 /// metrics, and its wall time.
+#[allow(clippy::too_many_arguments)]
 fn run_assignment(
     registry: &Registry,
     experiment: &str,
@@ -102,6 +115,7 @@ fn run_assignment(
     seed: u64,
     deps: &[lh_harness::Json],
     cache: &Option<DiskCache>,
+    memo: &lh_harness::Memo,
 ) -> Result<(lh_harness::Json, lh_harness::Json, u64), String> {
     let job = registry
         .get(experiment)
@@ -109,6 +123,7 @@ fn run_assignment(
     let ctx = JobContext {
         scale: scale.parse()?,
         seed,
+        memo: memo.clone(),
     };
     let units = job.units(&ctx);
     let label = units

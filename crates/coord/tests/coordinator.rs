@@ -84,10 +84,7 @@ fn registry() -> Registry {
 }
 
 fn ctx() -> JobContext {
-    JobContext {
-        scale: ScaleLevel::Quick,
-        seed: 23,
-    }
+    JobContext::new(ScaleLevel::Quick, 23)
 }
 
 fn temp_cache(tag: &str) -> DiskCache {

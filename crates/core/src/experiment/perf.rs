@@ -2,14 +2,16 @@
 //! PRAC-RIAC, FR-RFM and PRAC-Bank over RowHammer thresholds
 //! 1024 → 64, normalized to a system with no mitigation.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use lh_analysis::{mean, normalized_ws, weighted_speedup, AppPerf};
 use lh_defenses::{DefenseConfig, DefenseKind};
 use lh_dram::{Span, Time};
 use lh_memctrl::AddressMapping;
-use lh_sim::SystemBuilder;
-use lh_workloads::{four_core_mixes, AppProfile, SyntheticApp};
+use lh_sim::{LaneBatch, ProcId, SimConfig, SystemBuilder};
+use lh_workloads::{four_core_mixes, SharedTrace, TraceReplay};
 
 use crate::Scale;
 
@@ -47,57 +49,97 @@ impl PerfStudy {
     }
 }
 
-/// Runs one four-core mix under `defense` for `span`; returns per-app
-/// performance.
-fn run_mix(mix: &[AppProfile; 4], defense: DefenseConfig, span: Span, seed: u64) -> Vec<AppPerf> {
-    // Performance runs do not need disturb ground truth; skipping it
-    // speeds the sweep up considerably.
-    let mut sys = SystemBuilder::new(defense)
+/// Decodes the shared access trace of one four-core mix: profile `i`
+/// replays on the stream seeded `sim_seed ^ (i * 31)` — the exact
+/// per-app seed derivation every simulation of this mix uses, so one
+/// decode serves the alone runs, the no-defense mix and every
+/// `(defense, nrh)` cell.
+///
+/// `counted` selects [`SharedTrace::decode`] (one `sim.trace.decodes`
+/// tick, for the path that owns the trace) versus
+/// [`SharedTrace::decode_uncounted`] (for memo-fallback re-decodes
+/// whose per-unit counter attribution must not depend on which process
+/// got the memo hit — the pinned envelope snapshots carry no decode
+/// counter, and must stay byte-identical across execution modes).
+pub fn decode_mix_trace(
+    mix_index: usize,
+    mixes_seed: u64,
+    sim_seed: u64,
+    scale: Scale,
+    counted: bool,
+) -> Arc<SharedTrace> {
+    let mixes = four_core_mixes(scale.mixes(), mixes_seed);
+    let profiles = mixes[mix_index].to_vec();
+    let cfg = SimConfig::paper_default(DefenseConfig::none());
+    let mapping = AddressMapping::new(cfg.mapping, cfg.device.geometry);
+    let seeds: Vec<u64> = (0..profiles.len())
+        .map(|i| sim_seed ^ (i as u64 * 31))
+        .collect();
+    if counted {
+        SharedTrace::decode(profiles, mapping, &seeds)
+    } else {
+        SharedTrace::decode_uncounted(profiles, mapping, &seeds)
+    }
+}
+
+/// A lane builder for one performance simulation. Performance runs do
+/// not need disturb ground truth; skipping it speeds the sweep up
+/// considerably.
+fn perf_lane(defense: DefenseConfig, seed: u64) -> SystemBuilder {
+    SystemBuilder::new(defense)
         .seed(seed)
         .disturb_tracking(false)
-        .build()
-        .expect("valid configuration");
-    let mapping: AddressMapping = *sys.mapping();
-    let end = Time::ZERO + span;
-    let mut pids = Vec::new();
-    for (i, profile) in mix.iter().enumerate() {
-        let app = SyntheticApp::new(profile.clone(), mapping, seed ^ (i as u64 * 31), end);
-        let mlp = app.mlp();
-        pids.push(sys.add_process(Box::new(app), mlp, Time::ZERO));
-    }
-    sys.run_until(end + Span::from_us(5));
-    pids.iter()
-        .map(|&pid| {
-            let app = sys.process_as::<SyntheticApp>(pid).expect("app present");
-            AppPerf {
-                instructions: app.instructions(),
-                seconds: span.as_secs(),
-            }
+}
+
+/// Adds replays of `cores` (trace core indices) to lane `lane`, each
+/// halting at `end`; returns their pids.
+fn add_replays(
+    batch: &mut LaneBatch,
+    lane: usize,
+    trace: &Arc<SharedTrace>,
+    cores: &[usize],
+    end: Time,
+) -> Vec<ProcId> {
+    cores
+        .iter()
+        .map(|&core| {
+            let replay = TraceReplay::new(Arc::clone(trace), core, end);
+            let mlp = replay.mlp();
+            batch
+                .lane_mut(lane)
+                .add_process(Box::new(replay), mlp, Time::ZERO)
         })
         .collect()
 }
 
-/// Runs each app of a mix alone (no defense) for the alone-IPC baseline.
-fn run_alone(mix: &[AppProfile; 4], span: Span, seed: u64) -> Vec<AppPerf> {
-    mix.iter()
+/// Runs the batch, re-emits each lane's captured counters into the
+/// ambient obs scope (so a unit's counters are identical to having run
+/// its lanes solo), and collects per-lane per-app performance.
+fn run_and_collect(
+    batch: &mut LaneBatch,
+    lane_pids: &[Vec<ProcId>],
+    span: Span,
+) -> Vec<Vec<AppPerf>> {
+    batch.run();
+    for i in 0..batch.len() {
+        lh_obs::emit(batch.metrics(i));
+    }
+    lane_pids
+        .iter()
         .enumerate()
-        .map(|(i, profile)| {
-            let mut sys = SystemBuilder::new(DefenseConfig::none())
-                .seed(seed)
-                .disturb_tracking(false)
-                .build()
-                .expect("valid configuration");
-            let mapping: AddressMapping = *sys.mapping();
-            let end = Time::ZERO + span;
-            let app = SyntheticApp::new(profile.clone(), mapping, seed ^ (i as u64 * 31), end);
-            let mlp = app.mlp();
-            let pid = sys.add_process(Box::new(app), mlp, Time::ZERO);
-            sys.run_until(end + Span::from_us(5));
-            let app = sys.process_as::<SyntheticApp>(pid).expect("app present");
-            AppPerf {
-                instructions: app.instructions(),
-                seconds: span.as_secs(),
-            }
+        .map(|(lane, pids)| {
+            pids.iter()
+                .map(|&pid| {
+                    let replay = batch
+                        .lane(lane)
+                        .process_as::<TraceReplay>(pid)
+                        .expect("replay present");
+                    AppPerf {
+                        instructions: replay.instructions(),
+                        seconds: span.as_secs(),
+                    }
+                })
+                .collect()
         })
         .collect()
 }
@@ -113,31 +155,94 @@ pub struct MixBaseline {
     pub base_ws: f64,
 }
 
-/// Runs one mix's baseline simulations: each app alone, plus the mix
-/// under no defense.
+/// Runs one mix's baseline simulations on a shared decoded `trace`:
+/// each app alone (no defense, no co-runners) plus the mix under no
+/// defense — five lanes of one [`LaneBatch`], advanced in a single pass.
+pub fn run_perf_baseline_on(trace: &Arc<SharedTrace>, sim_seed: u64, scale: Scale) -> MixBaseline {
+    let span = Span::from_us(scale.perf_span_us());
+    let end = Time::ZERO + span;
+    let horizon = end + Span::from_us(5);
+    let mut batch = LaneBatch::new();
+    let mut lane_pids = Vec::new();
+    for core in 0..trace.cores() {
+        let lane = batch
+            .push_lane(perf_lane(DefenseConfig::none(), sim_seed), horizon)
+            .expect("valid configuration");
+        lane_pids.push(add_replays(&mut batch, lane, trace, &[core], end));
+    }
+    let all: Vec<usize> = (0..trace.cores()).collect();
+    let lane = batch
+        .push_lane(perf_lane(DefenseConfig::none(), sim_seed), horizon)
+        .expect("valid configuration");
+    lane_pids.push(add_replays(&mut batch, lane, trace, &all, end));
+    let mut perf = run_and_collect(&mut batch, &lane_pids, span);
+    let shared = perf.pop().expect("mix lane present");
+    let alone: Vec<AppPerf> = perf.into_iter().map(|solo| solo[0]).collect();
+    let base_ws = weighted_speedup(&shared, &alone);
+    MixBaseline { alone, base_ws }
+}
+
+/// Runs a batch of `(defense, nrh)` cells of one mix on a shared
+/// decoded `trace` — one lane per cell, one pass — against a
+/// precomputed [`MixBaseline`]. `sim_seed` must equal the baseline's:
+/// the alone and defended runs of a mix share one simulation seed.
+pub fn run_perf_cells_on(
+    trace: &Arc<SharedTrace>,
+    sim_seed: u64,
+    cells: &[(DefenseKind, u32)],
+    baseline: &MixBaseline,
+    scale: Scale,
+) -> Vec<PerfPoint> {
+    let span = Span::from_us(scale.perf_span_us());
+    let end = Time::ZERO + span;
+    let horizon = end + Span::from_us(5);
+    let timing = lh_dram::DramTiming::ddr5_4800();
+    let all: Vec<usize> = (0..trace.cores()).collect();
+    let mut batch = LaneBatch::new();
+    let mut lane_pids = Vec::new();
+    for &(defense, nrh) in cells {
+        let cfg = DefenseConfig::for_threshold(defense, nrh, &timing);
+        let lane = batch
+            .push_lane(perf_lane(cfg, sim_seed), horizon)
+            .expect("valid configuration");
+        lane_pids.push(add_replays(&mut batch, lane, trace, &all, end));
+    }
+    let perf = run_and_collect(&mut batch, &lane_pids, span);
+    cells
+        .iter()
+        .zip(perf)
+        .map(|(&(defense, nrh), shared)| {
+            let ws = weighted_speedup(&shared, &baseline.alone);
+            PerfPoint {
+                defense,
+                nrh,
+                normalized_ws: normalized_ws(ws, baseline.base_ws),
+            }
+        })
+        .collect()
+}
+
+/// Runs one mix's baseline simulations, decoding the trace itself.
 ///
 /// The mix list is derived from `mixes_seed` (the study's master seed,
 /// identical across shards) while the simulations run on `sim_seed`, so
 /// the harness can give every mix an independently derived seed and
-/// shard the study across cores bit-identically.
+/// shard the study across cores bit-identically. Callers that hold a
+/// memoized trace use [`run_perf_baseline_on`] directly.
 pub fn run_perf_baseline(
     mix_index: usize,
     mixes_seed: u64,
     sim_seed: u64,
     scale: Scale,
 ) -> MixBaseline {
-    let span = Span::from_us(scale.perf_span_us());
-    let mixes = four_core_mixes(scale.mixes(), mixes_seed);
-    let mix = &mixes[mix_index];
-    let alone = run_alone(mix, span, sim_seed);
-    let shared = run_mix(mix, DefenseConfig::none(), span, sim_seed);
-    let base_ws = weighted_speedup(&shared, &alone);
-    MixBaseline { alone, base_ws }
+    let trace = decode_mix_trace(mix_index, mixes_seed, sim_seed, scale, true);
+    run_perf_baseline_on(&trace, sim_seed, scale)
 }
 
 /// Runs one `(mix, defense, nrh)` cell against a precomputed
-/// [`MixBaseline`]. `sim_seed` must equal the baseline's — the alone
-/// and defended runs of a mix share one simulation seed.
+/// [`MixBaseline`], decoding the trace itself. `sim_seed` must equal
+/// the baseline's. Callers that hold a memoized trace use
+/// [`run_perf_cells_on`] directly.
 pub fn run_perf_cell(
     mix_index: usize,
     mixes_seed: u64,
@@ -147,25 +252,17 @@ pub fn run_perf_cell(
     baseline: &MixBaseline,
     scale: Scale,
 ) -> PerfPoint {
-    let span = Span::from_us(scale.perf_span_us());
-    let mixes = four_core_mixes(scale.mixes(), mixes_seed);
-    let mix = &mixes[mix_index];
-    let timing = lh_dram::DramTiming::ddr5_4800();
-    let cfg = DefenseConfig::for_threshold(defense, nrh, &timing);
-    let shared = run_mix(mix, cfg, span, sim_seed);
-    let ws = weighted_speedup(&shared, &baseline.alone);
-    PerfPoint {
-        defense,
-        nrh,
-        normalized_ws: normalized_ws(ws, baseline.base_ws),
-    }
+    let trace = decode_mix_trace(mix_index, mixes_seed, sim_seed, scale, false);
+    run_perf_cells_on(&trace, sim_seed, &[(defense, nrh)], baseline, scale)
+        .pop()
+        .expect("one cell in, one point out")
 }
 
 /// One mix's contribution to Fig. 13: normalized weighted speedup per
 /// `(defense, nrh)` cell, in `defenses` × `nrh_values` order — the
-/// baseline plus every cell, composed from [`run_perf_baseline`] and
-/// [`run_perf_cell`] so a sharded (per-cell) run can never drift from
-/// the serial study.
+/// baseline plus every cell, composed from [`run_perf_baseline_on`] and
+/// [`run_perf_cells_on`] over one decoded trace, so a sharded
+/// (per-cell) run can never drift from the serial study.
 pub fn run_perf_mix(
     mix_index: usize,
     mixes_seed: u64,
@@ -174,16 +271,13 @@ pub fn run_perf_mix(
     nrh_values: &[u32],
     scale: Scale,
 ) -> Vec<PerfPoint> {
-    let baseline = run_perf_baseline(mix_index, mixes_seed, sim_seed, scale);
-    let mut points = Vec::new();
-    for &defense in defenses {
-        for &nrh in nrh_values {
-            points.push(run_perf_cell(
-                mix_index, mixes_seed, sim_seed, defense, nrh, &baseline, scale,
-            ));
-        }
-    }
-    points
+    let trace = decode_mix_trace(mix_index, mixes_seed, sim_seed, scale, true);
+    let baseline = run_perf_baseline_on(&trace, sim_seed, scale);
+    let cells: Vec<(DefenseKind, u32)> = defenses
+        .iter()
+        .flat_map(|&d| nrh_values.iter().map(move |&n| (d, n)))
+        .collect();
+    run_perf_cells_on(&trace, sim_seed, &cells, &baseline, scale)
 }
 
 /// Averages per-mix cell values (from [`run_perf_mix`], all with the

@@ -378,10 +378,7 @@ mod tests {
     use lh_harness::ScaleLevel;
 
     fn ctx() -> JobContext {
-        JobContext {
-            scale: ScaleLevel::Quick,
-            seed: 1,
-        }
+        JobContext::new(ScaleLevel::Quick, 1)
     }
 
     #[test]

@@ -173,10 +173,7 @@ mod tests {
 
     #[test]
     fn every_job_enumerates_units_at_quick_scale() {
-        let ctx = JobContext {
-            scale: ScaleLevel::Quick,
-            seed: 1,
-        };
+        let ctx = JobContext::new(ScaleLevel::Quick, 1);
         for job in registry().jobs() {
             let units = job.units(&ctx);
             assert!(!units.is_empty(), "{} has no units", job.id());
@@ -194,10 +191,7 @@ mod tests {
 
     #[test]
     fn every_job_has_a_fingerprint_and_a_valid_dag() {
-        let ctx = JobContext {
-            scale: ScaleLevel::Quick,
-            seed: 1,
-        };
+        let ctx = JobContext::new(ScaleLevel::Quick, 1);
         for job in registry().jobs() {
             assert!(
                 !job.fingerprint().is_empty(),

@@ -11,11 +11,17 @@
 
 use lh_harness::{Job, JobContext, Json};
 
+use std::sync::Arc;
+
 use crate::experiment::perf::{
-    merge_perf_mixes, run_perf_baseline, run_perf_cell, MixBaseline, PerfPoint, NRH_SWEEP,
+    decode_mix_trace, merge_perf_mixes, run_perf_baseline_on, run_perf_cells_on, MixBaseline,
+    PerfPoint, NRH_SWEEP,
 };
+use crate::Scale;
+
 use crate::registry::{num, scale_of, sim_fingerprint, text};
 use crate::report;
+use lh_workloads::SharedTrace;
 
 use lh_analysis::AppPerf;
 use lh_defenses::DefenseKind;
@@ -27,6 +33,22 @@ pub(crate) struct PerfJob;
 /// Cells per mix: the full `figure13_set() × NRH_SWEEP` grid.
 fn cells_per_mix() -> usize {
     DefenseKind::figure13_set().len() * NRH_SWEEP.len()
+}
+
+/// The memoized decoded trace of one mix — built at most once per
+/// process, shared by the mix's baseline unit and every cell unit that
+/// lands in the same process. Always the *uncounted* decode: whether a
+/// unit got a memo hit or rebuilt depends on scheduling, and per-unit
+/// counters (pinned in the envelope snapshots) must not.
+fn mix_trace(ctx: &JobContext, mix: usize, sim_seed: u64, scale: Scale) -> Arc<SharedTrace> {
+    let key = format!(
+        "fig13:trace:{}:{}:{mix}:{sim_seed}",
+        scale.mixes(),
+        ctx.seed
+    );
+    ctx.memo.get_or_build(&key, || {
+        decode_mix_trace(mix, ctx.seed, sim_seed, scale, false)
+    })
 }
 
 impl PerfJob {
@@ -77,7 +99,8 @@ impl Job for PerfJob {
         let scale = scale_of(ctx);
         match Self::decode(unit, scale.mixes()) {
             Ok(mix) => {
-                let b = run_perf_baseline(mix, ctx.seed, seed, scale);
+                let trace = mix_trace(ctx, mix, seed, scale);
+                let b = run_perf_baseline_on(&trace, seed, scale);
                 // `sim_seed` rides along so cell units reuse the exact
                 // simulation seed of their mix's baseline (alone and
                 // defended runs of a mix share one seed); `seconds` is
@@ -109,15 +132,16 @@ impl Job for PerfJob {
                 let sim_seed = base["sim_seed"].as_u64().expect("baseline sim seed");
                 let defense = DefenseKind::figure13_set()[d];
                 let _ = seed; // cells inherit the baseline's sim seed
-                let p = run_perf_cell(
-                    mix,
-                    ctx.seed,
+                let trace = mix_trace(ctx, mix, sim_seed, scale);
+                let p = run_perf_cells_on(
+                    &trace,
                     sim_seed,
-                    defense,
-                    NRH_SWEEP[n],
+                    &[(defense, NRH_SWEEP[n])],
                     &baseline,
                     scale,
-                );
+                )
+                .pop()
+                .expect("one cell in, one point out");
                 Json::object()
                     .with("mix", mix)
                     .with("defense", p.defense.label())

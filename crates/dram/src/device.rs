@@ -234,6 +234,37 @@ impl DramDevice {
         }
     }
 
+    /// The rank-local component of a column command's earliest-issue
+    /// instant on `bank`: everything [`DramDevice::earliest_legal`]
+    /// folds for a legal-state `RD`/`WR` except the channel-global
+    /// terms (`cmd_free`, column-to-column spacing, data-bus occupancy)
+    /// exposed by [`DramDevice::bus_state`]. Only commands issued on
+    /// `bank`'s own rank move this value, so a batched scheduler can
+    /// memoize it per (bank, direction) across issues on other ranks
+    /// *and* across column issues, re-folding the global terms itself.
+    ///
+    /// Meaningful only while `bank` holds an open row (the legal state
+    /// for a column command); callers must re-fold `max(cmd_free,
+    /// last_col + tCCD, data-bus floor, now)` to recover the exact
+    /// [`DramDevice::earliest_legal`] value.
+    pub fn earliest_column_rank_part(&self, bank: BankId, is_read: bool) -> Time {
+        let b = &self.banks[self.flat(bank)];
+        (if is_read {
+            b.earliest_rd()
+        } else {
+            b.earliest_wr()
+        })
+        .max(self.ranks[bank.rank as usize].earliest_any())
+    }
+
+    /// The channel-global timing state a batched scheduler mirrors:
+    /// `(cmd_free, last_col, data_free)` — the command-bus free instant,
+    /// the last column command's `(issue time, bank group)`, and the
+    /// data-bus free instant.
+    pub fn bus_state(&self) -> (Time, Option<(Time, u32)>, Time) {
+        (self.cmd_free, self.last_col, self.data_free)
+    }
+
     /// First instant **at or after `now`** at which `cmd` could legally
     /// issue, considering bank, rank and bus constraints.
     ///

@@ -42,16 +42,44 @@ impl core::str::FromStr for ScaleLevel {
 
 /// Everything a job may condition its work on.
 ///
-/// A unit's behavior must be a pure function of the context, its unit
-/// index, and its derived seed — that is what makes parallel runs
-/// bit-identical to serial runs and cached results valid.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// A unit's *results* must be a pure function of the context's scale,
+/// its unit index, and its derived seed — that is what makes parallel
+/// runs bit-identical to serial runs and cached results valid. The
+/// [`Memo`](crate::Memo) carried alongside is pure acceleration: units
+/// may share build-once intermediates through it, but an entry's value
+/// must itself be a pure function of its key, so presence or absence of
+/// a memo hit can never change a result.
+#[derive(Debug, Clone)]
 pub struct JobContext {
     /// Experiment scale.
     pub scale: ScaleLevel,
     /// Master seed; per-unit seeds are derived from it.
     pub seed: u64,
+    /// Build-once intermediates shared across this run's units
+    /// (process-local; never part of cache addressing).
+    pub memo: crate::Memo,
 }
+
+impl JobContext {
+    /// A context with a fresh, empty memo.
+    pub fn new(scale: ScaleLevel, seed: u64) -> JobContext {
+        JobContext {
+            scale,
+            seed,
+            memo: crate::Memo::new(),
+        }
+    }
+}
+
+impl PartialEq for JobContext {
+    /// Contexts compare by the result-determining fields alone — the
+    /// memo is an accelerator, not an input.
+    fn eq(&self, other: &JobContext) -> bool {
+        self.scale == other.scale && self.seed == other.seed
+    }
+}
+
+impl Eq for JobContext {}
 
 /// One experiment, decomposed into a DAG of runnable units.
 ///

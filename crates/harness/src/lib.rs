@@ -58,7 +58,7 @@
 //! let mut registry = Registry::new();
 //! registry.register(Box::new(Squares));
 //! let runner = Runner::new(RunnerOptions { jobs: 2, ..RunnerOptions::default() });
-//! let ctx = JobContext { scale: ScaleLevel::Quick, seed: 1 };
+//! let ctx = JobContext::new(ScaleLevel::Quick, 1);
 //! let run = runner.run(registry.get("squares").unwrap(), &ctx).unwrap();
 //! assert_eq!(run.merged["points"].as_array().len(), 4);
 //! ```
@@ -70,6 +70,7 @@ pub mod cache;
 pub mod hash;
 pub mod job;
 pub mod json;
+pub mod memo;
 pub mod metrics;
 pub mod pool;
 pub mod progress;
@@ -80,6 +81,7 @@ pub mod sink;
 pub use cache::{CacheKey, DiskCache};
 pub use job::{Job, JobContext, Registry, ScaleLevel};
 pub use json::Json;
+pub use memo::Memo;
 pub use metrics::{metrics_block, metrics_from_json, metrics_to_json, unwrap_entry, wrap_entry};
 pub use pool::DagSchedule;
 pub use runner::{

@@ -443,10 +443,7 @@ mod tests {
     }
 
     fn ctx() -> JobContext {
-        JobContext {
-            scale: ScaleLevel::Quick,
-            seed: 7,
-        }
+        JobContext::new(ScaleLevel::Quick, 7)
     }
 
     fn temp_cache(tag: &str) -> DiskCache {

@@ -34,6 +34,10 @@
 //! [`Defense::next_deadline`]. There is no 1-ps re-arm anywhere; a wake
 //! at or before `now` is a bug and asserts.
 
+mod batch;
+
+pub use batch::CtrlScratch;
+
 use std::collections::{HashMap, VecDeque};
 
 use serde::{Deserialize, Serialize};
@@ -236,6 +240,7 @@ pub struct MemoryController {
 }
 
 /// What `next_step` decided.
+#[derive(Debug)]
 enum Step {
     /// Issue this command now; `done_req` is the index of a request served
     /// by a column command.
@@ -392,6 +397,13 @@ impl MemoryController {
         core::mem::take(&mut self.completed)
     }
 
+    /// Drains completions produced so far into `out`, keeping the
+    /// internal buffer's capacity (the allocation-free variant of
+    /// [`MemoryController::take_completed`] for per-wake callers).
+    pub fn drain_completed_into(&mut self, out: &mut Vec<Completion>) {
+        out.append(&mut self.completed);
+    }
+
     /// Issues every command legal at `now`; returns the next instant at
     /// which `service` should run again (always strictly after `now`).
     ///
@@ -423,7 +435,9 @@ impl MemoryController {
 
     fn update_modes(&mut self, now: Time) {
         // Expired BlockHammer throttles no longer constrain scheduling.
-        self.throttled.retain(|_, until| *until > now);
+        if !self.throttled.is_empty() {
+            self.throttled.retain(|_, until| *until > now);
+        }
         // Write-drain hysteresis.
         if self.write_q.len() >= self.cfg.wq_drain_high {
             self.draining = true;

@@ -57,7 +57,7 @@ mod controller;
 mod mapping;
 mod request;
 
-pub use controller::{CtrlConfig, CtrlStats, MemoryController, RowPolicy};
+pub use controller::{CtrlConfig, CtrlScratch, CtrlStats, MemoryController, RowPolicy};
 pub use mapping::{AddressMapping, MappingScheme};
 pub use request::{AccessKind, Completion, MemRequest};
 

@@ -44,6 +44,6 @@ pub mod metrics;
 pub mod registry;
 pub mod trace;
 
-pub use metrics::{record, scoped, Counter, Metrics};
+pub use metrics::{emit, record, scoped, Counter, Metrics};
 pub use registry::Registry;
 pub use trace::{chrome_trace_json, export_chrome_trace, Span, TraceEvent};

@@ -126,6 +126,26 @@ pub fn scoped() -> bool {
     SCOPES.with(|scopes| !scopes.borrow().is_empty())
 }
 
+/// Replays a captured [`Metrics`] set into the current thread's
+/// innermost metric scope; a no-op without one.
+///
+/// This is how a caller that collected counters under an inner
+/// [`record`] scope — e.g. a lane engine capturing one simulation
+/// lane's flush in isolation — re-attributes them to the ambient scope
+/// (typically the harness's per-unit scope). Totals are merged key by
+/// key, so emitting N lane captures is equivalent to having run the N
+/// lanes directly under the ambient scope.
+pub fn emit(metrics: &Metrics) {
+    if metrics.is_empty() {
+        return;
+    }
+    SCOPES.with(|scopes| {
+        if let Some(scope) = scopes.borrow_mut().last_mut() {
+            scope.merge(metrics);
+        }
+    });
+}
+
 /// Runs `f` under a fresh metric scope on this thread and returns its
 /// result together with every counter recorded while it ran.
 ///
@@ -202,6 +222,23 @@ mod tests {
         });
         assert!(caught.is_err());
         assert!(!scoped(), "a panicking scope must still be popped");
+    }
+
+    #[test]
+    fn emit_replays_into_the_ambient_scope() {
+        let captured = {
+            let ((), inner) = record(|| WAKES.add(7));
+            inner
+        };
+        let ((), outer) = record(|| {
+            WAKES.add(1);
+            emit(&captured);
+            emit(&Metrics::new()); // empty replay is a no-op
+        });
+        assert_eq!(outer.get("sim.service_wakes"), 8);
+        emit(&captured); // unscoped replay must be dropped silently
+        let ((), fresh) = record(|| {});
+        assert!(fresh.is_empty());
     }
 
     #[test]

@@ -34,6 +34,7 @@
 #![warn(missing_debug_implementations)]
 
 mod cache;
+mod lane;
 mod looper;
 mod prefetch;
 mod process;
@@ -41,6 +42,7 @@ mod system;
 mod trace;
 
 pub use cache::{CacheAccess, CacheConfig, CacheHierarchy, CacheLevelConfig, CacheStats};
+pub use lane::LaneBatch;
 pub use looper::LoopProcess;
 pub use prefetch::{BestOffsetPrefetcher, BopConfig};
 pub use process::{IdleProcess, MemAccess, Process, ProcessStep};

@@ -11,7 +11,8 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 use lh_defenses::DefenseConfig;
 use lh_dram::{DeviceConfig, DramError, Span, Time};
 use lh_memctrl::{
-    AccessKind, AddressMapping, CtrlConfig, MappingScheme, MemRequest, MemoryController,
+    AccessKind, AddressMapping, CtrlConfig, CtrlScratch, MappingScheme, MemRequest,
+    MemoryController,
 };
 use lh_mitigate::MitigationConfig;
 
@@ -79,6 +80,32 @@ fn emit_delta(counter: lh_obs::Counter, total: u64, flushed: &mut u64) {
     *flushed = total;
 }
 
+/// Hasher for the in-flight request map, whose keys are sequentially
+/// assigned request ids: one multiply mixes the id, where the std
+/// SipHash default is measurable per-request overhead at simulator
+/// event rates. The map is never iterated, so hash order is
+/// unobservable.
+#[derive(Clone, Copy, Default)]
+struct ReqIdHasher(u64);
+
+impl std::hash::Hasher for ReqIdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type ReqIdState = std::hash::BuildHasherDefault<ReqIdHasher>;
+
 /// Full-system configuration.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -138,6 +165,7 @@ impl SimConfig {
 pub struct SystemBuilder {
     config: SimConfig,
     disturb_tracking: bool,
+    batched_service: bool,
 }
 
 impl SystemBuilder {
@@ -151,6 +179,7 @@ impl SystemBuilder {
         SystemBuilder {
             config,
             disturb_tracking: true,
+            batched_service: false,
         }
     }
 
@@ -217,6 +246,16 @@ impl SystemBuilder {
         self
     }
 
+    /// Routes controller wakes through
+    /// [`MemoryController::service_batched`] — identical scheduling
+    /// decisions computed against cached row state. Off by default (the
+    /// reference path); lane-batched sweeps and hot experiment loops
+    /// opt in.
+    pub fn batched_service(mut self, enabled: bool) -> SystemBuilder {
+        self.batched_service = enabled;
+        self
+    }
+
     /// Builds the system.
     ///
     /// # Errors
@@ -227,6 +266,9 @@ impl SystemBuilder {
         sys.mc
             .device_mut()
             .set_disturb_enabled(self.disturb_tracking);
+        if self.batched_service {
+            sys.enable_batched_service();
+        }
         Ok(sys)
     }
 }
@@ -313,8 +355,14 @@ pub struct System {
     seq: u64,
     now: Time,
     next_req: u64,
-    inflight: HashMap<u64, Inflight>,
+    inflight: HashMap<u64, Inflight, ReqIdState>,
     stalled: VecDeque<(MemRequest, Inflight)>,
+    /// Reused buffer for draining controller completions (allocation-free
+    /// steady state).
+    completion_buf: Vec<lh_memctrl::Completion>,
+    /// When present, controller wakes go through the batched service
+    /// path with this scratch state (see `enable_batched_service`).
+    scratch: Option<CtrlScratch>,
     ctrl_scheduled: Time,
     cache_cfg: CacheConfig,
     prefetch_cfg: Option<BopConfig>,
@@ -365,8 +413,10 @@ impl System {
             seq: 0,
             now: Time::ZERO,
             next_req: 0,
-            inflight: HashMap::new(),
+            inflight: HashMap::default(),
             stalled: VecDeque::new(),
+            completion_buf: Vec::new(),
+            scratch: None,
             ctrl_scheduled: Time::ZERO,
             cache_cfg: config.caches,
             prefetch_cfg: config.prefetch,
@@ -501,9 +551,35 @@ impl System {
         emit_delta(counters::CACHE_PROBE_MISSES, misses, &mut f.probe_misses);
     }
 
+    /// Switches controller servicing to the batched path
+    /// ([`MemoryController::service_batched`]): identical scheduling
+    /// decisions, computed against a cached open-row mirror instead of
+    /// per-wake device scans. The scratch is synchronized to the current
+    /// device state, so enabling mid-run is safe.
+    pub fn enable_batched_service(&mut self) {
+        self.scratch = Some(CtrlScratch::for_controller(&self.mc));
+    }
+
+    /// The instant of the earliest queued event, if any. This is the
+    /// lane engine's wake-heap key: after `advance_to(t)` every event at
+    /// or before `t` has been handled, so the returned instant is
+    /// strictly after `t`.
+    pub fn next_event_at(&self) -> Option<Time> {
+        self.events.peek().map(|&Reverse(ev)| ev.at)
+    }
+
     /// Runs until `t_end` (events after it stay queued).
     pub fn run_until(&mut self, t_end: Time) {
         let _span = lh_obs::Span::enter("sim.run_until", "sim");
+        self.advance_to(t_end);
+    }
+
+    /// [`System::run_until`] without the wall-clock span: the lane
+    /// engine calls this once per heap wake, where per-call span entry
+    /// would dominate. Chunked advancing is equivalent to one call —
+    /// events are handled in the same (time, seq) order either way, and
+    /// `now` ends at `t_end` exactly.
+    pub fn advance_to(&mut self, t_end: Time) {
         while let Some(&Reverse(ev)) = self.events.peek() {
             if ev.at > t_end {
                 break;
@@ -675,8 +751,13 @@ impl System {
     /// requests, and schedules the next controller wake-up.
     fn kick_ctrl(&mut self) {
         loop {
-            let next = self.mc.service(self.now);
-            for c in self.mc.take_completed() {
+            let next = match &mut self.scratch {
+                Some(s) => self.mc.service_batched(self.now, s),
+                None => self.mc.service(self.now),
+            };
+            let mut done = std::mem::take(&mut self.completion_buf);
+            self.mc.drain_completed_into(&mut done);
+            for c in done.drain(..) {
                 match c.kind {
                     AccessKind::Read => {
                         self.push(c.finished, EventKind::Fill { req: c.id });
@@ -686,6 +767,7 @@ impl System {
                     }
                 }
             }
+            self.completion_buf = done;
             // Retry stalled requests now that the queues may have space.
             let mut progressed = false;
             while let Some((req, meta)) = self.stalled.pop_front() {

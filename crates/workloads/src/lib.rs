@@ -27,7 +27,9 @@
 mod browser;
 mod mixes;
 mod spec;
+mod trace;
 
 pub use browser::{BrowserProcess, Phase, WebsiteProfile, WEBSITES};
 pub use mixes::{app_pool, four_core_mixes};
 pub use spec::{AppProfile, Intensity, SyntheticApp, INSTR_TIME};
+pub use trace::{SharedTrace, TraceReplay};

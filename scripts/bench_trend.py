@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Advisory wall-clock trend diff between two Criterion summary files.
+
+Each input is the JSONL written by the in-tree criterion shim when
+CRITERION_SUMMARY_FILE is set: one object per finished bench with
+group, id, mean_ns, min_ns, max_ns, samples. Prints one line per bench
+in the current file, with the relative mean delta against the previous
+file when the bench exists there. Always exits 0: timing is advisory —
+the byte-identity gates are what fail builds.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    rows = {}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            r = json.loads(line)
+            rows[(r["group"], r["id"])] = r
+    return rows
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(f"usage: {sys.argv[0]} <previous.jsonl> <current.jsonl>", file=sys.stderr)
+        return 2
+    prev, cur = load(sys.argv[1]), load(sys.argv[2])
+    for key, r in cur.items():
+        group, bench = key
+        mean_ms = r["mean_ns"] / 1e6
+        p = prev.get(key)
+        if p is None:
+            print(f"{group}/{bench}: {mean_ms:.1f} ms (new bench, no previous run)")
+        else:
+            prev_ms = p["mean_ns"] / 1e6
+            delta = (r["mean_ns"] - p["mean_ns"]) / p["mean_ns"] * 100.0
+            print(f"{group}/{bench}: {prev_ms:.1f} ms -> {mean_ms:.1f} ms ({delta:+.1f}%)")
+    for key in prev.keys() - cur.keys():
+        print(f"{key[0]}/{key[1]}: present in previous run only")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

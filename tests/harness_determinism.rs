@@ -7,10 +7,7 @@
 use lh_harness::{DiskCache, JobContext, Runner, RunnerOptions, ScaleLevel};
 
 fn ctx() -> JobContext {
-    JobContext {
-        scale: ScaleLevel::Quick,
-        seed: 11,
-    }
+    JobContext::new(ScaleLevel::Quick, 11)
 }
 
 fn runner(jobs: usize, cache: Option<DiskCache>) -> Runner {
