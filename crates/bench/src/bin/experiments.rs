@@ -8,14 +8,22 @@
 //! it).
 //!
 //! Observability: every experiment envelope carries a deterministic
-//! `metrics` block (per-unit simulator counters plus totals);
-//! `lh-experiments report` condenses envelopes or `--stream` feeds into
-//! a canonical metrics document CI diffs against committed snapshots,
-//! and `--trace-out FILE` exports wall-clock spans as Chrome
-//! `trace_event` JSON loadable in `chrome://tracing` or Perfetto.
+//! `metrics` block (per-unit simulator counters plus totals, including
+//! power-of-two-bucket histograms); `lh-experiments report` condenses
+//! envelopes or `--stream` feeds into a canonical metrics document CI
+//! diffs against committed snapshots, and `--trace-out FILE` exports
+//! wall-clock spans as Chrome `trace_event` JSON loadable in
+//! `chrome://tracing` or Perfetto.
+//!
+//! `lh-experiments serve` runs the whole harness as a resident service
+//! (`lh-serve`): jobs submitted over HTTP against a warm cache and a
+//! resident worker fleet, live NDJSON run streaming, and a Prometheus
+//! `/metrics` endpoint with fleet telemetry. `lh-experiments watch
+//! --url http://host:port/runs/<id>/stream` attaches the dashboard to
+//! a serve run.
 //!
 //! ```text
-//! lh-experiments <id|all|list|watch|report> [options]
+//! lh-experiments <id|all|list|watch|report|serve> [options]
 //!
 //! options:
 //!   --scale quick|default|paper   experiment scale (default: default)
@@ -27,6 +35,8 @@
 //!   --format text|json|csv        output format (default: text)
 //!   --stream                      stream NDJSON events to stdout as units finish
 //!   --trace-out FILE              export wall-clock spans as Chrome trace_event JSON
+//!   --addr HOST:PORT              serve: listen address (default: 127.0.0.1:7878)
+//!   --url URL                     watch: attach to a serve stream URL instead of stdin
 //!   --quiet                       suppress progress lines on stderr
 //!   --worker                      internal: serve units over stdio (lh-coord protocol)
 //!   --help                        this message
@@ -38,26 +48,32 @@ use lh_harness::{
 };
 
 const USAGE: &str = "\
-usage: lh-experiments <id|all|list|watch|report> [options]
+usage: lh-experiments <id|all|list|watch|report|serve> [options]
 
 commands:
   <id>           run one experiment (see `lh-experiments list`)
   all            run every experiment
   list           list experiment ids and descriptions
-  watch          render an NDJSON --stream feed from stdin as live progress
+  watch          render an NDJSON --stream feed (stdin, or --url against a
+                 running serve instance) as a live dashboard
   report FILE..  condense envelope JSON / --stream feeds ('-' = stdin) into
                  a canonical deterministic-metrics document
+  serve          run as a resident HTTP service: submit jobs, stream runs,
+                 scrape /metrics (see crates/serve/README.md)
 
 options:
   --scale quick|default|paper   experiment scale (default: default)
   --seed N                      master seed (default: 1)
   --jobs N                      in-process worker threads (default: all cores)
   --workers N                   distribute units across N worker child processes
+                                (serve: resident fleet size, default 2)
   --no-cache                    disable the on-disk result cache
   --cache-dir PATH              cache location (default: .lh-cache)
   --format text|json|csv        output format (default: text; report: text|json)
   --stream                      stream NDJSON events to stdout as units finish
   --trace-out FILE              export wall-clock spans as Chrome trace_event JSON
+  --addr HOST:PORT              serve: listen address (default: 127.0.0.1:7878)
+  --url URL                     watch: attach to a serve stream URL instead of stdin
   --quiet                       suppress progress lines on stderr
   --worker                      internal: serve units over stdio (lh-coord protocol)
   --help                        this message
@@ -76,6 +92,8 @@ struct Args {
     format: Option<OutputFormat>,
     stream: bool,
     trace_out: Option<String>,
+    addr: String,
+    url: Option<String>,
     quiet: bool,
     files: Vec<String>,
 }
@@ -94,6 +112,8 @@ impl Default for Args {
             format: None,
             stream: false,
             trace_out: None,
+            addr: "127.0.0.1:7878".to_owned(),
+            url: None,
             quiet: false,
             files: Vec::new(),
         }
@@ -141,6 +161,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--format" => args.format = Some(value("--format", &mut it)?.parse()?),
             "--stream" => args.stream = true,
             "--trace-out" => args.trace_out = Some(value("--trace-out", &mut it)?.clone()),
+            "--addr" => args.addr = value("--addr", &mut it)?.clone(),
+            "--url" => args.url = Some(value("--url", &mut it)?.clone()),
             "--quiet" | "-q" => args.quiet = true,
             // `-` names stdin for `report`; every other dash-leading
             // token is an option.
@@ -170,6 +192,16 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     if args.jobs != 0 && args.workers != 0 {
         return Err(
             "--jobs and --workers are mutually exclusive (threads vs worker processes)".to_owned(),
+        );
+    }
+    if args.url.is_some() && args.id != "watch" {
+        return Err("--url only applies to the watch command".to_owned());
+    }
+    if args.id == "serve" && (args.stream || args.format.is_some() || args.jobs != 0) {
+        return Err(
+            "serve takes no --stream/--format/--jobs (clients choose output; the fleet is \
+             --workers)"
+                .to_owned(),
         );
     }
     if args.worker
@@ -217,20 +249,36 @@ impl Executor {
             Executor::Fleet(coordinator) => coordinator.run(job, ctx),
         }
     }
+
+    /// The fleet-telemetry snapshot, when a fleet is executing (thread
+    /// runs have no fleet to report on).
+    fn fleet_snapshot(&self) -> Option<lh_harness::Json> {
+        match self {
+            Executor::Threads(_) => None,
+            Executor::Fleet(coordinator) => Some(coordinator.telemetry().snapshot().to_json()),
+        }
+    }
 }
 
 /// Runs as a protocol worker over stdio: the child side of `--workers`.
 /// The chaos hook (worker 0 crashing on its n-th assignment when
 /// `LH_COORD_CHAOS=n` is set) exists so CI can prove requeue-on-death
-/// end to end with a deterministic kill.
+/// end to end with a deterministic kill. Workers heartbeat every 500 ms
+/// by default (protocol v3 liveness for the fleet telemetry);
+/// `LH_COORD_HEARTBEAT_MS` overrides the period, `0` disables.
 fn worker_mode(cache: Option<DiskCache>) -> ! {
     let registry = leakyhammer::registry();
     let chaos = std::env::var("LH_COORD_CHAOS")
         .ok()
         .filter(|_| std::env::var("LH_COORD_WORKER").as_deref() == Ok("0"))
         .and_then(|n| n.parse().ok());
+    let heartbeat_ms: u64 = std::env::var("LH_COORD_HEARTBEAT_MS")
+        .ok()
+        .and_then(|ms| ms.parse().ok())
+        .unwrap_or(500);
     let options = lh_coord::WorkerOptions {
         exit_after_assigns: chaos,
+        heartbeat: (heartbeat_ms > 0).then(|| std::time::Duration::from_millis(heartbeat_ms)),
     };
     match lh_coord::worker_loop(&registry, lh_coord::stdio_link(), cache, options) {
         Ok(()) => std::process::exit(0),
@@ -346,6 +394,14 @@ fn report_mode(files: &[String], format: OutputFormat) -> ! {
     let mut by_id = Json::object();
     for (id, metrics) in &experiments {
         grand.merge(&metrics_from_json(&metrics["totals"]));
+        // Envelope `totals` are counters-only by design; the merged
+        // histograms sit in a sibling block. Fold those in too so the
+        // report's grand totals carry the full distribution.
+        for (name, hist) in metrics[lh_harness::metrics::HISTOGRAMS_KEY].as_object() {
+            let mut hists = lh_obs::Metrics::new();
+            hists.set_hist(name, lh_harness::metrics::hist_from_json(hist));
+            grand.merge(&hists);
+        }
         by_id.set(id, metrics.clone());
     }
     let doc = Json::object()
@@ -367,19 +423,86 @@ fn report_mode(files: &[String], format: OutputFormat) -> ! {
             for (name, value) in grand.iter() {
                 emit(&format!("  {name} = {value}\n"));
             }
+            for (name, hist) in grand.hists() {
+                emit(&format!(
+                    "  {name} = {} sample(s), sum {}\n",
+                    hist.count(),
+                    hist.sum()
+                ));
+            }
         }
     }
     std::process::exit(0);
 }
 
-/// Renders a `--stream` NDJSON feed from stdin as live progress lines.
-fn watch_mode() -> ! {
-    let stdin = std::io::stdin();
-    match lh_coord::watch(stdin.lock(), std::io::stdout()) {
+/// Renders a `--stream` NDJSON feed as a live dashboard — from stdin,
+/// or (with `--url`) followed live from a running serve instance's
+/// `/runs/<id>/stream` endpoint.
+fn watch_mode(url: Option<&str>) -> ! {
+    let outcome = match url {
+        None => {
+            let stdin = std::io::stdin();
+            lh_coord::watch(stdin.lock(), std::io::stdout())
+        }
+        Some(url) => match lh_serve::client::get_stream(url) {
+            Ok((200, reader)) => lh_coord::watch(reader, std::io::stdout()),
+            Ok((status, _)) => {
+                eprintln!("error: watch: {url} answered HTTP {status}");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("error: watch: connecting to {url} failed: {e}");
+                std::process::exit(1);
+            }
+        },
+    };
+    match outcome {
         Ok(_) => std::process::exit(0),
         Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => std::process::exit(0),
         Err(e) => {
             eprintln!("error: watch: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Runs the resident experiment service until killed: a warm cache, a
+/// resident worker fleet (this same binary in `--worker` mode), and
+/// the lh-serve HTTP API on `--addr`.
+fn serve_mode(args: &Args) -> ! {
+    let exe = match std::env::current_exe() {
+        Ok(exe) => exe,
+        Err(e) => {
+            eprintln!("error: cannot locate own binary to spawn workers: {e}");
+            std::process::exit(1);
+        }
+    };
+    let options = lh_serve::ServeOptions {
+        workers: if args.workers > 0 { args.workers } else { 2 },
+        cache: args.cache.then(|| DiskCache::new(&args.cache_dir)),
+    };
+    let server = match lh_serve::Server::bind(
+        args.addr.as_str(),
+        Box::new(ProcessSpawner::new(exe, Vec::new())),
+        leakyhammer::registry,
+        options,
+    ) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: serve: binding {} failed: {e}", args.addr);
+            std::process::exit(1);
+        }
+    };
+    if !args.quiet {
+        match server.addr() {
+            Ok(addr) => eprintln!("lh-serve: listening on http://{addr}"),
+            Err(_) => eprintln!("lh-serve: listening on {}", args.addr),
+        }
+    }
+    match server.run() {
+        Ok(()) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("error: serve: {e}");
             std::process::exit(1);
         }
     }
@@ -404,10 +527,13 @@ fn main() {
         worker_mode(args.cache.then(|| DiskCache::new(&args.cache_dir)));
     }
     if args.id == "watch" {
-        watch_mode();
+        watch_mode(args.url.as_deref());
     }
     if args.id == "report" {
         report_mode(&args.files, args.format.unwrap_or_default());
+    }
+    if args.id == "serve" {
+        serve_mode(&args);
     }
     // Tracing collects wall-clock spans process-wide; they export as
     // Chrome trace_event JSON at exit and never touch the deterministic
@@ -491,6 +617,12 @@ fn main() {
         match executor.run(job, &ctx) {
             Ok(run) => {
                 if args.stream {
+                    // Close out each distributed run with a fleet
+                    // telemetry event so `watch` can render the final
+                    // worker-health column.
+                    if let Some(snapshot) = executor.fleet_snapshot() {
+                        emit(&lh_harness::sink::stream_fleet(snapshot));
+                    }
                     emit(&lh_harness::sink::stream_finished(job, &run, &ctx));
                 } else {
                     let format = args.format.unwrap_or_default();

@@ -44,6 +44,7 @@ use lh_harness::runner::{
 use lh_harness::UnitObserver;
 
 use crate::protocol::{FromWorker, ToWorker, PROTOCOL_VERSION};
+use crate::telemetry::FleetTelemetry;
 use crate::transport::{memory_pair, LineReceiver, LineSender, Link, Receiver, Sender};
 use crate::worker::{worker_loop, WorkerOptions};
 
@@ -200,6 +201,8 @@ pub struct CoordStats {
     pub workers_lost: usize,
     /// In-flight units returned to the queue by worker deaths.
     pub units_requeued: usize,
+    /// Replacement workers drawn from the respawn budget.
+    pub respawns_used: usize,
 }
 
 /// What a worker's reader thread reports to the event loop.
@@ -233,6 +236,7 @@ pub struct Coordinator {
     events_rx: mpsc::Receiver<(usize, WorkerEvent)>,
     respawns_left: usize,
     stats: CoordStats,
+    telemetry: FleetTelemetry,
 }
 
 impl std::fmt::Debug for Coordinator {
@@ -267,12 +271,20 @@ impl Coordinator {
             events_rx,
             respawns_left,
             stats: CoordStats::default(),
+            telemetry: FleetTelemetry::new(),
         }
     }
 
     /// Fleet statistics so far.
     pub fn stats(&self) -> CoordStats {
         self.stats
+    }
+
+    /// A cloneable handle to the live fleet telemetry. Dashboards (the
+    /// serve HTTP handlers, stream followers) snapshot it from other
+    /// threads while [`Coordinator::run`] blocks this one.
+    pub fn telemetry(&self) -> FleetTelemetry {
+        self.telemetry.clone()
     }
 
     fn live_count(&self) -> usize {
@@ -286,8 +298,9 @@ impl Coordinator {
             .map(|c| c.dir().join(".workers").join(index.to_string()))
     }
 
-    /// Launches one worker and its reader thread.
-    fn spawn_one(&mut self) -> Result<(), String> {
+    /// Launches one worker and its reader thread. `respawn` marks a
+    /// replacement drawn from the respawn budget (telemetry only).
+    fn spawn_one(&mut self, respawn: bool) -> Result<(), String> {
         let index = self.slots.len();
         let cache_dir = self.worker_cache_dir(index);
         let link = self
@@ -321,6 +334,10 @@ impl Coordinator {
             alive: true,
         });
         self.stats.workers_spawned += 1;
+        if respawn {
+            self.stats.respawns_used += 1;
+        }
+        self.telemetry.worker_spawned(index, respawn);
         Ok(())
     }
 
@@ -333,13 +350,14 @@ impl Coordinator {
     /// When no worker is alive and nothing more may be spawned.
     fn ensure_workers(&mut self) -> Result<(), String> {
         while self.live_count() < self.options.workers.max(1) {
-            if self.slots.len() >= self.options.workers.max(1) {
+            let respawn = self.slots.len() >= self.options.workers.max(1);
+            if respawn {
                 if self.respawns_left == 0 {
                     break;
                 }
                 self.respawns_left -= 1;
             }
-            self.spawn_one()?;
+            self.spawn_one(respawn)?;
         }
         if self.live_count() == 0 {
             return Err(format!(
@@ -360,9 +378,11 @@ impl Coordinator {
         slot.alive = false;
         slot.tx = None;
         self.stats.workers_lost += 1;
+        self.telemetry.worker_lost(w);
         if let Some(unit) = slot.busy.take() {
             sched.requeue(unit);
             self.stats.units_requeued += 1;
+            self.telemetry.unit_requeued();
             note(format_args!(
                 "lh-coord: worker {w} died ({cause}); requeueing its in-flight unit {unit}"
             ));
@@ -491,13 +511,18 @@ impl Coordinator {
                     .expect("idle workers have senders")
                     .send(&msg);
                 match sent {
-                    Ok(()) => self.slots[w].busy = Some(unit),
+                    Ok(()) => {
+                        self.slots[w].busy = Some(unit);
+                        self.telemetry
+                            .worker_assigned(w, format!("{}/{}", job.id(), units[unit]));
+                    }
                     Err(e) => {
                         sched.requeue(unit);
                         self.discard(w, &mut sched, &format!("send failed: {e}"));
                         // `discard` saw no busy unit; account the
                         // requeue of the one we just claimed.
                         self.stats.units_requeued += 1;
+                        self.telemetry.unit_requeued();
                     }
                 }
             }
@@ -514,7 +539,7 @@ impl Coordinator {
                 .recv()
                 .expect("coordinator holds an event sender; recv cannot fail");
             match event {
-                WorkerEvent::Message(FromWorker::Ready { protocol, .. }) => {
+                WorkerEvent::Message(FromWorker::Ready { protocol, pid }) => {
                     if protocol != PROTOCOL_VERSION {
                         self.shutdown();
                         return Err(format!(
@@ -522,6 +547,10 @@ impl Coordinator {
                              {PROTOCOL_VERSION}"
                         ));
                     }
+                    self.telemetry.worker_ready(w, pid);
+                }
+                WorkerEvent::Message(FromWorker::Heartbeat { units_done }) => {
+                    self.telemetry.worker_heartbeat(w, units_done);
                 }
                 WorkerEvent::Message(FromWorker::Done {
                     experiment,
@@ -542,6 +571,7 @@ impl Coordinator {
                         continue;
                     }
                     self.slots[w].busy = None;
+                    self.telemetry.worker_done(w);
                     self.complete_unit(
                         job,
                         &units,
@@ -689,6 +719,7 @@ impl Coordinator {
             }
             let _ = std::fs::remove_dir_all(shared.dir().join(".workers"));
         }
+        self.telemetry.fleet_down();
     }
 }
 

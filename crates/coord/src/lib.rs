@@ -80,6 +80,7 @@
 
 pub mod coordinator;
 pub mod protocol;
+pub mod telemetry;
 pub mod transport;
 pub mod viewer;
 pub mod worker;
@@ -88,6 +89,7 @@ pub use coordinator::{
     CoordStats, Coordinator, CoordinatorOptions, ProcessSpawner, SpawnWorker, ThreadSpawner,
 };
 pub use protocol::{FromWorker, ToWorker, PROTOCOL_VERSION};
+pub use telemetry::{FleetSnapshot, FleetTelemetry, WorkerTelemetry};
 pub use transport::{stdio_link, Link};
 pub use viewer::{watch, WatchSummary};
 pub use worker::{worker_loop, WorkerOptions};

@@ -20,7 +20,13 @@ use lh_harness::json::{parse, Json};
 ///
 /// v2: [`FromWorker::Done`] carries the unit's deterministic `metrics`
 /// object alongside its result.
-pub const PROTOCOL_VERSION: u64 = 2;
+///
+/// v3: workers may send periodic [`FromWorker::Heartbeat`] messages
+/// between replies, so the coordinator's fleet telemetry (and the
+/// serve dashboard behind it) can tell a long-running unit from a hung
+/// worker. Heartbeats are volatile liveness data — they never touch
+/// unit results or metrics.
+pub const PROTOCOL_VERSION: u64 = 3;
 
 /// Messages the coordinator sends to a worker.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,6 +75,14 @@ pub enum FromWorker {
         metrics: Json,
         /// The unit's JSON result.
         result: Json,
+    },
+    /// Periodic liveness beacon (protocol v3). Sent from a timer thread
+    /// between protocol replies; carries how many assignments this
+    /// worker has completed so far. Never acknowledged, never ordered
+    /// with respect to anything — pure telemetry.
+    Heartbeat {
+        /// Assignments completed by this worker so far.
+        units_done: u64,
     },
     /// One assigned unit failed deterministically (its `run_unit`
     /// panicked, or the assignment named an unknown experiment/unit).
@@ -157,6 +171,9 @@ impl FromWorker {
                 .with("ms", *wall_ms)
                 .with("metrics", metrics.clone())
                 .with("result", result.clone()),
+            FromWorker::Heartbeat { units_done } => Json::object()
+                .with("type", "heartbeat")
+                .with("units_done", *units_done),
             FromWorker::Failed {
                 experiment,
                 unit,
@@ -186,6 +203,9 @@ impl FromWorker {
                 wall_ms: u64_field(msg, "ms")?,
                 metrics: msg["metrics"].clone(),
                 result: msg["result"].clone(),
+            }),
+            Some("heartbeat") => Ok(FromWorker::Heartbeat {
+                units_done: u64_field(msg, "units_done")?,
             }),
             Some("failed") => Ok(FromWorker::Failed {
                 experiment: str_field(msg, "experiment")?,
@@ -257,6 +277,7 @@ mod tests {
                 metrics: Json::object().with("sim.service_wakes", 42u64),
                 result: Json::object().with("capacity", 39.5),
             },
+            FromWorker::Heartbeat { units_done: 9 },
             FromWorker::Failed {
                 experiment: "fig6".into(),
                 unit: 3,

@@ -9,7 +9,9 @@
 //! uses.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use lh_harness::cache::DiskCache;
 use lh_harness::job::{JobContext, Registry};
@@ -18,7 +20,7 @@ use lh_harness::runner::unit_key;
 use lh_harness::seed::derive_seed;
 
 use crate::protocol::{FromWorker, ToWorker};
-use crate::transport::Link;
+use crate::transport::{Link, Sender};
 
 /// Behavior knobs for [`worker_loop`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -28,6 +30,75 @@ pub struct WorkerOptions {
     /// the n-th assignment, *before* running or acknowledging it. The
     /// coordinator must requeue that in-flight unit. `None` disables.
     pub exit_after_assigns: Option<usize>,
+    /// Send a protocol-v3 `heartbeat` message at this interval from a
+    /// timer thread, so the coordinator's fleet telemetry can tell a
+    /// long-running unit from a hung worker. `None` (the default)
+    /// disables the timer — scripted protocol tests and deterministic
+    /// drives then see exactly the replies they expect.
+    pub heartbeat: Option<Duration>,
+}
+
+/// The heartbeat timer: a thread sending `heartbeat` lines through the
+/// shared sender until stopped. Stopping is prompt (condvar-signaled,
+/// not sleep-polled) so the sender's EOF-on-drop semantics stay crisp
+/// when the worker loop exits.
+struct HeartbeatPump {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HeartbeatPump {
+    fn start(
+        tx: Arc<Mutex<Box<dyn Sender>>>,
+        units_done: Arc<AtomicU64>,
+        failed: Arc<AtomicBool>,
+        period: Duration,
+    ) -> HeartbeatPump {
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("lh-coord-heartbeat".into())
+            .spawn(move || {
+                let (lock, cvar) = &*stop2;
+                let mut stopped = lock.lock().expect("heartbeat stop flag poisoned");
+                loop {
+                    let (guard, timeout) = cvar
+                        .wait_timeout(stopped, period)
+                        .expect("heartbeat stop flag poisoned");
+                    stopped = guard;
+                    if *stopped {
+                        return;
+                    }
+                    if timeout.timed_out() {
+                        let beat = FromWorker::Heartbeat {
+                            units_done: units_done.load(Ordering::Relaxed),
+                        }
+                        .to_json();
+                        let sent = tx.lock().expect("worker sender poisoned").send(&beat);
+                        if sent.is_err() {
+                            // The next protocol reply will surface the
+                            // transport fault; beating a dead pipe is
+                            // pointless.
+                            failed.store(true, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                }
+            })
+            .ok();
+        HeartbeatPump { stop, handle }
+    }
+}
+
+impl Drop for HeartbeatPump {
+    fn drop(&mut self) {
+        let (lock, cvar) = &*self.stop;
+        *lock.lock().expect("heartbeat stop flag poisoned") = true;
+        cvar.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
 }
 
 /// Runs the worker protocol loop until `Shutdown`, EOF, or a transport
@@ -48,16 +119,32 @@ pub struct WorkerOptions {
 /// incoming line (a corrupt coordinator is not worth surviving).
 pub fn worker_loop(
     registry: &Registry,
-    mut link: Link,
+    link: Link,
     cache: Option<DiskCache>,
     options: WorkerOptions,
 ) -> std::io::Result<()> {
-    link.tx.send(&FromWorker::ready().to_json())?;
+    let Link { tx, mut rx, child } = link;
+    drop(child); // worker side never holds a child process
+    let tx = Arc::new(Mutex::new(tx));
+    let units_done = Arc::new(AtomicU64::new(0));
+    let beat_failed = Arc::new(AtomicBool::new(false));
+    let send = |msg: &lh_harness::Json| tx.lock().expect("worker sender poisoned").send(msg);
+    send(&FromWorker::ready().to_json())?;
+    // Keep the pump alive for the whole loop; dropping it (on any exit
+    // path) stops and joins the timer thread before the sender drops.
+    let _pump = options.heartbeat.map(|period| {
+        HeartbeatPump::start(
+            Arc::clone(&tx),
+            Arc::clone(&units_done),
+            Arc::clone(&beat_failed),
+            period,
+        )
+    });
     // Build-once intermediates (decoded traces) shared across every
     // assignment this worker process executes.
     let memo = lh_harness::Memo::new();
     let mut assigns = 0usize;
-    while let Some(msg) = link.rx.recv()? {
+    while let Some(msg) = rx.recv()? {
         let msg = ToWorker::from_json(&msg)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
         let (experiment, unit, scale, seed, deps) = match msg {
@@ -86,20 +173,29 @@ pub fn worker_loop(
             &cache,
             &memo,
         ) {
-            Ok((result, metrics, wall_ms)) => FromWorker::Done {
-                experiment,
-                unit,
-                wall_ms,
-                metrics,
-                result,
-            },
+            Ok((result, metrics, wall_ms)) => {
+                units_done.fetch_add(1, Ordering::Relaxed);
+                FromWorker::Done {
+                    experiment,
+                    unit,
+                    wall_ms,
+                    metrics,
+                    result,
+                }
+            }
             Err(error) => FromWorker::Failed {
                 experiment,
                 unit,
                 error,
             },
         };
-        link.tx.send(&reply.to_json())?;
+        send(&reply.to_json())?;
+        if beat_failed.load(Ordering::Relaxed) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "heartbeat send failed; peer is gone",
+            ));
+        }
     }
     Ok(())
 }
@@ -290,11 +386,52 @@ mod tests {
     }
 
     #[test]
+    fn heartbeats_flow_between_replies_and_stop_on_shutdown() {
+        let (mut coord, worker) = memory_pair();
+        let options = WorkerOptions {
+            heartbeat: Some(Duration::from_millis(2)),
+            ..WorkerOptions::default()
+        };
+        let handle = std::thread::spawn(move || {
+            let registry = test_registry();
+            worker_loop(&registry, worker, None, options)
+        });
+        coord.tx.send(&assign(0, vec![])).unwrap();
+        let mut beats = 0u64;
+        let mut done = false;
+        // Read until at least one heartbeat arrives after the reply;
+        // the pump runs on wall-clock so the exact count is unknowable.
+        while beats == 0 || !done {
+            match FromWorker::from_json(&coord.rx.recv().unwrap().expect("worker hung up")) {
+                Ok(FromWorker::Heartbeat { units_done }) => {
+                    beats += 1;
+                    assert!(units_done <= 1);
+                }
+                Ok(FromWorker::Done { unit: 0, .. }) => done = true,
+                Ok(FromWorker::Ready { .. }) => {}
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
+        coord.tx.send(&ToWorker::Shutdown.to_json()).unwrap();
+        // Drain to EOF: the pump must stop with the loop, so the stream
+        // ends instead of beating forever.
+        while let Some(msg) = coord.rx.recv().unwrap() {
+            assert!(matches!(
+                FromWorker::from_json(&msg),
+                Ok(FromWorker::Heartbeat { .. })
+            ));
+        }
+        handle.join().unwrap().unwrap();
+        assert!(beats >= 1);
+    }
+
+    #[test]
     fn chaos_exit_drops_the_connection_before_acknowledging() {
         let replies = drive(
             vec![assign(0, vec![]), assign(1, vec![])],
             WorkerOptions {
                 exit_after_assigns: Some(2),
+                ..WorkerOptions::default()
             },
         );
         // Ready, then one done; the second assignment is swallowed by

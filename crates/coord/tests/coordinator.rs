@@ -106,6 +106,7 @@ impl SpawnWorker for FlakySpawner {
         let cache = cache_dir.map(DiskCache::new);
         let options = WorkerOptions {
             exit_after_assigns: (index < self.flaky).then_some(1),
+            ..WorkerOptions::default()
         };
         std::thread::Builder::new()
             .name(format!("flaky-worker-{index}"))
@@ -184,6 +185,20 @@ fn worker_death_requeues_the_in_flight_unit() {
         "its in-flight unit was requeued: {stats:?}"
     );
     assert_eq!(stats.workers_spawned, 2, "one survivor carried the run");
+
+    // The volatile fleet telemetry tells the same failure story.
+    let snap = coordinator.telemetry().snapshot();
+    assert_eq!(snap.workers_lost, 1, "{snap:?}");
+    assert_eq!(snap.units_requeued, 1, "{snap:?}");
+    assert_eq!(snap.workers_spawned, 2, "{snap:?}");
+    assert_eq!(snap.respawns_used, 0, "{snap:?}");
+    let alive: Vec<bool> = snap.workers.iter().map(|w| w.alive).collect();
+    assert_eq!(alive.iter().filter(|a| **a).count(), 1, "{alive:?}");
+    assert_eq!(
+        snap.workers.iter().map(|w| w.units_done).sum::<u64>(),
+        6,
+        "every unit completion lands on some worker's tally: {snap:?}"
+    );
 }
 
 #[test]

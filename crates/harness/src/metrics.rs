@@ -21,28 +21,80 @@
 //! only in the separate Chrome `trace_event` export
 //! ([`lh_obs::trace`]).
 
-use lh_obs::Metrics;
+use lh_obs::{Hist, Metrics};
 
 use crate::json::Json;
 
-/// Converts a metric set to a JSON object with counter names as keys,
-/// in sorted-name order (the iteration order of [`Metrics`]), so the
-/// serialization is canonical regardless of recording order.
+/// The reserved key under which a metric object's histograms nest;
+/// counter names never collide with it because counters serialize flat
+/// at the same level.
+pub const HISTOGRAMS_KEY: &str = "histograms";
+
+/// Converts one histogram to its canonical JSON form
+/// `{"count": N, "sum": S, "buckets": [[exponent, count], ...]}` with
+/// buckets in ascending exponent order (the iteration order of
+/// [`Hist`]).
+pub fn hist_to_json(hist: &Hist) -> Json {
+    let buckets = hist
+        .buckets()
+        .map(|(exp, n)| Json::Array(vec![Json::from(u64::from(exp)), Json::from(n)]))
+        .collect();
+    Json::object()
+        .with("count", hist.count())
+        .with("sum", hist.sum())
+        .with("buckets", Json::Array(buckets))
+}
+
+/// Parses a histogram back out of its [`hist_to_json`] form. Malformed
+/// bucket entries are skipped; `count`/`sum` are taken as written so
+/// the round trip is exact even for saturated sums.
+pub fn hist_from_json(json: &Json) -> Hist {
+    let buckets = json["buckets"].as_array().iter().filter_map(|pair| {
+        let pair = pair.as_array();
+        let exp = pair.first().and_then(Json::as_u64)?;
+        let n = pair.get(1).and_then(Json::as_u64)?;
+        Some((u32::try_from(exp.min(64)).expect("clamped to 64"), n))
+    });
+    Hist::from_parts(
+        json["count"].as_u64().unwrap_or(0),
+        json["sum"].as_u64().unwrap_or(0),
+        buckets,
+    )
+}
+
+/// Converts a metric set to a JSON object with counter names as keys in
+/// sorted-name order (the iteration order of [`Metrics`]), plus — when
+/// any histogram recorded samples — a trailing reserved
+/// [`HISTOGRAMS_KEY`] object mapping histogram names to their
+/// [`hist_to_json`] form, so the serialization is canonical regardless
+/// of recording order.
 pub fn metrics_to_json(metrics: &Metrics) -> Json {
     let mut obj = Json::object();
     for (name, value) in metrics.iter() {
         obj.set(name, value);
     }
+    let mut hists = Json::object();
+    for (name, hist) in metrics.hists() {
+        hists.set(name, hist_to_json(hist));
+    }
+    if !hists.as_object().is_empty() {
+        obj.set(HISTOGRAMS_KEY, hists);
+    }
     obj
 }
 
-/// Parses a metric set back out of a JSON object, ignoring any
-/// non-integer fields. The inverse of [`metrics_to_json`] (up to the
-/// canonical sorted order).
+/// Parses a metric set back out of a JSON object: integer fields become
+/// counters, the reserved [`HISTOGRAMS_KEY`] object (if present)
+/// becomes histograms, and any other field is ignored. The inverse of
+/// [`metrics_to_json`] (up to the canonical sorted order).
 pub fn metrics_from_json(json: &Json) -> Metrics {
     let mut metrics = Metrics::new();
     for (name, value) in json.as_object() {
-        if let Some(v) = value.as_u64() {
+        if name == HISTOGRAMS_KEY {
+            for (hist_name, hist_json) in value.as_object() {
+                metrics.set_hist(hist_name, hist_from_json(hist_json));
+            }
+        } else if let Some(v) = value.as_u64() {
             metrics.add(name, v);
         }
     }
@@ -83,8 +135,9 @@ pub fn unwrap_entry(entry: Json) -> (Json, Json) {
     (Json::object(), entry)
 }
 
-/// Builds the envelope `metrics` block from per-unit counter objects:
-/// `{"units": {label: {counter: value, ...}}, "totals": {...}}`.
+/// Builds the envelope `metrics` block from per-unit metric objects:
+/// `{"units": {label: {counter: value, ...}}, "totals": {...},
+/// "histograms": {name: {count, sum, buckets}, ...}}`.
 ///
 /// Units appear in declaration order (the job's unit order), counters
 /// within each unit in sorted-name order, and `totals` is the
@@ -92,7 +145,9 @@ pub fn unwrap_entry(entry: Json) -> (Json, Json) {
 /// which is what keeps the block byte-identical between `--jobs N` and
 /// `--workers N` runs. Units that recorded nothing are included as
 /// empty objects so the set of keys is a function of the decomposition
-/// alone.
+/// alone. `histograms` holds the bucket-wise merge of every unit's
+/// histograms (an empty object for jobs that sample none), kept
+/// outside `totals` so old counter-only consumers parse unchanged.
 pub fn metrics_block(units: &[String], per_unit: &[Json]) -> Json {
     assert_eq!(units.len(), per_unit.len(), "one metrics object per unit");
     let mut totals = Metrics::new();
@@ -101,9 +156,18 @@ pub fn metrics_block(units: &[String], per_unit: &[Json]) -> Json {
         totals.merge(&metrics_from_json(metrics));
         by_unit.set(label, metrics.clone());
     }
+    let mut hists = Json::object();
+    for (name, hist) in totals.hists() {
+        hists.set(name, hist_to_json(hist));
+    }
+    let mut counters_only = Metrics::new();
+    for (name, value) in totals.iter() {
+        counters_only.add(name, value);
+    }
     Json::object()
         .with("units", by_unit)
-        .with("totals", metrics_to_json(&totals))
+        .with("totals", metrics_to_json(&counters_only))
+        .with(HISTOGRAMS_KEY, hists)
 }
 
 #[cfg(test)]
@@ -117,6 +181,15 @@ mod tests {
         m
     }
 
+    fn sample_with_hists() -> Metrics {
+        let mut m = sample();
+        m.observe("sim.queue_wait", 0);
+        m.observe("sim.queue_wait", 5);
+        m.observe("sim.queue_wait", 300);
+        m.observe("sim.maintenance.slack", 17);
+        m
+    }
+
     #[test]
     fn json_round_trip_is_canonical() {
         let json = metrics_to_json(&sample());
@@ -127,6 +200,40 @@ mod tests {
         );
         let back = metrics_from_json(&json);
         assert_eq!(back, sample());
+    }
+
+    #[test]
+    fn histograms_nest_under_the_reserved_key_and_round_trip() {
+        let json = metrics_to_json(&sample_with_hists());
+        assert_eq!(
+            json.to_compact(),
+            concat!(
+                r#"{"sim.cmd.act":3,"sim.service_wakes":7,"histograms":{"#,
+                r#""sim.maintenance.slack":{"count":1,"sum":17,"buckets":[[5,1]]},"#,
+                r#""sim.queue_wait":{"count":3,"sum":305,"buckets":[[0,1],[3,1],[9,1]]}}}"#
+            )
+        );
+        let back = metrics_from_json(&json);
+        assert_eq!(back, sample_with_hists());
+        // Counter-only metrics serialize exactly as before — no
+        // histograms key at all.
+        assert!(metrics_to_json(&sample())[HISTOGRAMS_KEY]
+            .as_object()
+            .is_empty());
+        assert_eq!(
+            metrics_to_json(&sample()).to_compact(),
+            r#"{"sim.cmd.act":3,"sim.service_wakes":7}"#
+        );
+    }
+
+    #[test]
+    fn hist_round_trip_preserves_saturated_sums() {
+        let mut h = lh_obs::Hist::new();
+        h.observe(u64::MAX);
+        h.observe(u64::MAX);
+        let back = hist_from_json(&hist_to_json(&h));
+        assert_eq!(back, h);
+        assert_eq!(back.sum(), u64::MAX, "saturated sum survives");
     }
 
     #[test]
@@ -163,6 +270,10 @@ mod tests {
         assert_eq!(block["totals"]["sim.service_wakes"].as_u64(), Some(14));
         assert_eq!(block["totals"]["sim.cmd.act"].as_u64(), Some(6));
         assert_eq!(block["units"]["quiet"], Json::object());
+        assert!(
+            block[HISTOGRAMS_KEY].as_object().is_empty(),
+            "counter-only units leave an empty histograms block"
+        );
         // Unit order is declaration order, not sorted.
         let keys: Vec<&str> = block["units"]
             .as_object()
@@ -170,5 +281,23 @@ mod tests {
             .map(|(k, _)| k.as_str())
             .collect();
         assert_eq!(keys, ["a", "b", "quiet"]);
+    }
+
+    #[test]
+    fn block_merges_histograms_across_units() {
+        let units = vec!["a".to_owned(), "b".to_owned()];
+        let per_unit = vec![
+            metrics_to_json(&sample_with_hists()),
+            metrics_to_json(&sample_with_hists()),
+        ];
+        let block = metrics_block(&units, &per_unit);
+        // Totals stay counter-only; the merged distributions live in
+        // the block-level histograms object.
+        assert_eq!(block["totals"][HISTOGRAMS_KEY], Json::Null);
+        let wait = hist_from_json(&block[HISTOGRAMS_KEY]["sim.queue_wait"]);
+        assert_eq!(wait.count(), 6);
+        assert_eq!(wait.sum(), 610);
+        let slack = hist_from_json(&block[HISTOGRAMS_KEY]["sim.maintenance.slack"]);
+        assert_eq!(slack.count(), 2);
     }
 }

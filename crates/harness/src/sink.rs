@@ -84,11 +84,26 @@ pub fn envelope(job: &dyn Job, run: &ExperimentRun, ctx: &JobContext) -> Json {
         .with("metrics", run.metrics.clone())
 }
 
+/// Wall-clock milliseconds since the Unix epoch, for the `ts_ms` field
+/// stream events carry.
+///
+/// `ts_ms` lives strictly in the volatile channel: stream lines are
+/// transient progress feed, never cached and never part of an envelope,
+/// so stamping them lets `watch` and the serve dashboard compute live
+/// rates without touching the byte-identity contract.
+pub fn wall_clock_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
 /// One NDJSON line announcing that an experiment started: emit before
 /// running when streaming.
 pub fn stream_started(job: &dyn Job, units: usize, ctx: &JobContext) -> String {
     Json::object()
         .with("event", "started")
+        .with("ts_ms", wall_clock_ms())
         .with("experiment", job.id())
         .with("scale", ctx.scale.as_str())
         .with("seed", ctx.seed)
@@ -103,6 +118,7 @@ pub fn stream_started(job: &dyn Job, units: usize, ctx: &JobContext) -> String {
 pub fn stream_unit(event: &UnitEvent) -> String {
     Json::object()
         .with("event", "unit")
+        .with("ts_ms", wall_clock_ms())
         .with("experiment", event.experiment)
         .with("unit", event.unit.as_str())
         .with("index", event.index)
@@ -119,12 +135,29 @@ pub fn stream_unit(event: &UnitEvent) -> String {
 pub fn stream_finished(job: &dyn Job, run: &ExperimentRun, ctx: &JobContext) -> String {
     Json::object()
         .with("event", "finished")
+        .with("ts_ms", wall_clock_ms())
         .with("experiment", job.id())
         .with("units", run.stats.units_total)
         .with("cached_units", run.stats.units_cached)
         .with("executed_units", run.stats.units_executed)
         .with("wall_ms", run.stats.wall_ms as u64)
         .with("envelope", envelope(job, run, ctx))
+        .to_compact()
+        + "\n"
+}
+
+/// One NDJSON line carrying a fleet-telemetry snapshot (`event:
+/// "fleet"`): the coordinator's volatile view of its workers —
+/// heartbeat ages, in-flight units, completion counts, deaths and
+/// requeues. Emitted by the serve streaming endpoint (periodically,
+/// while a run is live) and by `--workers` runs when streaming. The
+/// snapshot is wall-clock shaped and therefore never enters envelopes
+/// or the cache.
+pub fn stream_fleet(snapshot: Json) -> String {
+    Json::object()
+        .with("event", "fleet")
+        .with("ts_ms", wall_clock_ms())
+        .with("fleet", snapshot)
         .to_compact()
         + "\n"
 }
@@ -233,5 +266,19 @@ mod tests {
         assert_eq!(parsed["unit"].as_str(), Some("noise:1"));
         assert_eq!(parsed["metrics"]["sim.service_wakes"].as_u64(), Some(42));
         assert_eq!(parsed["result"]["capacity"].as_f64(), Some(39.5));
+        assert!(
+            parsed["ts_ms"].as_u64().is_some_and(|ts| ts > 0),
+            "stream lines carry a wall-clock stamp: {parsed:?}"
+        );
+    }
+
+    #[test]
+    fn fleet_lines_wrap_the_snapshot() {
+        let snap = Json::object().with("spawned", 2u64);
+        let line = stream_fleet(snap);
+        let parsed = crate::json::parse(line.trim_end()).unwrap();
+        assert_eq!(parsed["event"].as_str(), Some("fleet"));
+        assert_eq!(parsed["fleet"]["spawned"].as_u64(), Some(2));
+        assert!(parsed["ts_ms"].as_u64().is_some());
     }
 }

@@ -237,6 +237,12 @@ pub struct MemoryController {
     /// Per flat bank: (row, consecutive column accesses served).
     streak: Vec<(u32, u32)>,
     stats: CtrlStats,
+    /// Per-op jitter of every scheduled-maintenance take vs its
+    /// deadline, buffered until the simulator drains it
+    /// ([`MemoryController::drain_maintenance_jitter`]). `CtrlStats`
+    /// only keeps the cumulative max; the full sample stream feeds the
+    /// `sim.maintenance.slack` histogram.
+    maint_jitter: Vec<Span>,
 }
 
 /// What `next_step` decided.
@@ -321,6 +327,7 @@ impl MemoryController {
             draining: false,
             streak: vec![(u32::MAX, 0); g.banks_per_channel() as usize],
             stats: CtrlStats::default(),
+            maint_jitter: Vec::new(),
         })
     }
 
@@ -402,6 +409,16 @@ impl MemoryController {
     /// [`MemoryController::take_completed`] for per-wake callers).
     pub fn drain_completed_into(&mut self, out: &mut Vec<Completion>) {
         out.append(&mut self.completed);
+    }
+
+    /// Drains the per-op scheduled-maintenance jitter samples (how far
+    /// past its deadline each maintenance take landed; zero for on-time
+    /// takes) buffered since the last drain, in take order. The buffer
+    /// keeps its capacity, so per-wake draining is allocation-free.
+    pub fn drain_maintenance_jitter(&mut self, mut f: impl FnMut(Span)) {
+        for jitter in self.maint_jitter.drain(..) {
+            f(jitter);
+        }
     }
 
     /// Issues every command legal at `now`; returns the next instant at
@@ -1010,6 +1027,7 @@ impl MemoryController {
                             debug_assert_eq!(m.scope, scope, "maintenance scope mismatch");
                             let jitter = now.saturating_since(m.due);
                             self.stats.fr_rfm_jitter_max = self.stats.fr_rfm_jitter_max.max(jitter);
+                            self.maint_jitter.push(jitter);
                         }
                     }
                 }

@@ -3,15 +3,17 @@
 //! The observability spine of the LeakyHammer reproduction, split into
 //! two channels with deliberately different guarantees:
 //!
-//! * **Deterministic counters** ([`metrics`]) — named `u64` counters
-//!   ([`Counter`]) whose increments land in a per-thread scope
-//!   ([`record`]). The harness wraps every experiment-unit execution in
-//!   a scope, so simulator-emitted counts (scheduler wakes, commands by
-//!   kind, maintenance on-time/deferred, cache probe hits/misses)
-//!   attribute to exactly one unit. Counter values must depend only on
-//!   the computation — never on wall-clock or thread scheduling — so
-//!   they can ride cached results and distributed-run envelopes
-//!   byte-identically.
+//! * **Deterministic counters and histograms** ([`metrics`]) — named
+//!   `u64` counters ([`Counter`]) and fixed-power-of-two-bucket
+//!   distributions ([`Histogram`]) whose increments and samples land in
+//!   a per-thread scope ([`record`]). The harness wraps every
+//!   experiment-unit execution in a scope, so simulator-emitted counts
+//!   (scheduler wakes, commands by kind, maintenance on-time/deferred,
+//!   cache probe hits/misses) and distributions (queue waits,
+//!   maintenance slack — all in simulated time) attribute to exactly
+//!   one unit. Metric values must depend only on the computation —
+//!   never on wall-clock or thread scheduling — so they can ride
+//!   cached results and distributed-run envelopes byte-identically.
 //! * **Wall-clock spans** ([`trace`]) — RAII [`Span`]s collected in a
 //!   process-global buffer and exported as Chrome `trace_event` JSON
 //!   (`chrome://tracing`, Perfetto). Timings never enter the
@@ -44,6 +46,6 @@ pub mod metrics;
 pub mod registry;
 pub mod trace;
 
-pub use metrics::{emit, record, scoped, Counter, Metrics};
+pub use metrics::{emit, record, scoped, Counter, Hist, Histogram, Metrics};
 pub use registry::Registry;
 pub use trace::{chrome_trace_json, export_chrome_trace, Span, TraceEvent};

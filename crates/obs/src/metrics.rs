@@ -23,13 +23,108 @@
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 
-/// An ordered map of named counter totals.
+/// A fixed-bucket distribution of `u64` samples.
 ///
-/// Backed by a `BTreeMap` so iteration — and therefore any rendering —
-/// is deterministic in the counter names alone.
+/// Buckets are powers of two: sample `0` lands in bucket exponent `0`,
+/// and any other sample `v` lands in exponent `64 - v.leading_zeros()`,
+/// i.e. exponent `e >= 1` covers `[2^(e-1), 2^e)`. The bucket layout is
+/// a pure function of the sample values — no configuration, no
+/// adaptive resizing — so two histograms built from the same samples
+/// in any order are identical, which is what lets them ride cache
+/// entries and distributed-run envelopes byte for byte like counters
+/// do. Sparse storage: only exponents that received samples appear.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Hist {
+    count: u64,
+    sum: u64,
+    buckets: BTreeMap<u32, u64>,
+}
+
+impl Hist {
+    /// An empty histogram.
+    pub fn new() -> Hist {
+        Hist::default()
+    }
+
+    /// Reassembles a histogram from serialized parts — deserializer
+    /// support, the inverse of reading [`Hist::count`] /
+    /// [`Hist::sum`] / [`Hist::buckets`]. Empty buckets are dropped so
+    /// the result is canonical.
+    pub fn from_parts(count: u64, sum: u64, buckets: impl IntoIterator<Item = (u32, u64)>) -> Hist {
+        Hist {
+            count,
+            sum,
+            buckets: buckets.into_iter().filter(|(_, n)| *n > 0).collect(),
+        }
+    }
+
+    /// The bucket exponent sample `v` lands in.
+    pub fn bucket_of(v: u64) -> u32 {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros()
+        }
+    }
+
+    /// The largest sample value bucket exponent `exp` can hold
+    /// (`2^exp - 1`; exponent 0 holds only the value 0). This is the
+    /// inclusive upper bound a Prometheus `le` label renders.
+    pub fn bucket_bound(exp: u32) -> u64 {
+        match exp {
+            0 => 0,
+            1..=63 => (1u64 << exp) - 1,
+            _ => u64::MAX,
+        }
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, v: u64) {
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(v);
+        *self.buckets.entry(Hist::bucket_of(v)).or_insert(0) += 1;
+    }
+
+    /// Folds another histogram into this one, bucket by bucket.
+    pub fn merge(&mut self, other: &Hist) {
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        for (exp, n) in &other.buckets {
+            let slot = self.buckets.entry(*exp).or_insert(0);
+            *slot = slot.saturating_add(*n);
+        }
+    }
+
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Iterates `(exponent, sample_count)` in exponent order over the
+    /// non-empty buckets.
+    pub fn buckets(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.buckets.iter().map(|(e, n)| (*e, *n))
+    }
+
+    /// Whether no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+/// An ordered map of named counter totals and histogram distributions.
+///
+/// Backed by `BTreeMap`s so iteration — and therefore any rendering —
+/// is deterministic in the metric names alone.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Metrics {
     counts: BTreeMap<String, u64>,
+    hists: BTreeMap<String, Hist>,
 }
 
 impl Metrics {
@@ -52,11 +147,41 @@ impl Metrics {
         self.counts.get(name).copied().unwrap_or(0)
     }
 
-    /// Folds another set of counters into this one, key by key.
+    /// Folds another set of metrics into this one, key by key: counter
+    /// totals sum and histogram buckets merge.
     pub fn merge(&mut self, other: &Metrics) {
         for (name, n) in &other.counts {
             self.add(name, *n);
         }
+        for (name, h) in &other.hists {
+            self.hists.entry(name.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Records one sample into histogram `name` (creating it empty).
+    pub fn observe(&mut self, name: &str, v: u64) {
+        if let Some(h) = self.hists.get_mut(name) {
+            h.observe(v);
+        } else {
+            let mut h = Hist::new();
+            h.observe(v);
+            self.hists.insert(name.to_owned(), h);
+        }
+    }
+
+    /// Inserts (or replaces) a whole histogram under `name`. Empty
+    /// histograms are dropped rather than stored.
+    pub fn set_hist(&mut self, name: &str, hist: Hist) {
+        if hist.is_empty() {
+            self.hists.remove(name);
+        } else {
+            self.hists.insert(name.to_owned(), hist);
+        }
+    }
+
+    /// The histogram named `name`, if any sample reached it.
+    pub fn hist(&self, name: &str) -> Option<&Hist> {
+        self.hists.get(name)
     }
 
     /// Iterates `(name, value)` pairs in name order.
@@ -64,14 +189,20 @@ impl Metrics {
         self.counts.iter().map(|(k, v)| (k.as_str(), *v))
     }
 
-    /// Number of distinct counters.
+    /// Iterates `(name, histogram)` pairs in name order.
+    pub fn hists(&self) -> impl Iterator<Item = (&str, &Hist)> {
+        self.hists.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of distinct counters (histograms are counted separately;
+    /// see [`Metrics::hists`]).
     pub fn len(&self) -> usize {
         self.counts.len()
     }
 
-    /// Whether no counter has been recorded.
+    /// Whether no counter or histogram sample has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.counts.is_empty()
+        self.counts.is_empty() && self.hists.is_empty()
     }
 }
 
@@ -118,6 +249,64 @@ impl Counter {
     /// Adds one.
     pub fn incr(&self) {
         self.add(1);
+    }
+}
+
+/// A named histogram handle, the distribution-shaped sibling of
+/// [`Counter`].
+///
+/// Construction is free (`const`); [`Histogram::observe`] records a
+/// sample into the current thread's innermost metric scope and is a
+/// thread-local check plus a branch without one. Samples must obey the
+/// same determinism contract counters do: pure functions of the
+/// computation (simulated latencies, slack in simulated time, queue
+/// depths) — never wall-clock durations, which belong in
+/// [`crate::trace`] spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Histogram(&'static str);
+
+impl Histogram {
+    /// A handle for histogram `name`.
+    pub const fn new(name: &'static str) -> Histogram {
+        Histogram(name)
+    }
+
+    /// The histogram's name.
+    pub fn name(&self) -> &'static str {
+        self.0
+    }
+
+    /// Records sample `v` into this histogram in the current thread's
+    /// innermost metric scope; a no-op without one.
+    pub fn observe(&self, v: u64) {
+        SCOPES.with(|scopes| {
+            if let Some(scope) = scopes.borrow_mut().last_mut() {
+                scope.observe(self.0, v);
+            }
+        });
+    }
+
+    /// Folds a pre-accumulated [`Hist`] into this histogram in the
+    /// current thread's innermost metric scope; a no-op without one or
+    /// when `hist` is empty.
+    ///
+    /// This is the flush-time path for hot loops that accumulate
+    /// samples locally (e.g. a simulator `System` collecting queue
+    /// waits between obs flushes) instead of paying the thread-local
+    /// lookup per sample.
+    pub fn observe_hist(&self, hist: &Hist) {
+        if hist.is_empty() {
+            return;
+        }
+        SCOPES.with(|scopes| {
+            if let Some(scope) = scopes.borrow_mut().last_mut() {
+                scope
+                    .hists
+                    .entry(self.0.to_owned())
+                    .or_default()
+                    .merge(hist);
+            }
+        });
     }
 }
 
@@ -237,6 +426,97 @@ mod tests {
         });
         assert_eq!(outer.get("sim.service_wakes"), 8);
         emit(&captured); // unscoped replay must be dropped silently
+        let ((), fresh) = record(|| {});
+        assert!(fresh.is_empty());
+    }
+
+    const WAIT: Histogram = Histogram::new("sim.queue_wait");
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        assert_eq!(Hist::bucket_of(0), 0);
+        assert_eq!(Hist::bucket_of(1), 1);
+        assert_eq!(Hist::bucket_of(2), 2);
+        assert_eq!(Hist::bucket_of(3), 2);
+        assert_eq!(Hist::bucket_of(4), 3);
+        assert_eq!(Hist::bucket_of(1023), 10);
+        assert_eq!(Hist::bucket_of(1024), 11);
+        assert_eq!(Hist::bucket_of(u64::MAX), 64);
+        assert_eq!(Hist::bucket_bound(0), 0);
+        assert_eq!(Hist::bucket_bound(1), 1);
+        assert_eq!(Hist::bucket_bound(2), 3);
+        assert_eq!(Hist::bucket_bound(10), 1023);
+        assert_eq!(Hist::bucket_bound(64), u64::MAX);
+        // Every sample fits inside its own bucket's bound.
+        for v in [0u64, 1, 2, 3, 7, 8, 1 << 40, u64::MAX] {
+            assert!(v <= Hist::bucket_bound(Hist::bucket_of(v)), "{v}");
+        }
+    }
+
+    #[test]
+    fn histogram_observe_is_order_independent() {
+        let mut a = Hist::new();
+        let mut b = Hist::new();
+        let samples = [5u64, 0, 17, 5, 1, 300];
+        for v in samples {
+            a.observe(v);
+        }
+        for v in samples.iter().rev() {
+            b.observe(*v);
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.count(), 6);
+        assert_eq!(a.sum(), 328);
+        let buckets: Vec<(u32, u64)> = a.buckets().collect();
+        assert_eq!(buckets, vec![(0, 1), (1, 1), (3, 2), (5, 1), (9, 1)]);
+    }
+
+    #[test]
+    fn histograms_ride_scopes_like_counters() {
+        let ((), m) = record(|| {
+            WAIT.observe(4);
+            WAIT.observe(5);
+            Histogram::new("sim.maintenance.slack").observe(0);
+        });
+        assert_eq!(m.hist("sim.queue_wait").unwrap().count(), 2);
+        assert_eq!(m.hist("sim.queue_wait").unwrap().sum(), 9);
+        assert_eq!(m.hist("sim.maintenance.slack").unwrap().count(), 1);
+        assert!(m.hist("absent").is_none());
+        assert!(!m.is_empty(), "hist-only metrics are not empty");
+        assert_eq!(m.len(), 0, "len counts counters only");
+        WAIT.observe(1); // unscoped: dropped
+        let ((), fresh) = record(|| {});
+        assert!(fresh.is_empty());
+    }
+
+    #[test]
+    fn emit_and_merge_carry_histograms() {
+        let captured = {
+            let ((), inner) = record(|| WAIT.observe(8));
+            inner
+        };
+        let ((), outer) = record(|| {
+            WAIT.observe(2);
+            emit(&captured);
+        });
+        let h = outer.hist("sim.queue_wait").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 10);
+        let buckets: Vec<(u32, u64)> = h.buckets().collect();
+        assert_eq!(buckets, vec![(2, 1), (4, 1)]);
+    }
+
+    #[test]
+    fn observe_hist_folds_accumulated_samples_at_flush() {
+        let mut local = Hist::new();
+        local.observe(3);
+        local.observe(300);
+        let ((), m) = record(|| {
+            WAIT.observe_hist(&local);
+            WAIT.observe_hist(&Hist::new()); // empty: no-op
+        });
+        assert_eq!(m.hist("sim.queue_wait").unwrap().count(), 2);
+        WAIT.observe_hist(&local); // unscoped: dropped
         let ((), fresh) = record(|| {});
         assert!(fresh.is_empty());
     }

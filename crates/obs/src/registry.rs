@@ -45,6 +45,16 @@ impl Registry {
         *self.units.lock().expect("registry units poisoned") += 1;
     }
 
+    /// Adds `n` to lifetime counter `name` without counting a unit —
+    /// for process-level events (worker deaths, requeues, heartbeats)
+    /// that are not unit metric sets.
+    pub fn add(&self, name: &str, n: u64) {
+        self.totals
+            .lock()
+            .expect("registry totals poisoned")
+            .add(name, n);
+    }
+
     /// A snapshot of the lifetime totals.
     pub fn totals(&self) -> Metrics {
         self.totals

@@ -28,7 +28,7 @@ pub type ProcId = usize;
 /// experiment unit). Names are the stable metrics vocabulary that
 /// envelopes, metrics snapshots, and the `report` subcommand key on.
 mod counters {
-    use lh_obs::Counter;
+    use lh_obs::{Counter, Histogram};
 
     /// `MemoryController::service` invocations (scheduler wakes).
     pub const SERVICE_WAKES: Counter = Counter::new("sim.service_wakes");
@@ -54,6 +54,14 @@ mod counters {
     pub const CACHE_PROBE_MISSES: Counter = Counter::new("sim.cache.probe_misses");
     /// Systems that contributed counters (one per flushed [`super::System`]).
     pub const SYSTEMS: Counter = Counter::new("sim.systems");
+
+    /// Distribution of request queue waits — each completion's
+    /// `finished - arrival`, in integer simulated nanoseconds.
+    pub const QUEUE_WAIT: Histogram = Histogram::new("sim.queue_wait");
+    /// Distribution of scheduled-maintenance slack — how far past its
+    /// deadline each maintenance take landed (zero = on time), in
+    /// integer simulated nanoseconds.
+    pub const MAINT_SLACK: Histogram = Histogram::new("sim.maintenance.slack");
 }
 
 /// Counter values already flushed into the metric scope, so repeated
@@ -367,6 +375,15 @@ pub struct System {
     cache_cfg: CacheConfig,
     prefetch_cfg: Option<BopConfig>,
     obs_flushed: ObsFlushed,
+    /// Queue-wait samples accumulated since the last obs flush. Samples
+    /// collect here — not straight into the thread-local metric scope —
+    /// because the lane engine advances systems outside any scope and
+    /// captures metrics only around `flush_obs`; accumulating in the
+    /// system keeps lanes=N byte-identical to lanes=1.
+    queue_wait: lh_obs::Hist,
+    /// Maintenance-slack samples accumulated since the last obs flush
+    /// (same scoping rationale as `queue_wait`).
+    maint_slack: lh_obs::Hist,
 }
 
 impl Drop for System {
@@ -421,6 +438,8 @@ impl System {
             cache_cfg: config.caches,
             prefetch_cfg: config.prefetch,
             obs_flushed: ObsFlushed::default(),
+            queue_wait: lh_obs::Hist::new(),
+            maint_slack: lh_obs::Hist::new(),
         };
         // Start the controller's self-scheduling (refresh timers tick even
         // on an idle system).
@@ -549,6 +568,14 @@ impl System {
         }
         emit_delta(counters::CACHE_PROBE_HITS, hits, &mut f.probe_hits);
         emit_delta(counters::CACHE_PROBE_MISSES, misses, &mut f.probe_misses);
+        // Distribution instruments: samples accumulated since the last
+        // flush are folded into the scope and the local accumulators
+        // reset, so repeated flushes are delta-exact like the counters.
+        let maint_slack = &mut self.maint_slack;
+        self.mc
+            .drain_maintenance_jitter(|jitter| maint_slack.observe(jitter.as_ps() / 1_000));
+        counters::QUEUE_WAIT.observe_hist(&std::mem::take(&mut self.queue_wait));
+        counters::MAINT_SLACK.observe_hist(&std::mem::take(&mut self.maint_slack));
     }
 
     /// Switches controller servicing to the batched path
@@ -758,6 +785,9 @@ impl System {
             let mut done = std::mem::take(&mut self.completion_buf);
             self.mc.drain_completed_into(&mut done);
             for c in done.drain(..) {
+                // Integer simulated nanoseconds: deterministic, so the
+                // sample can ride the metrics channel.
+                self.queue_wait.observe(c.latency().as_ps() / 1_000);
                 match c.kind {
                     AccessKind::Read => {
                         self.push(c.finished, EventKind::Fill { req: c.id });

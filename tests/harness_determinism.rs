@@ -229,3 +229,70 @@ fn derived_seeds_differ_per_experiment_and_unit() {
     assert_ne!(a, lh_harness::derive_seed("fig7", 0, 11));
     assert_ne!(a, lh_harness::derive_seed("fig4", 0, 12));
 }
+
+#[test]
+fn metrics_histograms_are_bit_identical_across_jobs_workers_and_replay() {
+    // Histograms are the newest passengers on the deterministic
+    // channel: power-of-two latency buckets sampled in simulated time,
+    // merged bucket-wise across units. Like the counters they ride
+    // with, they must be a pure function of the computation — never of
+    // scheduling. Pin byte-identity across every execution strategy.
+    let registry = leakyhammer::registry();
+    let job = registry.get("fig13").expect("fig13 registered");
+
+    let serial = runner(1, None).run(job, &ctx()).expect("serial run");
+    let baseline = serial.metrics["histograms"].to_compact();
+    for name in ["sim.queue_wait", "sim.maintenance.slack"] {
+        assert!(
+            serial.metrics["histograms"][name]["count"]
+                .as_u64()
+                .unwrap_or(0)
+                > 0,
+            "fig13 must sample {name}: {baseline}"
+        );
+    }
+
+    let parallel = runner(8, None).run(job, &ctx()).expect("parallel run");
+    assert_eq!(
+        parallel.metrics["histograms"].to_compact(),
+        baseline,
+        "--jobs 8 must merge bit-identical histograms"
+    );
+
+    let mut coordinator = lh_coord::Coordinator::new(
+        Box::new(lh_coord::ThreadSpawner::new(leakyhammer::registry)),
+        lh_coord::CoordinatorOptions {
+            workers: 2,
+            ..Default::default()
+        },
+    );
+    let distributed = coordinator.run(job, &ctx()).expect("distributed run");
+    assert_eq!(
+        distributed.metrics["histograms"].to_compact(),
+        baseline,
+        "--workers 2 must merge bit-identical histograms"
+    );
+
+    // A warm replay executes zero units, yet reports the same
+    // histograms: buckets ride the cache entries next to counters.
+    let dir = std::env::temp_dir().join(format!(
+        "lh-harness-integration-{}-hist-replay",
+        std::process::id()
+    ));
+    let cache = DiskCache::new(&dir);
+    cache.clear().expect("fresh cache dir");
+    let cold = runner(8, Some(cache.clone()))
+        .run(job, &ctx())
+        .expect("cold run");
+    let warm = runner(8, Some(cache.clone()))
+        .run(job, &ctx())
+        .expect("warm run");
+    assert_eq!(warm.stats.units_executed, 0, "warm run must replay");
+    assert_eq!(cold.metrics["histograms"].to_compact(), baseline);
+    assert_eq!(
+        warm.metrics["histograms"].to_compact(),
+        baseline,
+        "cache replay must reproduce histograms byte for byte"
+    );
+    cache.clear().expect("cleanup");
+}

@@ -1,0 +1,70 @@
+//! Schema test for the Chrome `trace_event` exporter: enables tracing,
+//! runs a real experiment so the harness and simulator emit their
+//! actual spans, exports the file `--trace-out` would write, and
+//! validates every event against the `chrome://tracing` / Perfetto
+//! contract with the repo's own JSON parser. Wall-clock spans are the
+//! volatile sibling of the deterministic metrics channel — this pins
+//! the one schema external tools consume.
+
+use lh_harness::json::parse;
+use lh_harness::{JobContext, Runner, RunnerOptions, ScaleLevel};
+
+#[test]
+fn exported_chrome_trace_matches_the_trace_event_schema() {
+    lh_obs::trace::drain(); // start from an empty buffer
+    lh_obs::trace::enable();
+
+    let registry = leakyhammer::registry();
+    let job = registry.get("fig2").expect("fig2 registered");
+    let ctx = JobContext::new(ScaleLevel::Quick, 11);
+    Runner::new(RunnerOptions {
+        jobs: 2,
+        ..Default::default()
+    })
+    .run(job, &ctx)
+    .expect("traced run");
+
+    let path = std::env::temp_dir().join(format!("lh-trace-schema-{}.json", std::process::id()));
+    let exported = lh_obs::trace::export_chrome_trace(&path).expect("export");
+    assert!(exported > 0, "a real run must emit spans");
+
+    let text = std::fs::read_to_string(&path).expect("read back");
+    std::fs::remove_file(&path).ok();
+    let doc = parse(&text).expect("exporter must emit valid JSON");
+
+    assert_eq!(
+        doc["displayTimeUnit"].as_str(),
+        Some("ms"),
+        "Perfetto needs the display unit"
+    );
+    let events = doc["traceEvents"].as_array();
+    assert_eq!(events.len(), exported, "one JSON event per drained span");
+
+    let mut unit_spans = 0usize;
+    for event in events {
+        // The complete-event schema: every field Chrome requires, with
+        // the right JSON types.
+        assert_eq!(event["ph"].as_str(), Some("X"), "{event}");
+        assert!(!event["name"].as_str().unwrap_or("").is_empty(), "{event}");
+        assert!(!event["cat"].as_str().unwrap_or("").is_empty(), "{event}");
+        for field in ["ts", "dur", "pid", "tid"] {
+            assert!(
+                event[field].as_u64().is_some(),
+                "{field} must be an unsigned integer: {event}"
+            );
+        }
+        assert_eq!(
+            event["pid"].as_u64(),
+            Some(u64::from(std::process::id())),
+            "{event}"
+        );
+        if event["name"].as_str() == Some("unit.run") {
+            assert_eq!(event["cat"].as_str(), Some("harness"), "{event}");
+            unit_spans += 1;
+        }
+    }
+    assert!(
+        unit_spans >= 2,
+        "the harness wraps each unit execution in a span: {events:?}"
+    );
+}
