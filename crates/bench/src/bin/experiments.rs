@@ -15,6 +15,14 @@
 //! wall-clock spans as Chrome `trace_event` JSON loadable in
 //! `chrome://tracing` or Perfetto.
 //!
+//! `--events-out FILE` turns on the flight recorder: typed events on
+//! the *simulated* clock (DRAM commands, defense maintenance decisions
+//! with cause, mitigation interventions, link symbol windows with
+//! decode verdicts) land in an NDJSON log that is byte-identical across
+//! `--jobs N`, `--workers N` and cache replay. `lh-experiments events`
+//! filters, summarizes, exports (Chrome `trace_event` on the simulated
+//! clock) and renders the leak-alignment view of such a log.
+//!
 //! `lh-experiments serve` runs the whole harness as a resident service
 //! (`lh-serve`): jobs submitted over HTTP against a warm cache and a
 //! resident worker fleet, live NDJSON run streaming, and a Prometheus
@@ -23,7 +31,7 @@
 //! a serve run.
 //!
 //! ```text
-//! lh-experiments <id|all|list|watch|report|serve> [options]
+//! lh-experiments <id|all|list|watch|report|events|serve> [options]
 //!
 //! options:
 //!   --scale quick|default|paper   experiment scale (default: default)
@@ -35,6 +43,10 @@
 //!   --format text|json|csv        output format (default: text)
 //!   --stream                      stream NDJSON events to stdout as units finish
 //!   --trace-out FILE              export wall-clock spans as Chrome trace_event JSON
+//!   --events-out FILE             record simulated-time flight events to FILE (NDJSON)
+//!   --events-cap N                flight-recorder ring capacity per unit
+//!   --kind/--bank/--seg/--from/--to   events: filter predicates
+//!   --summary / --align / --chrome F  events: view selection
 //!   --addr HOST:PORT              serve: listen address (default: 127.0.0.1:7878)
 //!   --url URL                     watch: attach to a serve stream URL instead of stdin
 //!   --quiet                       suppress progress lines on stderr
@@ -48,7 +60,7 @@ use lh_harness::{
 };
 
 const USAGE: &str = "\
-usage: lh-experiments <id|all|list|watch|report|serve> [options]
+usage: lh-experiments <id|all|list|watch|report|events|serve> [options]
 
 commands:
   <id>           run one experiment (see `lh-experiments list`)
@@ -58,6 +70,8 @@ commands:
                  running serve instance) as a live dashboard
   report FILE..  condense envelope JSON / --stream feeds ('-' = stdin) into
                  a canonical deterministic-metrics document
+  events FILE..  filter/summarize/export an --events-out flight-event log
+                 ('-' = stdin); --align renders the leak-alignment view
   serve          run as a resident HTTP service: submit jobs, stream runs,
                  scrape /metrics (see crates/serve/README.md)
 
@@ -69,9 +83,24 @@ options:
                                 (serve: resident fleet size, default 2)
   --no-cache                    disable the on-disk result cache
   --cache-dir PATH              cache location (default: .lh-cache)
-  --format text|json|csv        output format (default: text; report: text|json)
+  --format text|json|csv        output format (default: text; report: text,
+                                json, or csv — one row per unit with counters
+                                and histogram quantiles)
   --stream                      stream NDJSON events to stdout as units finish
   --trace-out FILE              export wall-clock spans as Chrome trace_event JSON
+  --events-out FILE             record simulated-time flight events to FILE
+                                (NDJSON; byte-identical across --jobs/--workers
+                                and cache replay)
+  --events-cap N                flight-recorder ring capacity per unit
+                                (default 65536; oldest events drop, counted)
+  --kind K                      events: keep only kind K (cmd|maint|mitigation|link)
+  --bank N / --seg N            events: keep only bank / segment N
+  --from NS / --to NS           events: keep t_ns in [FROM, TO)
+  --summary                     events: per-unit kind/verdict/drop summary
+  --align                       events: leak-alignment view (link windows vs
+                                in-window maintenance and mitigation)
+  --chrome FILE                 events: write Chrome trace_event JSON on the
+                                simulated clock to FILE
   --addr HOST:PORT              serve: listen address (default: 127.0.0.1:7878)
   --url URL                     watch: attach to a serve stream URL instead of stdin
   --quiet                       suppress progress lines on stderr
@@ -92,6 +121,12 @@ struct Args {
     format: Option<OutputFormat>,
     stream: bool,
     trace_out: Option<String>,
+    events_out: Option<String>,
+    events_cap: Option<usize>,
+    query: lh_bench::flight_view::EventQuery,
+    ev_summary: bool,
+    ev_align: bool,
+    ev_chrome: Option<String>,
     addr: String,
     url: Option<String>,
     quiet: bool,
@@ -112,6 +147,12 @@ impl Default for Args {
             format: None,
             stream: false,
             trace_out: None,
+            events_out: None,
+            events_cap: None,
+            query: lh_bench::flight_view::EventQuery::default(),
+            ev_summary: false,
+            ev_align: false,
+            ev_chrome: None,
             addr: "127.0.0.1:7878".to_owned(),
             url: None,
             quiet: false,
@@ -161,6 +202,56 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--format" => args.format = Some(value("--format", &mut it)?.parse()?),
             "--stream" => args.stream = true,
             "--trace-out" => args.trace_out = Some(value("--trace-out", &mut it)?.clone()),
+            "--events-out" => args.events_out = Some(value("--events-out", &mut it)?.clone()),
+            "--events-cap" => {
+                let cap = value("--events-cap", &mut it)?
+                    .parse()
+                    .map_err(|_| "--events-cap needs a positive integer".to_owned())?;
+                if cap == 0 {
+                    return Err("--events-cap must be at least 1".to_owned());
+                }
+                args.events_cap = Some(cap);
+            }
+            "--kind" => {
+                let kind = value("--kind", &mut it)?.clone();
+                if !matches!(kind.as_str(), "cmd" | "maint" | "mitigation" | "link") {
+                    return Err(format!(
+                        "--kind must be cmd, maint, mitigation or link, not '{kind}'"
+                    ));
+                }
+                args.query.kind = Some(kind);
+            }
+            "--bank" => {
+                args.query.bank = Some(
+                    value("--bank", &mut it)?
+                        .parse()
+                        .map_err(|_| "--bank needs an unsigned integer".to_owned())?,
+                );
+            }
+            "--seg" => {
+                args.query.seg = Some(
+                    value("--seg", &mut it)?
+                        .parse()
+                        .map_err(|_| "--seg needs an unsigned integer".to_owned())?,
+                );
+            }
+            "--from" => {
+                args.query.from = Some(
+                    value("--from", &mut it)?
+                        .parse()
+                        .map_err(|_| "--from needs simulated ns (unsigned)".to_owned())?,
+                );
+            }
+            "--to" => {
+                args.query.to = Some(
+                    value("--to", &mut it)?
+                        .parse()
+                        .map_err(|_| "--to needs simulated ns (unsigned)".to_owned())?,
+                );
+            }
+            "--summary" => args.ev_summary = true,
+            "--align" => args.ev_align = true,
+            "--chrome" => args.ev_chrome = Some(value("--chrome", &mut it)?.clone()),
             "--addr" => args.addr = value("--addr", &mut it)?.clone(),
             "--url" => args.url = Some(value("--url", &mut it)?.clone()),
             "--quiet" | "-q" => args.quiet = true,
@@ -173,15 +264,51 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.id = id.to_owned();
                 saw_command = true;
             }
-            file if args.id == "report" => args.files.push(file.to_owned()),
+            file if args.id == "report" || args.id == "events" => args.files.push(file.to_owned()),
             extra => return Err(format!("unexpected argument '{extra}'")),
         }
     }
-    if args.id == "report" && args.files.is_empty() {
-        return Err("report needs at least one input file ('-' = stdin)".to_owned());
+    if (args.id == "report" || args.id == "events") && args.files.is_empty() {
+        return Err(format!(
+            "{} needs at least one input file ('-' = stdin)",
+            args.id
+        ));
     }
-    if args.id == "report" && args.format == Some(OutputFormat::Csv) {
-        return Err("report emits text or json, not csv".to_owned());
+    let event_views = usize::from(args.ev_summary)
+        + usize::from(args.ev_align)
+        + usize::from(args.ev_chrome.is_some());
+    if args.id == "events" {
+        if event_views > 1 {
+            return Err("--summary, --align and --chrome are mutually exclusive".to_owned());
+        }
+        if args.format.is_some() || args.stream {
+            return Err("events emits its own formats (see --summary/--align/--chrome)".to_owned());
+        }
+    } else {
+        let has_query = args.query.kind.is_some()
+            || args.query.bank.is_some()
+            || args.query.seg.is_some()
+            || args.query.from.is_some()
+            || args.query.to.is_some();
+        if event_views > 0 || has_query {
+            return Err(
+                "--kind/--bank/--seg/--from/--to/--summary/--align/--chrome only apply to the \
+                 events command"
+                    .to_owned(),
+            );
+        }
+    }
+    if args.events_out.is_some()
+        && (args.worker || matches!(args.id.as_str(), "watch" | "report" | "events" | "serve"))
+    {
+        return Err(
+            "--events-out only applies to experiment runs (serve clients request events per \
+             run; workers inherit the switch from their coordinator)"
+                .to_owned(),
+        );
+    }
+    if args.events_cap.is_some() && args.events_out.is_none() {
+        return Err("--events-cap needs --events-out".to_owned());
     }
     if args.stream && args.format.is_some() {
         return Err(
@@ -410,6 +537,7 @@ fn report_mode(files: &[String], format: OutputFormat) -> ! {
 
     match format {
         OutputFormat::Json => emit(&(doc.to_pretty() + "\n")),
+        OutputFormat::Csv => emit(&report_csv(&experiments)),
         _ => {
             emit("== deterministic metrics ==\n");
             for (id, metrics) in &experiments {
@@ -430,6 +558,133 @@ fn report_mode(files: &[String], format: OutputFormat) -> ! {
                     hist.sum()
                 ));
             }
+        }
+    }
+    std::process::exit(0);
+}
+
+/// One CSV field, quoted when it holds a delimiter — unit labels carry
+/// spaces and `=` freely and may grow commas.
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+/// `report --format csv`: one row per experiment unit. Columns are the
+/// sorted union of counter names across all units, then per histogram
+/// its sample count and p50/p90/p99 quantiles — a flat table for
+/// spreadsheet- or pandas-side trend analysis. Cells for counters a
+/// unit never touched stay empty (absent is not zero: a unit that never
+/// entered a subsystem is different from one that measured 0).
+fn report_csv(experiments: &[(String, lh_harness::Json)]) -> String {
+    use lh_harness::metrics::{hist_from_json, HISTOGRAMS_KEY};
+    use std::collections::BTreeSet;
+
+    let mut counters: BTreeSet<&str> = BTreeSet::new();
+    let mut hists: BTreeSet<&str> = BTreeSet::new();
+    for (_, metrics) in experiments {
+        for (_, unit_metrics) in metrics["units"].as_object() {
+            for (name, _) in unit_metrics.as_object() {
+                if name != HISTOGRAMS_KEY {
+                    counters.insert(name);
+                }
+            }
+            for (name, _) in unit_metrics[HISTOGRAMS_KEY].as_object() {
+                hists.insert(name);
+            }
+        }
+    }
+
+    let mut out = String::from("experiment,unit");
+    for name in &counters {
+        out.push(',');
+        out.push_str(&csv_field(name));
+    }
+    for name in &hists {
+        for suffix in ["count", "p50", "p90", "p99"] {
+            out.push(',');
+            out.push_str(&csv_field(&format!("{name}.{suffix}")));
+        }
+    }
+    out.push('\n');
+
+    for (id, metrics) in experiments {
+        for (unit, unit_metrics) in metrics["units"].as_object() {
+            out.push_str(&csv_field(id));
+            out.push(',');
+            out.push_str(&csv_field(unit));
+            for name in &counters {
+                out.push(',');
+                if let Some(value) = unit_metrics[*name].as_u64() {
+                    out.push_str(&value.to_string());
+                }
+            }
+            for name in &hists {
+                let hist_json = &unit_metrics[HISTOGRAMS_KEY][*name];
+                if hist_json.as_object().is_empty() {
+                    out.push_str(",,,,");
+                    continue;
+                }
+                let hist = hist_from_json(hist_json);
+                out.push_str(&format!(
+                    ",{},{},{},{}",
+                    hist.count(),
+                    hist.quantile(0.50),
+                    hist.quantile(0.90),
+                    hist.quantile(0.99)
+                ));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// `lh-experiments events`: filter/summarize/export a flight-event log
+/// produced by `--events-out` (see `lh_bench::flight_view`).
+fn events_mode(args: &Args) -> ! {
+    use lh_bench::flight_view as fv;
+
+    let mut lines: Vec<fv::LogLine> = Vec::new();
+    for file in &args.files {
+        let content = if file == "-" {
+            let mut buf = String::new();
+            std::io::Read::read_to_string(&mut std::io::stdin().lock(), &mut buf)
+                .map(|_| buf)
+                .map_err(|e| format!("reading stdin failed: {e}"))
+        } else {
+            std::fs::read_to_string(file).map_err(|e| format!("reading {file} failed: {e}"))
+        };
+        let origin = if file == "-" { "<stdin>" } else { file };
+        match content.and_then(|c| fv::parse_log(&c, origin)) {
+            Ok(mut parsed) => lines.append(&mut parsed),
+            Err(e) => {
+                eprintln!("error: events: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let selected = fv::select(lines, &args.query);
+    if args.ev_summary {
+        emit(&fv::summary(&selected));
+    } else if args.ev_align {
+        emit(&fv::align(&selected));
+    } else if let Some(path) = &args.ev_chrome {
+        let trace = fv::chrome(&selected);
+        if let Err(e) = std::fs::write(path, trace.as_bytes()) {
+            eprintln!("error: events: writing {path} failed: {e}");
+            std::process::exit(1);
+        }
+        if !args.quiet {
+            eprintln!("events: wrote simulated-clock trace to {path}");
+        }
+    } else {
+        for line in &selected {
+            emit(&line.raw);
+            emit("\n");
         }
     }
     std::process::exit(0);
@@ -532,6 +787,9 @@ fn main() {
     if args.id == "report" {
         report_mode(&args.files, args.format.unwrap_or_default());
     }
+    if args.id == "events" {
+        events_mode(&args);
+    }
     if args.id == "serve" {
         serve_mode(&args);
     }
@@ -541,6 +799,16 @@ fn main() {
     // coordinator's trace covers its own spans only.)
     if args.trace_out.is_some() {
         lh_obs::trace::enable();
+    }
+    // Flight events, by contrast, are deterministic simulated-time
+    // records: the switch must be up before any unit runs so cache keys
+    // land on the events-aware side, and worker child processes get the
+    // switch per assignment over the coordinator protocol.
+    if let Some(cap) = args.events_cap {
+        lh_obs::flight::set_cap(cap);
+    }
+    if args.events_out.is_some() {
+        lh_obs::flight::enable();
     }
 
     let registry = leakyhammer::registry();
@@ -605,6 +873,7 @@ fn main() {
     };
     let ctx = JobContext::new(args.scale, args.seed);
 
+    let mut event_logs = String::new();
     for id in ids {
         let job = registry.get(id).expect("id comes from the registry");
         if args.stream {
@@ -616,6 +885,9 @@ fn main() {
         }
         match executor.run(job, &ctx) {
             Ok(run) => {
+                if let Some(events) = &run.events {
+                    event_logs.push_str(events);
+                }
                 if args.stream {
                     // Close out each distributed run with a fleet
                     // telemetry event so `watch` can render the final
@@ -637,6 +909,18 @@ fn main() {
     }
     if let Executor::Fleet(mut coordinator) = executor {
         coordinator.shutdown();
+    }
+    if let Some(path) = &args.events_out {
+        if let Err(e) = std::fs::write(path, event_logs.as_bytes()) {
+            eprintln!("error: writing events to {path} failed: {e}");
+            std::process::exit(1);
+        }
+        if !args.quiet {
+            eprintln!(
+                "events: wrote {} line(s) to {path}",
+                event_logs.lines().count()
+            );
+        }
     }
     if let Some(path) = &args.trace_out {
         match lh_obs::export_chrome_trace(path) {

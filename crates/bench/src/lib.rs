@@ -16,6 +16,8 @@
 
 pub use leakyhammer::{experiment, report, Scale};
 
+pub mod flight_view;
+
 /// All experiment identifiers the harness knows, with a one-line
 /// description (figure/table mapping per DESIGN.md §2).
 pub const EXPERIMENTS: &[(&str, &str)] = &[

@@ -35,7 +35,7 @@ use std::time::Instant;
 use lh_harness::cache::DiskCache;
 use lh_harness::job::{Job, JobContext, Registry};
 use lh_harness::json::Json;
-use lh_harness::metrics::{metrics_block, unwrap_entry, wrap_entry};
+use lh_harness::metrics::{metrics_block, unwrap_entry_events, wrap_entry_events};
 use lh_harness::pool::{validate_dag, DagSchedule};
 use lh_harness::progress::{Progress, UnitOutcome};
 use lh_harness::runner::{
@@ -415,13 +415,16 @@ impl Coordinator {
     /// and deterministic unit failures reported by workers.
     pub fn run(&mut self, job: &dyn Job, ctx: &JobContext) -> Result<ExperimentRun, String> {
         let started = Instant::now();
+        // Sampled once per run (the same contract as the in-process
+        // runner): keys, assignments and assembly all use this value.
+        let events_on = lh_obs::flight::enabled();
         let units = job.units(ctx);
         let n = units.len();
-        let merged_key = unit_key(job, &merged_fingerprint(&units), ctx);
+        let merged_key = unit_key(job, &merged_fingerprint(&units), ctx, events_on);
 
         if let Some(cache) = &self.options.cache {
             if let Some(entry) = cache.get(&merged_key) {
-                let (metrics, merged) = unwrap_entry(entry);
+                let (metrics, merged, events) = unwrap_entry_events(entry);
                 if self.options.progress {
                     note(format_args!(
                         "{}: merged result cached, nothing to do",
@@ -432,6 +435,7 @@ impl Coordinator {
                     id: job.id(),
                     merged,
                     metrics,
+                    events,
                     stats: RunStats {
                         units_total: n,
                         units_cached: n,
@@ -454,7 +458,7 @@ impl Coordinator {
         // `self` across the mutable fleet operations below.)
         let cache = self.options.cache.clone();
         let cache = cache.as_ref();
-        let (mut hits, eff_deps) = probe_unit_cache(job, &units, &deps, cache, ctx);
+        let (mut hits, eff_deps) = probe_unit_cache(job, &units, &deps, cache, ctx, events_on);
         let units_cached = hits.iter().filter(|h| h.is_some()).count();
         let mut sched = DagSchedule::new(&eff_deps).expect("validated above, pruning is safe");
 
@@ -466,6 +470,7 @@ impl Coordinator {
         let progress = Progress::new(job.id(), n, self.options.progress);
         let mut results: Vec<Option<Json>> = vec![None; n];
         let mut unit_metrics: Vec<Option<Json>> = vec![None; n];
+        let mut unit_events: Vec<Option<String>> = vec![None; n];
 
         while !sched.is_done() {
             // Dispatch everything ready: cache hits complete on the
@@ -473,7 +478,8 @@ impl Coordinator {
             // results inlined.
             while let Some(unit) = sched.claim() {
                 if let Some(hit) = hits[unit].take() {
-                    let (metrics, result) = unwrap_entry(hit);
+                    let (metrics, result, events) = unwrap_entry_events(hit);
+                    unit_events[unit] = events;
                     self.complete_unit(
                         job,
                         &units,
@@ -502,6 +508,8 @@ impl Coordinator {
                     unit,
                     scale: ctx.scale.as_str().to_owned(),
                     seed: ctx.seed,
+                    events: events_on,
+                    events_cap: lh_obs::flight::cap() as u64,
                     deps: payload,
                 }
                 .to_json();
@@ -558,6 +566,7 @@ impl Coordinator {
                     wall_ms,
                     metrics,
                     result,
+                    events,
                 }) => {
                     if !self.slots[w].alive {
                         continue;
@@ -572,6 +581,7 @@ impl Coordinator {
                     }
                     self.slots[w].busy = None;
                     self.telemetry.worker_done(w);
+                    unit_events[unit] = events;
                     self.complete_unit(
                         job,
                         &units,
@@ -621,6 +631,21 @@ impl Coordinator {
             .map(|m| m.expect("all units completed"))
             .collect();
         let metrics = metrics_block(&units, &per_unit);
+        // Assemble the event log in unit order — the same bytes the
+        // in-process runner produces, whatever the completion order or
+        // worker placement was.
+        let events = events_on.then(|| {
+            let mut blob = lh_obs::flight::experiment_header(
+                job.id(),
+                ctx.scale.as_str(),
+                ctx.seed,
+                units.len(),
+            );
+            for e in unit_events.iter().flatten() {
+                blob.push_str(e);
+            }
+            blob
+        });
         let merged = job.finish(
             results
                 .into_iter()
@@ -629,7 +654,7 @@ impl Coordinator {
             ctx,
         );
         if let Some(c) = cache {
-            let entry = wrap_entry(metrics.clone(), merged.clone());
+            let entry = wrap_entry_events(metrics.clone(), merged.clone(), events.clone());
             if let Err(e) = c.put(&merged_key, &entry) {
                 note(format_args!(
                     "warning: cache write failed for {} merge: {e}",
@@ -643,6 +668,7 @@ impl Coordinator {
             id: job.id(),
             merged,
             metrics,
+            events,
             stats: RunStats {
                 units_total: n,
                 units_cached,

@@ -26,7 +26,12 @@ use lh_harness::json::{parse, Json};
 /// serve dashboard behind it) can tell a long-running unit from a hung
 /// worker. Heartbeats are volatile liveness data — they never touch
 /// unit results or metrics.
-pub const PROTOCOL_VERSION: u64 = 3;
+///
+/// v4: [`ToWorker::Assign`] carries the flight-recorder switches
+/// (`events`, `events_cap`) and [`FromWorker::Done`] returns the unit's
+/// rendered event log, so `--events-out` logs stay byte-identical
+/// between in-process and distributed execution.
+pub const PROTOCOL_VERSION: u64 = 4;
 
 /// Messages the coordinator sends to a worker.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,6 +48,15 @@ pub enum ToWorker {
         /// Master seed; the worker derives the unit seed itself, so
         /// placement cannot change any unit's randomness.
         seed: u64,
+        /// Whether to capture a flight-event log for this unit. Carried
+        /// per assignment (not ambient worker state) so the worker's
+        /// cache writes land under the events-aware key the
+        /// coordinator probes.
+        events: bool,
+        /// Capture-ring capacity when `events` is set (events per
+        /// unit); part of the assignment because the ring bound shapes
+        /// the log bytes.
+        events_cap: u64,
         /// Dependency results, in `Job::deps` declaration order.
         deps: Vec<Json>,
     },
@@ -75,6 +89,9 @@ pub enum FromWorker {
         metrics: Json,
         /// The unit's JSON result.
         result: Json,
+        /// The unit's rendered flight-event log, present exactly when
+        /// the assignment set `events`. Deterministic like `metrics`.
+        events: Option<String>,
     },
     /// Periodic liveness beacon (protocol v3). Sent from a timer thread
     /// between protocol replies; carries how many assignments this
@@ -107,6 +124,8 @@ impl ToWorker {
                 unit,
                 scale,
                 seed,
+                events,
+                events_cap,
                 deps,
             } => Json::object()
                 .with("type", "assign")
@@ -114,6 +133,8 @@ impl ToWorker {
                 .with("unit", *unit)
                 .with("scale", scale.as_str())
                 .with("seed", *seed)
+                .with("events", *events)
+                .with("events_cap", *events_cap)
                 .with("deps", Json::Array(deps.clone())),
             ToWorker::Shutdown => Json::object().with("type", "shutdown"),
         }
@@ -131,6 +152,10 @@ impl ToWorker {
                 unit: usize_field(msg, "unit")?,
                 scale: str_field(msg, "scale")?,
                 seed: u64_field(msg, "seed")?,
+                events: msg["events"].as_bool().unwrap_or(false),
+                events_cap: msg["events_cap"]
+                    .as_u64()
+                    .unwrap_or(lh_obs::flight::DEFAULT_CAP as u64),
                 deps: match &msg["deps"] {
                     Json::Array(items) => items.clone(),
                     other => return Err(format!("assign.deps must be an array, got {other}")),
@@ -164,13 +189,20 @@ impl FromWorker {
                 wall_ms,
                 metrics,
                 result,
-            } => Json::object()
-                .with("type", "done")
-                .with("experiment", experiment.as_str())
-                .with("unit", *unit)
-                .with("ms", *wall_ms)
-                .with("metrics", metrics.clone())
-                .with("result", result.clone()),
+                events,
+            } => {
+                let msg = Json::object()
+                    .with("type", "done")
+                    .with("experiment", experiment.as_str())
+                    .with("unit", *unit)
+                    .with("ms", *wall_ms)
+                    .with("metrics", metrics.clone())
+                    .with("result", result.clone());
+                match events {
+                    Some(blob) => msg.with("events", blob.as_str()),
+                    None => msg,
+                }
+            }
             FromWorker::Heartbeat { units_done } => Json::object()
                 .with("type", "heartbeat")
                 .with("units_done", *units_done),
@@ -203,6 +235,7 @@ impl FromWorker {
                 wall_ms: u64_field(msg, "ms")?,
                 metrics: msg["metrics"].clone(),
                 result: msg["result"].clone(),
+                events: msg["events"].as_str().map(str::to_owned),
             }),
             Some("heartbeat") => Ok(FromWorker::Heartbeat {
                 units_done: u64_field(msg, "units_done")?,
@@ -259,6 +292,8 @@ mod tests {
             unit: 7,
             scale: "quick".into(),
             seed: u64::MAX,
+            events: true,
+            events_cap: 4096,
             deps: vec![Json::object().with("ipc", 1.25), Json::Null],
         };
         let line = msg.to_json().to_compact();
@@ -276,6 +311,15 @@ mod tests {
                 wall_ms: 12,
                 metrics: Json::object().with("sim.service_wakes", 42u64),
                 result: Json::object().with("capacity", 39.5),
+                events: None,
+            },
+            FromWorker::Done {
+                experiment: "fig6".into(),
+                unit: 4,
+                wall_ms: 12,
+                metrics: Json::object(),
+                result: Json::Null,
+                events: Some("{\"kind\":\"unit\",\"unit\":\"u\"}\n".into()),
             },
             FromWorker::Heartbeat { units_done: 9 },
             FromWorker::Failed {

@@ -15,7 +15,7 @@ use std::time::{Duration, Instant};
 
 use lh_harness::cache::DiskCache;
 use lh_harness::job::{JobContext, Registry};
-use lh_harness::metrics::{metrics_to_json, wrap_entry};
+use lh_harness::metrics::{metrics_to_json, wrap_entry_events};
 use lh_harness::runner::unit_key;
 use lh_harness::seed::derive_seed;
 
@@ -147,15 +147,17 @@ pub fn worker_loop(
     while let Some(msg) = rx.recv()? {
         let msg = ToWorker::from_json(&msg)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-        let (experiment, unit, scale, seed, deps) = match msg {
+        let (experiment, unit, scale, seed, events, events_cap, deps) = match msg {
             ToWorker::Shutdown => break,
             ToWorker::Assign {
                 experiment,
                 unit,
                 scale,
                 seed,
+                events,
+                events_cap,
                 deps,
-            } => (experiment, unit, scale, seed, deps),
+            } => (experiment, unit, scale, seed, events, events_cap, deps),
         };
 
         assigns += 1;
@@ -163,17 +165,24 @@ pub fn worker_loop(
             return Ok(());
         }
 
+        // The recorder switches are assignment state, not worker state:
+        // set them from the message so a worker serving a mixed stream
+        // (events on, then off) captures exactly what each unit's cache
+        // key promises.
+        lh_obs::flight::set_cap(usize::try_from(events_cap).unwrap_or(usize::MAX));
+        lh_obs::flight::set_enabled(events);
         let reply = match run_assignment(
             registry,
             &experiment,
             unit,
             &scale,
             seed,
+            events,
             &deps,
             &cache,
             &memo,
         ) {
-            Ok((result, metrics, wall_ms)) => {
+            Ok((result, metrics, wall_ms, unit_events)) => {
                 units_done.fetch_add(1, Ordering::Relaxed);
                 FromWorker::Done {
                     experiment,
@@ -181,6 +190,7 @@ pub fn worker_loop(
                     wall_ms,
                     metrics,
                     result,
+                    events: unit_events,
                 }
             }
             Err(error) => FromWorker::Failed {
@@ -201,7 +211,8 @@ pub fn worker_loop(
 }
 
 /// Executes one assignment, returning the result, its deterministic
-/// metrics, and its wall time.
+/// metrics, its wall time, and (when the assignment asked for one) its
+/// rendered flight-event log.
 #[allow(clippy::too_many_arguments)]
 fn run_assignment(
     registry: &Registry,
@@ -209,10 +220,11 @@ fn run_assignment(
     unit: usize,
     scale: &str,
     seed: u64,
+    events: bool,
     deps: &[lh_harness::Json],
     cache: &Option<DiskCache>,
     memo: &lh_harness::Memo,
-) -> Result<(lh_harness::Json, lh_harness::Json, u64), String> {
+) -> Result<(lh_harness::Json, lh_harness::Json, u64, Option<String>), String> {
     let job = registry
         .get(experiment)
         .ok_or_else(|| format!("unknown experiment '{experiment}' in this worker's registry"))?;
@@ -233,9 +245,11 @@ fn run_assignment(
         .clone();
 
     let started = Instant::now();
-    let (result, recorded) = catch_unwind(AssertUnwindSafe(|| {
+    let ((result, recorded), flight) = catch_unwind(AssertUnwindSafe(|| {
         let _span = lh_obs::Span::enter("unit.run", "worker");
-        lh_obs::record(|| job.run_unit(unit, derive_seed(job.id(), unit, ctx.seed), deps, &ctx))
+        lh_obs::flight::capture(|| {
+            lh_obs::record(|| job.run_unit(unit, derive_seed(job.id(), unit, ctx.seed), deps, &ctx))
+        })
     }))
     .map_err(|payload| {
         let cause = payload
@@ -245,16 +259,17 @@ fn run_assignment(
             .unwrap_or_else(|| "unit panicked".to_owned());
         format!("{experiment}/{label} panicked: {cause}")
     })?;
+    let unit_events = events.then(|| flight.render(&label, unit));
     let metrics = metrics_to_json(&recorded);
     let wall_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
 
     if let Some(c) = cache {
-        let entry = wrap_entry(metrics.clone(), result.clone());
-        if let Err(e) = c.put(&unit_key(job, &label, &ctx), &entry) {
+        let entry = wrap_entry_events(metrics.clone(), result.clone(), unit_events.clone());
+        if let Err(e) = c.put(&unit_key(job, &label, &ctx, events), &entry) {
             eprintln!("warning: worker cache write failed for {experiment}/{label}: {e}");
         }
     }
-    Ok((result, metrics, wall_ms))
+    Ok((result, metrics, wall_ms, unit_events))
 }
 
 #[cfg(test)]
@@ -300,6 +315,8 @@ mod tests {
             unit,
             scale: "quick".into(),
             seed: 11,
+            events: false,
+            events_cap: lh_obs::flight::DEFAULT_CAP as u64,
             deps,
         }
         .to_json()

@@ -73,9 +73,11 @@ proptest! {
         unit in any::<usize>(),
         scale in "[a-z]{1,8}",
         seed in any::<u64>(),
+        events in any::<bool>(),
+        events_cap in 1u64..=u64::from(u32::MAX),
         deps in collection::vec(payload(), 0..4),
     ) {
-        let msg = ToWorker::Assign { experiment, unit, scale, seed, deps };
+        let msg = ToWorker::Assign { experiment, unit, scale, seed, events, events_cap, deps };
         prop_assert_eq!(wire_to_worker(&msg), Ok(msg));
     }
 
@@ -86,8 +88,11 @@ proptest! {
         wall_ms in any::<u64>(),
         metrics in payload(),
         result in payload(),
+        has_events in any::<bool>(),
+        events_blob in "[ -~]{0,48}",
     ) {
-        let msg = FromWorker::Done { experiment, unit, wall_ms, metrics, result };
+        let events = has_events.then(|| format!("{events_blob}\n"));
+        let msg = FromWorker::Done { experiment, unit, wall_ms, metrics, result, events };
         prop_assert_eq!(wire_from_worker(&msg), Ok(msg));
     }
 

@@ -197,10 +197,39 @@ pub fn run_covert(opts: &CovertOptions) -> CovertOutcome {
 
     sys.run_until(end);
 
+    // Reserve the flight segment before borrowing the receiver: the
+    // symbol-window events below must land on this system's timeline.
+    let flight_seg = lh_obs::flight::active().then(|| sys.flight_seg());
     let rx_proc = sys
         .process_as::<CovertReceiver>(rx_id)
         .expect("receiver present");
     let decoded = rx_proc.decode_binary(trecv);
+    if let Some(seg) = flight_seg {
+        let link_events = opts
+            .bits
+            .iter()
+            .zip(rx_proc.observations())
+            .enumerate()
+            .map(|(i, (&bit, o))| {
+                let t0 = start + opts.window * i as u64;
+                let verdict = match (bit != 0, o.events >= trecv) {
+                    (true, true) => "hit",
+                    (true, false) => "miss",
+                    (false, true) => "false-positive",
+                    (false, false) => "idle",
+                };
+                lh_obs::FlightEvent::Link {
+                    t_ns: t0.as_ps() / 1_000,
+                    t_end_ns: (t0 + opts.window).as_ps() / 1_000,
+                    window: i as u64,
+                    symbol: u64::from(bit),
+                    events: u64::from(o.events),
+                    verdict,
+                }
+            })
+            .collect();
+        lh_obs::flight::emit_batch(seg, link_events, std::collections::BTreeMap::new());
+    }
     let per_window_events = rx_proc.observations().iter().map(|o| o.events).collect();
     let seconds = (opts.window * opts.bits.len() as u64).as_secs();
     let result = ChannelResult::from_bits(&opts.bits, &decoded, seconds);

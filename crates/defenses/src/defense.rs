@@ -193,6 +193,17 @@ pub trait Defense: fmt::Debug {
     /// Counters.
     fn stats(&self) -> &DefenseStats;
 
+    /// Drains any flight-recorder events this defense (or a wrapper
+    /// around it) buffered since the last drain into `sink`, drop
+    /// accounting included. The simulator calls this at obs-flush time
+    /// so events land in the per-unit capture scope with the right
+    /// segment tag; defenses with nothing to report (the default) do
+    /// nothing. Implementations wrapping an inner defense must drain
+    /// the inner one too.
+    fn drain_flight(&mut self, sink: &mut lh_obs::flight::EventBuffer) {
+        let _ = sink;
+    }
+
     /// Downcast support for tests and instrumentation.
     fn as_any(&self) -> &dyn Any;
 }

@@ -82,7 +82,10 @@ pub use cache::{CacheKey, DiskCache};
 pub use job::{Job, JobContext, Registry, ScaleLevel};
 pub use json::Json;
 pub use memo::Memo;
-pub use metrics::{metrics_block, metrics_from_json, metrics_to_json, unwrap_entry, wrap_entry};
+pub use metrics::{
+    metrics_block, metrics_from_json, metrics_to_json, unwrap_entry, unwrap_entry_events,
+    wrap_entry, wrap_entry_events,
+};
 pub use pool::DagSchedule;
 pub use runner::{
     merged_fingerprint, probe_unit_cache, unit_key, ExperimentRun, RunStats, Runner, RunnerOptions,

@@ -115,24 +115,53 @@ pub fn wrap_entry(metrics: Json, result: Json) -> Json {
         .with("result", result)
 }
 
+/// [`wrap_entry`] with an optional flight-event NDJSON blob as a third
+/// `events` field. `None` produces the exact two-field [`wrap_entry`]
+/// bytes, so entries written with recording off are indistinguishable
+/// from pre-flight-recorder entries.
+pub fn wrap_entry_events(metrics: Json, result: Json, events: Option<String>) -> Json {
+    let entry = wrap_entry(metrics, result);
+    match events {
+        Some(blob) => entry.with("events", blob),
+        None => entry,
+    }
+}
+
 /// Splits a cache entry or wire payload written by [`wrap_entry`] into
 /// `(metrics, result)`.
 ///
 /// Tolerates an unwrapped value (returned as the result with empty
 /// metrics) so schema evolution cannot turn stale-but-keyed-valid
-/// entries into hard failures.
+/// entries into hard failures. An `events` blob
+/// ([`wrap_entry_events`]) is discarded; callers that replay event
+/// logs use [`unwrap_entry_events`].
 pub fn unwrap_entry(entry: Json) -> (Json, Json) {
+    let (metrics, result, _) = unwrap_entry_events(entry);
+    (metrics, result)
+}
+
+/// Splits an entry written by [`wrap_entry`] or [`wrap_entry_events`]
+/// into `(metrics, result, events)`, with the same unwrapped-value
+/// tolerance as [`unwrap_entry`].
+pub fn unwrap_entry_events(entry: Json) -> (Json, Json, Option<String>) {
     if let Json::Object(ref fields) = entry {
-        if fields.len() == 2 && fields[0].0 == "metrics" && fields[1].0 == "result" {
+        let wrapped = matches!(fields.len(), 2 | 3)
+            && fields[0].0 == "metrics"
+            && fields[1].0 == "result"
+            && fields.get(2).is_none_or(|f| f.0 == "events");
+        if wrapped {
             if let Json::Object(mut fields) = entry {
+                let events = (fields.len() == 3)
+                    .then(|| fields.pop().expect("len checked").1)
+                    .and_then(|e| e.as_str().map(str::to_owned));
                 let result = fields.pop().expect("len checked").1;
                 let metrics = fields.pop().expect("len checked").1;
-                return (metrics, result);
+                return (metrics, result, events);
             }
             unreachable!("matched Object above");
         }
     }
-    (Json::object(), entry)
+    (Json::object(), entry, None)
 }
 
 /// Builds the envelope `metrics` block from per-unit metric objects:

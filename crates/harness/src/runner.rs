@@ -8,7 +8,9 @@ use std::time::Instant;
 use crate::cache::{CacheKey, DiskCache};
 use crate::job::{Job, JobContext};
 use crate::json::Json;
-use crate::metrics::{metrics_block, metrics_from_json, metrics_to_json, unwrap_entry, wrap_entry};
+use crate::metrics::{
+    metrics_block, metrics_from_json, metrics_to_json, unwrap_entry_events, wrap_entry_events,
+};
 use crate::pool;
 use crate::progress::{Progress, UnitOutcome};
 use crate::seed::derive_seed;
@@ -35,14 +37,27 @@ pub fn merged_fingerprint(units: &[String]) -> String {
 /// `lh-coord` coordinator's warm-path probe, and distributed workers'
 /// private cache writes all construct keys through here, so entries
 /// written by any executor replay under every other.
-pub fn unit_key(job: &dyn Job, unit: &str, ctx: &JobContext) -> CacheKey {
+///
+/// `events` is whether the entry carries a flight-event log; it is an
+/// explicit parameter — never read from the process-global recording
+/// switch — so an executor whose switch lags its assignment (e.g. a
+/// worker process) cannot write an event-less entry under an
+/// events-expected key. Event-bearing entries live under a distinct
+/// fingerprint, so a plain run never replays (or misses on) a
+/// recording run's entries and vice versa.
+pub fn unit_key(job: &dyn Job, unit: &str, ctx: &JobContext, events: bool) -> CacheKey {
+    let fingerprint = if events {
+        format!("{}+events", job.fingerprint())
+    } else {
+        job.fingerprint()
+    };
     CacheKey {
         experiment: job.id().to_owned(),
         unit: unit.to_owned(),
         scale: ctx.scale.as_str().to_owned(),
         seed: ctx.seed,
         job_version: job.version(),
-        fingerprint: job.fingerprint(),
+        fingerprint,
     }
 }
 
@@ -64,10 +79,11 @@ pub fn probe_unit_cache(
     deps: &[Vec<usize>],
     cache: Option<&DiskCache>,
     ctx: &JobContext,
+    events: bool,
 ) -> (Vec<Option<Json>>, Vec<Vec<usize>>) {
     let hits: Vec<Option<Json>> = units
         .iter()
-        .map(|unit| cache.and_then(|c| c.get(&unit_key(job, unit, ctx))))
+        .map(|unit| cache.and_then(|c| c.get(&unit_key(job, unit, ctx, events))))
         .collect();
     let eff_deps = deps
         .iter()
@@ -161,6 +177,11 @@ pub struct ExperimentRun {
     /// counter-wise sum. Byte-stable across `--jobs`, cache states and
     /// worker counts, unlike [`RunStats`].
     pub metrics: Json,
+    /// The assembled flight-event log (`Some` only when recording was
+    /// enabled): one experiment header line, then each unit's rendered
+    /// log in unit order. Byte-identical across `--jobs`, worker
+    /// counts and cache replay, like `metrics`.
+    pub events: Option<String>,
     /// What it took.
     pub stats: RunStats,
 }
@@ -186,8 +207,8 @@ impl Runner {
         }
     }
 
-    fn key(&self, job: &dyn Job, unit: &str, ctx: &JobContext) -> CacheKey {
-        unit_key(job, unit, ctx)
+    fn key(&self, job: &dyn Job, unit: &str, ctx: &JobContext, events: bool) -> CacheKey {
+        unit_key(job, unit, ctx, events)
     }
 
     /// Runs one experiment end to end.
@@ -206,12 +227,15 @@ impl Runner {
     /// fatal; a poisoned unit execution panics instead.
     pub fn run(&self, job: &dyn Job, ctx: &JobContext) -> Result<ExperimentRun, String> {
         let started = Instant::now();
+        // Sampled once per run so keys, capture and assembly agree even
+        // if the process-global switch is toggled concurrently.
+        let events_on = lh_obs::flight::enabled();
         let units = job.units(ctx);
-        let merged_key = self.key(job, &merged_fingerprint(&units), ctx);
+        let merged_key = self.key(job, &merged_fingerprint(&units), ctx, events_on);
 
         if let Some(cache) = &self.options.cache {
             if let Some(entry) = cache.get(&merged_key) {
-                let (metrics, merged) = unwrap_entry(entry);
+                let (metrics, merged, events) = unwrap_entry_events(entry);
                 let stats = RunStats {
                     units_total: units.len(),
                     units_cached: units.len(),
@@ -229,6 +253,7 @@ impl Runner {
                     id: job.id(),
                     merged,
                     metrics,
+                    events,
                     stats,
                 });
             }
@@ -238,31 +263,42 @@ impl Runner {
         pool::validate_dag(&deps).map_err(|e| format!("{}: invalid unit DAG: {e}", job.id()))?;
         let cache = self.options.cache.as_ref();
 
-        let (hits, eff_deps) = probe_unit_cache(job, &units, &deps, cache, ctx);
+        let (hits, eff_deps) = probe_unit_cache(job, &units, &deps, cache, ctx, events_on);
 
         let progress = Progress::new(job.id(), units.len(), self.options.progress);
         let observer = self.options.observer.as_ref();
-        let results: Vec<(Json, Json, bool)> =
+        let results: Vec<(Json, Json, bool, Option<String>)> =
             pool::run_dag(self.jobs(), &eff_deps, |i, dep_results| {
                 let unit = &units[i];
                 let unit_started = Instant::now();
-                let (result, metrics, cached) = match &hits[i] {
+                let (result, metrics, cached, events) = match &hits[i] {
                     Some(hit) => {
-                        let (metrics, result) = unwrap_entry(hit.clone());
+                        let (metrics, result, events) = unwrap_entry_events(hit.clone());
                         progress.unit_done(unit, UnitOutcome::Cached);
-                        (result, metrics, true)
+                        (result, metrics, true, events)
                     }
                     None => {
-                        let dep_outputs: Vec<Json> =
-                            dep_results.into_iter().map(|(json, _, _)| json).collect();
+                        let dep_outputs: Vec<Json> = dep_results
+                            .into_iter()
+                            .map(|(json, _, _, _)| json)
+                            .collect();
                         let _span = lh_obs::Span::enter("unit.run", "harness");
-                        let (result, recorded) = lh_obs::record(|| {
-                            job.run_unit(i, derive_seed(job.id(), i, ctx.seed), &dep_outputs, ctx)
+                        let ((result, recorded), flight) = lh_obs::flight::capture(|| {
+                            lh_obs::record(|| {
+                                job.run_unit(
+                                    i,
+                                    derive_seed(job.id(), i, ctx.seed),
+                                    &dep_outputs,
+                                    ctx,
+                                )
+                            })
                         });
+                        let events = events_on.then(|| flight.render(unit, i));
                         let metrics = metrics_to_json(&recorded);
                         if let Some(c) = cache {
-                            let entry = wrap_entry(metrics.clone(), result.clone());
-                            if let Err(e) = c.put(&self.key(job, unit, ctx), &entry) {
+                            let entry =
+                                wrap_entry_events(metrics.clone(), result.clone(), events.clone());
+                            if let Err(e) = c.put(&self.key(job, unit, ctx, events_on), &entry) {
                                 crate::progress::note(format_args!(
                                     "warning: cache write failed for {}/{unit}: {e}",
                                     job.id()
@@ -271,7 +307,7 @@ impl Runner {
                         }
                         progress
                             .unit_done(unit, UnitOutcome::Ran(unit_started.elapsed().as_millis()));
-                        (result, metrics, false)
+                        (result, metrics, false, events)
                     }
                 };
                 // Lifetime accounting: the process-global registry sums
@@ -293,17 +329,34 @@ impl Runner {
                         result: result.clone(),
                     });
                 }
-                (result, metrics, cached)
+                (result, metrics, cached, events)
             })
             .expect("deps validated above; pruning edges cannot introduce a cycle");
 
-        let units_cached = results.iter().filter(|(_, _, cached)| *cached).count();
+        let units_cached = results.iter().filter(|(_, _, cached, _)| *cached).count();
         let units_executed = results.len() - units_cached;
-        let per_unit: Vec<Json> = results.iter().map(|(_, m, _)| m.clone()).collect();
+        let per_unit: Vec<Json> = results.iter().map(|(_, m, _, _)| m.clone()).collect();
         let metrics = metrics_block(&units, &per_unit);
-        let merged = job.finish(results.into_iter().map(|(r, _, _)| r).collect(), ctx);
+        // Assemble the experiment event log in unit order — the same
+        // order regardless of which units ran, replayed, or on which
+        // thread they completed.
+        let events = events_on.then(|| {
+            let mut blob = lh_obs::flight::experiment_header(
+                job.id(),
+                ctx.scale.as_str(),
+                ctx.seed,
+                units.len(),
+            );
+            for (_, _, _, unit_events) in &results {
+                if let Some(e) = unit_events {
+                    blob.push_str(e);
+                }
+            }
+            blob
+        });
+        let merged = job.finish(results.into_iter().map(|(r, _, _, _)| r).collect(), ctx);
         if let Some(c) = cache {
-            let entry = wrap_entry(metrics.clone(), merged.clone());
+            let entry = wrap_entry_events(metrics.clone(), merged.clone(), events.clone());
             if let Err(e) = c.put(&merged_key, &entry) {
                 crate::progress::note(format_args!(
                     "warning: cache write failed for {} merge: {e}",
@@ -317,6 +370,7 @@ impl Runner {
             id: job.id(),
             merged,
             metrics,
+            events,
             stats: RunStats {
                 units_total: units.len(),
                 units_cached,

@@ -185,6 +185,10 @@ pub struct WireOutcome {
     pub rfms: u64,
     /// Defense counters.
     pub defense_stats: DefenseStats,
+    /// Flight-recorder segment of the underlying system, when event
+    /// recording was active — lets callers annotate the command stream
+    /// (e.g. with symbol windows) under the same segment.
+    pub flight_seg: Option<u64>,
 }
 
 /// Runs the sender/receiver pair over a raw per-window symbol schedule
@@ -256,11 +260,15 @@ pub fn transmit_windows(
         .observations()
         .to_vec();
     let stats = sys.controller().stats();
+    let backoffs = stats.backoffs;
+    let rfms = stats.rfms;
+    let flight_seg = lh_obs::flight::active().then(|| sys.flight_seg());
     WireOutcome {
         observations,
-        backoffs: stats.backoffs,
-        rfms: stats.rfms,
+        backoffs,
+        rfms,
         defense_stats: sys.controller().defense_stats(),
+        flight_seg,
     }
 }
 
@@ -415,6 +423,40 @@ pub fn transmit_payload(
     let observations =
         cfg.sync
             .extract_payload(&wire.observations, &alignment, payload_symbols.len());
+    // Annotate the flight log with one event per payload symbol window:
+    // the sender's schedule (what was meant) against the receiver's
+    // aligned observation (what the maintenance channel delivered),
+    // classified with the calibrated threshold. Emitted under the wire
+    // system's segment so the windows sort alongside its command and
+    // maintenance events.
+    if let Some(seg) = wire.flight_seg {
+        let window = cfg.tuning.window;
+        let preamble = cfg.sync.pattern.len();
+        let link_events = payload_symbols
+            .iter()
+            .enumerate()
+            .map(|(i, &symbol)| {
+                let t0 = window * (cfg.rx_lead_windows + preamble + i) as u64;
+                let events = observations.get(i).map_or(0, |o| u64::from(o.events));
+                let observed = events >= u64::from(cal.trecv);
+                let verdict = match (symbol != 0, observed) {
+                    (true, true) => "hit",
+                    (true, false) => "miss",
+                    (false, true) => "false-positive",
+                    (false, false) => "idle",
+                };
+                lh_obs::FlightEvent::Link {
+                    t_ns: t0.as_ps() / 1_000,
+                    t_end_ns: (t0 + window).as_ps() / 1_000,
+                    window: i as u64,
+                    symbol: u64::from(symbol),
+                    events,
+                    verdict,
+                }
+            })
+            .collect();
+        lh_obs::flight::emit_batch(seg, link_events, std::collections::BTreeMap::new());
+    }
     PayloadOutcome {
         observations,
         alignment,

@@ -47,6 +47,7 @@ use lh_dram::{
     Alert, AlertScope, BankId, Command, DeviceConfig, DramDevice, DramError, RfmScope, Span, Time,
 };
 use lh_mitigate::MitigationConfig;
+use lh_obs::flight::{self, EventBuffer, FlightEvent};
 
 use crate::request::{AccessKind, Completion, MemRequest};
 
@@ -243,6 +244,11 @@ pub struct MemoryController {
     /// only keeps the cumulative max; the full sample stream feeds the
     /// `sim.maintenance.slack` histogram.
     maint_jitter: Vec<Span>,
+    /// Flight events (command issues, maintenance decisions) buffered
+    /// until the simulator drains them
+    /// ([`MemoryController::drain_flight`]). Empty unless flight
+    /// recording is active.
+    flight: EventBuffer,
 }
 
 /// What `next_step` decided.
@@ -328,6 +334,7 @@ impl MemoryController {
             streak: vec![(u32::MAX, 0); g.banks_per_channel() as usize],
             stats: CtrlStats::default(),
             maint_jitter: Vec::new(),
+            flight: EventBuffer::new(),
         })
     }
 
@@ -419,6 +426,15 @@ impl MemoryController {
         for jitter in self.maint_jitter.drain(..) {
             f(jitter);
         }
+    }
+
+    /// Drains buffered flight events — the controller's own command
+    /// issues and maintenance decisions, then the defense stack's
+    /// mitigation interventions — into `sink`, carrying ring-drop
+    /// accounting along. A no-op when recording has been off.
+    pub fn drain_flight(&mut self, sink: &mut EventBuffer) {
+        sink.absorb(&mut self.flight);
+        self.defense.drain_flight(sink);
     }
 
     /// Issues every command legal at `now`; returns the next instant at
@@ -955,6 +971,69 @@ impl MemoryController {
             .issue(&cmd, now)
             .unwrap_or_else(|e| panic!("scheduler issued illegal command: {e}"));
 
+        let record = flight::active();
+        if record {
+            let t_ns = now.as_ps() / 1_000;
+            self.flight.push(match &cmd {
+                Command::Activate { bank, row } => FlightEvent::Cmd {
+                    t_ns,
+                    cmd: "act",
+                    rank: bank.rank,
+                    bank_group: bank.bank_group,
+                    bank: bank.bank,
+                    row: Some(u64::from(*row)),
+                },
+                Command::Precharge { bank } => FlightEvent::Cmd {
+                    t_ns,
+                    cmd: "pre",
+                    rank: bank.rank,
+                    bank_group: bank.bank_group,
+                    bank: bank.bank,
+                    row: None,
+                },
+                Command::PrechargeAll { rank, .. } => FlightEvent::Cmd {
+                    t_ns,
+                    cmd: "prea",
+                    rank: *rank,
+                    bank_group: 0,
+                    bank: 0,
+                    row: None,
+                },
+                Command::Read { bank, .. } => FlightEvent::Cmd {
+                    t_ns,
+                    cmd: "rd",
+                    rank: bank.rank,
+                    bank_group: bank.bank_group,
+                    bank: bank.bank,
+                    row: None,
+                },
+                Command::Write { bank, .. } => FlightEvent::Cmd {
+                    t_ns,
+                    cmd: "wr",
+                    rank: bank.rank,
+                    bank_group: bank.bank_group,
+                    bank: bank.bank,
+                    row: None,
+                },
+                Command::Refresh { rank, .. } => FlightEvent::Cmd {
+                    t_ns,
+                    cmd: "ref",
+                    rank: *rank,
+                    bank_group: 0,
+                    bank: 0,
+                    row: None,
+                },
+                Command::Rfm { rank, .. } => FlightEvent::Cmd {
+                    t_ns,
+                    cmd: "rfm",
+                    rank: *rank,
+                    bank_group: 0,
+                    bank: 0,
+                    row: None,
+                },
+            });
+        }
+
         match cmd {
             Command::Activate { bank, row } => {
                 self.stats.activates += 1;
@@ -963,6 +1042,16 @@ impl MemoryController {
                     if job.bank == bank && job.victim == row && !job.activated {
                         job.activated = true;
                         self.stats.para_victim_acts += 1;
+                        if record {
+                            self.flight.push(FlightEvent::Maint {
+                                t_ns: now.as_ps() / 1_000,
+                                action: "para",
+                                cause: "reactive",
+                                rank: bank.rank,
+                                bank: Some(bank.bank),
+                                slack_ns: 0,
+                            });
+                        }
                     }
                 }
                 let actions = self.defense.on_activate(bank, row, now).to_vec();
@@ -1002,6 +1091,16 @@ impl MemoryController {
             Command::Refresh { rank, .. } => {
                 self.ref_pending[rank as usize] -= 1;
                 self.stats.refreshes += 1;
+                if record {
+                    self.flight.push(FlightEvent::Maint {
+                        t_ns: now.as_ps() / 1_000,
+                        action: "refresh",
+                        cause: "scheduled",
+                        rank,
+                        bank: None,
+                        slack_ns: 0,
+                    });
+                }
                 // MINT: the sampled aggressors' victims are refreshed
                 // inside this REF's blocking window — no extra latency.
                 for (bank, row) in self.defense.on_periodic_refresh(rank) {
@@ -1015,11 +1114,31 @@ impl MemoryController {
                     Some(abo) if abo.phase == AboPhase::Recover && abo.rfms_left > 0 => {
                         abo.rfms_left -= 1;
                         abo.last_rfm_end = now + self.device.timing().t_rfm;
+                        if record {
+                            self.flight.push(FlightEvent::Maint {
+                                t_ns: now.as_ps() / 1_000,
+                                action: "rfm",
+                                cause: "abo",
+                                rank,
+                                bank: None,
+                                slack_ns: 0,
+                            });
+                        }
                     }
                     _ => {
                         // Reactive (PRFM) or scheduled (FR-RFM) command.
                         if self.rfm_queue.front() == Some(&(rank, scope)) {
                             self.rfm_queue.pop_front();
+                            if record {
+                                self.flight.push(FlightEvent::Maint {
+                                    t_ns: now.as_ps() / 1_000,
+                                    action: "rfm",
+                                    cause: "reactive",
+                                    rank,
+                                    bank: None,
+                                    slack_ns: 0,
+                                });
+                            }
                         } else if let Some(m) = self.defense.take_maintenance(rank, now) {
                             // Scheduled maintenance: consume it from the
                             // defense (advancing its schedule) and record
@@ -1028,6 +1147,16 @@ impl MemoryController {
                             let jitter = now.saturating_since(m.due);
                             self.stats.fr_rfm_jitter_max = self.stats.fr_rfm_jitter_max.max(jitter);
                             self.maint_jitter.push(jitter);
+                            if record {
+                                self.flight.push(FlightEvent::Maint {
+                                    t_ns: now.as_ps() / 1_000,
+                                    action: "rfm",
+                                    cause: "scheduled",
+                                    rank,
+                                    bank: None,
+                                    slack_ns: jitter.as_ps() / 1_000,
+                                });
+                            }
                         }
                     }
                 }

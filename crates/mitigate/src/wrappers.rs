@@ -23,6 +23,7 @@ use lh_defenses::{
     build_defense, Defense, DefenseAction, DefenseConfig, DefenseStats, Maintenance,
 };
 use lh_dram::{BankId, Geometry, RfmScope, Span, Time};
+use lh_obs::flight::{self, EventBuffer, FlightEvent};
 
 use crate::config::{MitigationConfig, MitigationKind};
 
@@ -85,6 +86,10 @@ impl Defense for PassThrough {
         self.inner.stats()
     }
 
+    fn drain_flight(&mut self, sink: &mut EventBuffer) {
+        self.inner.drain_flight(sink);
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -105,6 +110,7 @@ pub struct MaintenanceJitter {
     seed: u64,
     actions: Vec<DefenseAction>,
     stats: DefenseStats,
+    flight: EventBuffer,
 }
 
 impl MaintenanceJitter {
@@ -122,6 +128,7 @@ impl MaintenanceJitter {
             seed,
             actions: Vec::new(),
             stats,
+            flight: EventBuffer::new(),
         }
     }
 
@@ -171,13 +178,23 @@ impl Defense for MaintenanceJitter {
         if now < presented.due {
             return None;
         }
-        self.inner
+        let inner = self
+            .inner
             .take_maintenance(rank, now)
             .expect("inner deadline precedes the jittered one");
         if now == presented.due {
             self.stats.maintenance_on_time += 1;
         } else {
             self.stats.maintenance_deferred += 1;
+        }
+        if flight::active() {
+            self.flight.push(FlightEvent::Mitigation {
+                t_ns: now.as_ps() / 1_000,
+                wrapper: "jitter",
+                action: "slip",
+                rank,
+                amount_ns: presented.due.saturating_since(inner.due).as_ps() / 1_000,
+            });
         }
         self.refresh_stats();
         Some(presented)
@@ -201,6 +218,11 @@ impl Defense for MaintenanceJitter {
         &self.stats
     }
 
+    fn drain_flight(&mut self, sink: &mut EventBuffer) {
+        sink.absorb(&mut self.flight);
+        self.inner.drain_flight(sink);
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -217,6 +239,7 @@ pub struct DeferredBatch {
     quantum: Span,
     actions: Vec<DefenseAction>,
     stats: DefenseStats,
+    flight: EventBuffer,
 }
 
 impl DeferredBatch {
@@ -234,6 +257,7 @@ impl DeferredBatch {
             quantum,
             actions: Vec::new(),
             stats,
+            flight: EventBuffer::new(),
         }
     }
 
@@ -278,13 +302,23 @@ impl Defense for DeferredBatch {
         if now < presented.due {
             return None;
         }
-        self.inner
+        let inner = self
+            .inner
             .take_maintenance(rank, now)
             .expect("inner deadline precedes the quantized one");
         if now == presented.due {
             self.stats.maintenance_on_time += 1;
         } else {
             self.stats.maintenance_deferred += 1;
+        }
+        if flight::active() {
+            self.flight.push(FlightEvent::Mitigation {
+                t_ns: now.as_ps() / 1_000,
+                wrapper: "batch",
+                action: "defer",
+                rank,
+                amount_ns: presented.due.saturating_since(inner.due).as_ps() / 1_000,
+            });
         }
         self.refresh_stats();
         Some(presented)
@@ -309,6 +343,11 @@ impl Defense for DeferredBatch {
 
     fn stats(&self) -> &DefenseStats {
         &self.stats
+    }
+
+    fn drain_flight(&mut self, sink: &mut EventBuffer) {
+        sink.absorb(&mut self.flight);
+        self.inner.drain_flight(sink);
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -339,6 +378,7 @@ pub struct ConstantRateShaper {
     absorbed: u64,
     actions: Vec<DefenseAction>,
     stats: DefenseStats,
+    flight: EventBuffer,
 }
 
 impl ConstantRateShaper {
@@ -358,6 +398,7 @@ impl ConstantRateShaper {
             absorbed: 0,
             actions: Vec::new(),
             stats,
+            flight: EventBuffer::new(),
         }
     }
 
@@ -387,10 +428,20 @@ impl Defense for ConstantRateShaper {
 
     fn on_activate(&mut self, bank: BankId, row: u32, now: Time) -> &[DefenseAction] {
         let mut actions = self.inner.on_activate(bank, row, now).to_vec();
+        let record = flight::active();
         actions.retain(|a| {
             let reactive_rfm = matches!(a, DefenseAction::IssueRfm { .. });
             if reactive_rfm {
                 self.absorbed += 1;
+                if record {
+                    self.flight.push(FlightEvent::Mitigation {
+                        t_ns: now.as_ps() / 1_000,
+                        wrapper: "shaper",
+                        action: "absorb",
+                        rank: bank.rank,
+                        amount_ns: 0,
+                    });
+                }
             }
             !reactive_rfm
         });
@@ -416,7 +467,21 @@ impl Defense for ConstantRateShaper {
         self.emitted += 1;
         // Inner scheduled operations that came due are covered by this
         // all-bank RFM; drain them so the inner schedule keeps moving.
-        while self.inner.take_maintenance(rank, now).is_some() {}
+        let mut covered = 0u64;
+        while self.inner.take_maintenance(rank, now).is_some() {
+            covered += 1;
+        }
+        if flight::active() && covered == 0 {
+            // No inner operation was due: the emitted RFM is pure chaff
+            // keeping the observable rate constant.
+            self.flight.push(FlightEvent::Mitigation {
+                t_ns: now.as_ps() / 1_000,
+                wrapper: "shaper",
+                action: "dummy-rfm",
+                rank,
+                amount_ns: 0,
+            });
+        }
         if now == due {
             self.stats.maintenance_on_time += 1;
         } else {
@@ -444,6 +509,11 @@ impl Defense for ConstantRateShaper {
         &self.stats
     }
 
+    fn drain_flight(&mut self, sink: &mut EventBuffer) {
+        sink.absorb(&mut self.flight);
+        self.inner.drain_flight(sink);
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -466,6 +536,7 @@ pub struct IsolationQuota {
     throttled: u64,
     actions: Vec<DefenseAction>,
     stats: DefenseStats,
+    flight: EventBuffer,
 }
 
 impl IsolationQuota {
@@ -485,6 +556,7 @@ impl IsolationQuota {
             throttled: 0,
             actions: Vec::new(),
             stats,
+            flight: EventBuffer::new(),
         }
     }
 
@@ -511,11 +583,17 @@ impl Defense for IsolationQuota {
         let mut actions = self.inner.on_activate(bank, row, now).to_vec();
         if over_budget {
             self.throttled += 1;
-            actions.push(DefenseAction::ThrottleRow {
-                bank,
-                row,
-                until: Time::from_ps((idx + 1) * epoch_ps),
-            });
+            let until = Time::from_ps((idx + 1) * epoch_ps);
+            actions.push(DefenseAction::ThrottleRow { bank, row, until });
+            if flight::active() {
+                self.flight.push(FlightEvent::Mitigation {
+                    t_ns: now.as_ps() / 1_000,
+                    wrapper: "quota",
+                    action: "throttle",
+                    rank: bank.rank,
+                    amount_ns: until.saturating_since(now).as_ps() / 1_000,
+                });
+            }
         }
         self.actions = actions;
         self.refresh_stats();
@@ -548,6 +626,11 @@ impl Defense for IsolationQuota {
 
     fn stats(&self) -> &DefenseStats {
         &self.stats
+    }
+
+    fn drain_flight(&mut self, sink: &mut EventBuffer) {
+        sink.absorb(&mut self.flight);
+        self.inner.drain_flight(sink);
     }
 
     fn as_any(&self) -> &dyn Any {

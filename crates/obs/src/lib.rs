@@ -1,7 +1,7 @@
-//! # lh-obs — deterministic metrics and wall-clock tracing
+//! # lh-obs — deterministic metrics, flight events, wall-clock tracing
 //!
 //! The observability spine of the LeakyHammer reproduction, split into
-//! two channels with deliberately different guarantees:
+//! three channels with deliberately different guarantees:
 //!
 //! * **Deterministic counters and histograms** ([`metrics`]) — named
 //!   `u64` counters ([`Counter`]) and fixed-power-of-two-bucket
@@ -14,6 +14,15 @@
 //!   one unit. Metric values must depend only on the computation —
 //!   never on wall-clock or thread scheduling — so they can ride
 //!   cached results and distributed-run envelopes byte-identically.
+//! * **Flight events** ([`flight`]) — typed per-event records on the
+//!   *simulated*-ns clock (DRAM command issues, maintenance decisions
+//!   with cause, mitigation interventions, link symbol windows),
+//!   captured per unit into a bounded ring with deterministic drop
+//!   accounting. Same determinism contract as metrics — an event log is
+//!   a pure function of the computation, byte-identical across thread
+//!   counts, worker fleets and cache replay — but ordered and
+//!   per-event, so a maintenance timeline can be laid against a covert
+//!   sender's symbol windows. Off by default; `--events-out` enables.
 //! * **Wall-clock spans** ([`trace`]) — RAII [`Span`]s collected in a
 //!   process-global buffer and exported as Chrome `trace_event` JSON
 //!   (`chrome://tracing`, Perfetto). Timings never enter the
@@ -42,10 +51,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod flight;
 pub mod metrics;
 pub mod registry;
 pub mod trace;
 
+pub use flight::{FlightEvent, FlightLog};
 pub use metrics::{emit, record, scoped, Counter, Hist, Histogram, Metrics};
 pub use registry::Registry;
 pub use trace::{chrome_trace_json, export_chrome_trace, Span, TraceEvent};

@@ -115,6 +115,27 @@ impl Hist {
     pub fn is_empty(&self) -> bool {
         self.count == 0
     }
+
+    /// An upper bound on the `q`-quantile (`0.0..=1.0`): the inclusive
+    /// bound of the first bucket whose cumulative count reaches
+    /// `ceil(q * count)`. Power-of-two buckets make this coarse — it
+    /// answers "no more than" questions, which is what report tables
+    /// need — and exact in count space, so it is as deterministic as
+    /// the histogram itself. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (exp, n) in &self.buckets {
+            seen = seen.saturating_add(*n);
+            if seen >= target {
+                return Hist::bucket_bound(*exp);
+            }
+        }
+        Hist::bucket_bound(64)
+    }
 }
 
 /// An ordered map of named counter totals and histogram distributions.
@@ -519,6 +540,71 @@ mod tests {
         WAIT.observe_hist(&local); // unscoped: dropped
         let ((), fresh) = record(|| {});
         assert!(fresh.is_empty());
+    }
+
+    #[test]
+    fn hist_merge_of_two_empties_is_empty() {
+        let mut a = Hist::new();
+        a.merge(&Hist::new());
+        assert!(a.is_empty());
+        assert_eq!(a, Hist::new(), "empty ⊕ empty stays canonical");
+        assert_eq!(a.buckets().count(), 0);
+        assert_eq!(a.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn hist_merge_saturates_the_top_bucket() {
+        let mut a = Hist::from_parts(u64::MAX, u64::MAX, [(64, u64::MAX)]);
+        let mut b = Hist::new();
+        b.observe(u64::MAX);
+        a.merge(&b);
+        assert_eq!(a.count(), u64::MAX, "count saturates");
+        assert_eq!(a.sum(), u64::MAX, "sum saturates");
+        let buckets: Vec<(u32, u64)> = a.buckets().collect();
+        assert_eq!(buckets, vec![(64, u64::MAX)], "top bucket saturates");
+    }
+
+    #[test]
+    fn hist_merge_of_disjoint_sparse_buckets_keeps_both() {
+        let mut a = Hist::new();
+        a.observe(0); // exponent 0
+        a.observe(1 << 20); // exponent 21
+        let mut b = Hist::new();
+        b.observe(3); // exponent 2
+        b.observe(u64::MAX); // exponent 64
+        a.merge(&b);
+        let buckets: Vec<(u32, u64)> = a.buckets().collect();
+        assert_eq!(buckets, vec![(0, 1), (2, 1), (21, 1), (64, 1)]);
+        assert_eq!(a.count(), 4);
+    }
+
+    #[test]
+    fn hist_merge_is_commutative() {
+        let mut ab = Hist::new();
+        let mut ba = Hist::new();
+        let a = Hist::from_parts(3, 30, [(0, 1), (5, 2)]);
+        let b = Hist::from_parts(2, 900, [(5, 1), (10, 1)]);
+        ab.merge(&a);
+        ab.merge(&b);
+        ba.merge(&b);
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn hist_quantiles_walk_cumulative_buckets() {
+        let mut h = Hist::new();
+        for v in [1u64, 1, 2, 2, 2, 2, 100, 1000] {
+            h.observe(v);
+        }
+        // Buckets: exp1 x2 (bound 1), exp2 x4 (bound 3), exp7 x1
+        // (bound 127), exp10 x1 (bound 1023).
+        assert_eq!(h.quantile(0.0), 1, "lowest non-empty bucket bound");
+        assert_eq!(h.quantile(0.25), 1);
+        assert_eq!(h.quantile(0.5), 3);
+        assert_eq!(h.quantile(0.75), 3);
+        assert_eq!(h.quantile(0.875), 127, "7 of 8 samples are ≤ 127");
+        assert_eq!(h.quantile(1.0), 1023);
     }
 
     #[test]

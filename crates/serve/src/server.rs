@@ -93,6 +93,10 @@ struct RunInner {
     /// The finished envelope, pretty-printed plus trailing newline —
     /// the exact bytes `--format json` would print.
     envelope: Option<String>,
+    /// The flight-event log, present once a run submitted with
+    /// `"events": true` finishes — the exact bytes `--events-out`
+    /// would write for the same experiment/scale/seed.
+    events: Option<String>,
 }
 
 /// One submitted run: immutable identity plus mutexed progress state.
@@ -101,6 +105,8 @@ struct RunEntry {
     experiment: String,
     scale: ScaleLevel,
     seed: u64,
+    /// Whether the submission asked for flight-event recording.
+    events: bool,
     inner: Mutex<RunInner>,
     cond: Condvar,
 }
@@ -128,7 +134,8 @@ impl RunEntry {
             .with("scale", self.scale.as_str())
             .with("seed", self.seed)
             .with("status", inner.phase.as_str())
-            .with("events", inner.lines.len());
+            .with("events", inner.lines.len())
+            .with("flight", self.events);
         if let RunPhase::Failed(error) = &inner.phase {
             obj.set("error", error.as_str());
         }
@@ -145,6 +152,13 @@ struct ServerState {
     /// `(id, description)` pairs for `/experiments` and submit-time
     /// validation.
     experiments: Vec<(String, String)>,
+    /// When the service bound, for `/healthz` uptime.
+    started: std::time::Instant,
+    /// Combined digest of every registered job's id, version and code
+    /// fingerprint — the `/version` identity of this binary's
+    /// experiment surface (two services with equal digests produce
+    /// byte-identical envelopes for equal submissions).
+    registry_digest: String,
 }
 
 impl ServerState {
@@ -216,6 +230,14 @@ impl Server {
             .jobs()
             .map(|j| (j.id().to_owned(), j.description().to_owned()))
             .collect();
+        let mut hasher = lh_harness::hash::Hasher::new();
+        for job in registry.jobs() {
+            hasher
+                .field(job.id())
+                .number(u64::from(job.version()))
+                .field(&job.fingerprint());
+        }
+        let registry_digest = hasher.digest();
 
         let (queue_tx, queue_rx) = mpsc::channel::<Arc<RunEntry>>();
         std::thread::Builder::new()
@@ -229,6 +251,8 @@ impl Server {
                 queue: Mutex::new(queue_tx),
                 telemetry,
                 experiments,
+                started: std::time::Instant::now(),
+                registry_digest,
             }),
         })
     }
@@ -285,7 +309,12 @@ fn executor(
         entry.set_phase(RunPhase::Running);
         entry.push_line(sink::stream_started(job, job.units(&ctx).len(), &ctx));
         *live.lock().expect("live slot poisoned") = Some(Arc::clone(&entry));
+        // The flight switch is per run: the executor is the only thread
+        // driving the coordinator, so flipping the process-global
+        // recorder here scopes it to exactly this run's assignments.
+        lh_obs::flight::set_enabled(entry.events);
         let outcome = coordinator.run(job, &ctx);
+        lh_obs::flight::set_enabled(false);
         *live.lock().expect("live slot poisoned") = None;
         match outcome {
             Ok(run) => {
@@ -293,6 +322,7 @@ fn executor(
                 let envelope = sink::render(job, &run, &ctx, OutputFormat::Json);
                 let mut inner = entry.lock();
                 inner.envelope = Some(envelope);
+                inner.events = run.events;
                 inner.phase = RunPhase::Done;
                 drop(inner);
                 entry.cond.notify_all();
@@ -336,7 +366,30 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState) -> io::Result<(
         .collect();
 
     match (request.method.as_str(), segments.as_slice()) {
-        ("GET", ["healthz"]) => respond(&mut stream, 200, "text/plain", b"ok\n"),
+        // Liveness first, depth nowhere: /healthz must answer 200 the
+        // moment the socket is bound, even with the fleet mid-respawn —
+        // it reports uptime and fleet health, it does not gate on them.
+        ("GET", ["healthz"]) => {
+            let snapshot = state.telemetry.snapshot();
+            let alive = snapshot.workers.iter().filter(|w| w.alive).count();
+            json_response(
+                &mut stream,
+                200,
+                &Json::object()
+                    .with("status", "ok")
+                    .with("uptime_ms", state.started.elapsed().as_millis() as u64)
+                    .with("workers_alive", alive),
+            )
+        }
+        ("GET", ["version"]) => json_response(
+            &mut stream,
+            200,
+            &Json::object()
+                .with("service", "lh-serve")
+                .with("version", env!("CARGO_PKG_VERSION"))
+                .with("protocol", lh_coord::PROTOCOL_VERSION)
+                .with("registry", state.registry_digest.as_str()),
+        ),
         ("GET", ["metrics"]) => {
             let registry = lh_obs::Registry::global();
             let page = prom::render(
@@ -407,6 +460,35 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState) -> io::Result<(
                 None => error_response(&mut stream, 404, &format!("no run {id}")),
             }
         }
+        ("GET", ["runs", id, "events"]) => {
+            match id.parse().ok().and_then(|id| state.run_by_id(id)) {
+                Some(entry) if !entry.events => error_response(
+                    &mut stream,
+                    404,
+                    "run was submitted without \"events\": true",
+                ),
+                Some(entry) => {
+                    let inner = entry.lock();
+                    match (&inner.phase, &inner.events) {
+                        (_, Some(events)) => {
+                            let bytes = events.clone().into_bytes();
+                            drop(inner);
+                            respond(&mut stream, 200, "application/x-ndjson", &bytes)
+                        }
+                        (RunPhase::Failed(error), None) => {
+                            let message = error.clone();
+                            drop(inner);
+                            error_response(&mut stream, 500, &message)
+                        }
+                        _ => {
+                            drop(inner);
+                            error_response(&mut stream, 409, "run not finished yet")
+                        }
+                    }
+                }
+                None => error_response(&mut stream, 404, &format!("no run {id}")),
+            }
+        }
         ("GET", ["runs", id, "stream"]) => {
             match id.parse().ok().and_then(|id| state.run_by_id(id)) {
                 Some(entry) => stream_run(stream, state, &entry),
@@ -455,6 +537,11 @@ fn submit_run(stream: &mut TcpStream, state: &ServerState, request: &Request) ->
             None => return error_response(stream, 400, "field 'seed' must be an unsigned integer"),
         },
     };
+    let events = match &doc["events"] {
+        Json::Null => false,
+        Json::Bool(events) => *events,
+        _ => return error_response(stream, 400, "field 'events' must be a boolean"),
+    };
 
     let entry = {
         let mut runs = state.runs.lock().expect("run table poisoned");
@@ -463,10 +550,12 @@ fn submit_run(stream: &mut TcpStream, state: &ServerState, request: &Request) ->
             experiment: experiment.to_owned(),
             scale,
             seed,
+            events,
             inner: Mutex::new(RunInner {
                 phase: RunPhase::Queued,
                 lines: Vec::new(),
                 envelope: None,
+                events: None,
             }),
             cond: Condvar::new(),
         });

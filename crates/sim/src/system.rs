@@ -384,6 +384,12 @@ pub struct System {
     /// Maintenance-slack samples accumulated since the last obs flush
     /// (same scoping rationale as `queue_wait`).
     maint_slack: lh_obs::Hist,
+    /// Flight-recorder segment owned by this system, allocated lazily on
+    /// first use so systems built while recording is off cost nothing.
+    /// Events drained from the controller in `flush_obs` are emitted
+    /// under this segment; the renderer's (segment, time) sort makes the
+    /// log independent of how many systems interleave their flushes.
+    flight_seg: Option<u64>,
 }
 
 impl Drop for System {
@@ -440,6 +446,7 @@ impl System {
             obs_flushed: ObsFlushed::default(),
             queue_wait: lh_obs::Hist::new(),
             maint_slack: lh_obs::Hist::new(),
+            flight_seg: None,
         };
         // Start the controller's self-scheduling (refresh timers tick even
         // on an idle system).
@@ -576,6 +583,32 @@ impl System {
             .drain_maintenance_jitter(|jitter| maint_slack.observe(jitter.as_ps() / 1_000));
         counters::QUEUE_WAIT.observe_hist(&std::mem::take(&mut self.queue_wait));
         counters::MAINT_SLACK.observe_hist(&std::mem::take(&mut self.maint_slack));
+        // Flight events ride the same flush cadence as the metric
+        // deltas: drain the controller (and its defense stack) into this
+        // system's segment. Within a segment events keep controller
+        // buffering order after a stable time sort, so lane-batched and
+        // sequential engines produce byte-identical logs.
+        if lh_obs::flight::active() {
+            let seg = self.flight_seg();
+            let mut batch = lh_obs::flight::EventBuffer::new();
+            self.mc.drain_flight(&mut batch);
+            if !batch.is_empty() {
+                let (mut events, dropped) = batch.drain();
+                events.sort_by_key(lh_obs::FlightEvent::t_ns);
+                lh_obs::flight::emit_batch(seg, events, dropped);
+            }
+        }
+    }
+
+    /// The flight-recorder segment identifying this system in event
+    /// logs, allocated on first call. Event producers outside the
+    /// system (e.g. the link pipeline annotating symbol windows) tag
+    /// their events with this segment so they sort alongside the
+    /// system's own command stream.
+    pub fn flight_seg(&mut self) -> u64 {
+        *self
+            .flight_seg
+            .get_or_insert_with(lh_obs::flight::new_segment)
     }
 
     /// Switches controller servicing to the batched path

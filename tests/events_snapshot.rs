@@ -1,0 +1,53 @@
+//! Event-log snapshot gate: the fig2 quick-scale flight-event log is
+//! committed at `crates/bench/snapshots/events/fig2.quick.ndjson` and
+//! any byte of drift fails this test. Event logs are deterministic
+//! simulated-time records, so drift means the simulator's command or
+//! maintenance behaviour changed — if deliberate, regenerate with
+//!
+//! ```text
+//! LH_UPDATE_SNAPSHOTS=1 cargo test --release --test events_snapshot
+//! ```
+//!
+//! and commit the new snapshot with an explanation in the same PR.
+//! (Separate test binary on purpose: the flight switch is
+//! process-global, and this is the only test in this process.)
+
+use lh_harness::{JobContext, Runner, RunnerOptions, ScaleLevel};
+
+const SNAPSHOT: &str = "crates/bench/snapshots/events/fig2.quick.ndjson";
+
+#[test]
+fn fig2_quick_event_log_matches_the_committed_snapshot() {
+    let registry = leakyhammer::registry();
+    let job = registry.get("fig2").expect("fig2 registered");
+    let ctx = JobContext::new(ScaleLevel::Quick, 1);
+
+    lh_obs::flight::set_enabled(true);
+    let run = Runner::new(RunnerOptions {
+        jobs: 1,
+        cache: None,
+        progress: false,
+        observer: None,
+    })
+    .run(job, &ctx)
+    .expect("fig2 quick run");
+    lh_obs::flight::set_enabled(false);
+    let log = run.events.expect("recording on produces a log");
+
+    if std::env::var("LH_UPDATE_SNAPSHOTS").as_deref() == Ok("1") {
+        std::fs::create_dir_all(std::path::Path::new(SNAPSHOT).parent().unwrap())
+            .expect("create snapshot dir");
+        std::fs::write(SNAPSHOT, &log).expect("write snapshot");
+        eprintln!("updated {SNAPSHOT}");
+        return;
+    }
+
+    let recorded = std::fs::read_to_string(SNAPSHOT).unwrap_or_else(|e| {
+        panic!("missing event-log snapshot {SNAPSHOT} ({e}); regenerate with LH_UPDATE_SNAPSHOTS=1")
+    });
+    assert_eq!(
+        log, recorded,
+        "fig2 quick event log drifted from {SNAPSHOT}; if the simulator change is deliberate, \
+         regenerate with LH_UPDATE_SNAPSHOTS=1 and commit the snapshot"
+    );
+}

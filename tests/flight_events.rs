@@ -1,0 +1,137 @@
+//! Acceptance for the flight recorder's determinism contract: the
+//! `--events-out` log for a given `(experiment, scale, seed)` is
+//! *byte-identical* across every execution mode — single-threaded,
+//! `--jobs 8`, an `lh-coord` worker fleet, and a warm-cache replay that
+//! never re-executes a unit — and switching recording on never changes
+//! the experiment envelope.
+//!
+//! The flight switch is process-global, so everything that flips it
+//! lives in one `#[test]` (the harness runs test fns concurrently on
+//! threads; two tests toggling the switch would race).
+
+use lh_coord::{Coordinator, CoordinatorOptions};
+use lh_harness::{sink, OutputFormat};
+use lh_harness::{DiskCache, JobContext, Runner, RunnerOptions, ScaleLevel};
+use lh_serve::ThreadSpawner;
+
+fn ctx() -> JobContext {
+    JobContext::new(ScaleLevel::Quick, 1)
+}
+
+fn runner(jobs: usize, cache: Option<DiskCache>) -> Runner {
+    Runner::new(RunnerOptions {
+        jobs,
+        cache,
+        progress: false,
+        observer: None,
+    })
+}
+
+#[test]
+fn event_log_is_byte_identical_across_execution_modes() {
+    let registry = leakyhammer::registry();
+    let job = registry.get("fig2").expect("fig2 registered");
+
+    // Recording off: no log rides the run, and the envelope is the
+    // reference for the recording runs below.
+    lh_obs::flight::set_enabled(false);
+    let off = runner(1, None).run(job, &ctx()).expect("baseline run");
+    assert!(
+        off.events.is_none(),
+        "recording off must not produce an event log"
+    );
+    let off_envelope = sink::render(job, &off, &ctx(), OutputFormat::Json);
+
+    lh_obs::flight::set_enabled(true);
+
+    // Mode 1: single worker thread — the reference bytes.
+    let reference = runner(1, None)
+        .run(job, &ctx())
+        .expect("jobs=1 run")
+        .events
+        .expect("recording on produces a log");
+    let first = reference.lines().next().expect("log has a header");
+    assert!(
+        first.starts_with("{\"kind\":\"experiment\",\"experiment\":\"fig2\""),
+        "log opens with the experiment header: {first}"
+    );
+    assert!(
+        reference.contains("\"kind\":\"unit\""),
+        "per-unit headers present"
+    );
+    assert!(
+        reference.contains("\"kind\":\"cmd\""),
+        "DRAM command events present"
+    );
+
+    // Mode 2: eight worker threads, completion order scrambled.
+    let threaded = runner(8, None)
+        .run(job, &ctx())
+        .expect("jobs=8 run")
+        .events
+        .expect("log present");
+    assert_eq!(threaded, reference, "--jobs must not change the log bytes");
+
+    // Mode 3: a two-worker coordinator fleet (protocol v4 carries the
+    // flight switch per assignment and the rendered log per Done).
+    let dir = std::env::temp_dir().join(format!(
+        "lh-flight-integration-{}-events",
+        std::process::id()
+    ));
+    let cache = DiskCache::new(&dir);
+    cache.clear().expect("fresh cache dir");
+    let mut coordinator = Coordinator::new(
+        Box::new(ThreadSpawner::new(leakyhammer::registry)),
+        CoordinatorOptions {
+            workers: 2,
+            cache: Some(cache.clone()),
+            progress: false,
+            observer: None,
+            ..CoordinatorOptions::default()
+        },
+    );
+    let distributed = coordinator.run(job, &ctx()).expect("workers=2 run");
+    coordinator.shutdown();
+    assert_eq!(
+        distributed.events.as_deref(),
+        Some(reference.as_str()),
+        "--workers must not change the log bytes"
+    );
+
+    // Mode 4: warm-cache replay — every unit is a hit, the log is
+    // reassembled from cache entries alone.
+    let replayed = runner(8, Some(cache.clone()))
+        .run(job, &ctx())
+        .expect("replay run");
+    assert_eq!(
+        replayed.stats.units_cached, replayed.stats.units_total,
+        "replay must be all cache hits"
+    );
+    assert_eq!(
+        replayed.events.as_deref(),
+        Some(reference.as_str()),
+        "cache replay must not change the log bytes"
+    );
+
+    // Recording never leaks into results: envelopes match the off run.
+    let on_envelope = sink::render(job, &replayed, &ctx(), OutputFormat::Json);
+    lh_obs::flight::set_enabled(false);
+    assert_eq!(
+        on_envelope, off_envelope,
+        "flight recording must not perturb the envelope"
+    );
+
+    // A cache written by a recording run still serves non-recording
+    // runs correctly: the events-aware key side never shadows the
+    // plain side, so this re-executes rather than mis-hitting.
+    let off_again = runner(1, Some(cache.clone()))
+        .run(job, &ctx())
+        .expect("off-side run");
+    assert!(off_again.events.is_none());
+    assert_eq!(
+        sink::render(job, &off_again, &ctx(), OutputFormat::Json),
+        off_envelope
+    );
+
+    cache.clear().expect("cleanup");
+}

@@ -6,6 +6,7 @@ use proptest::prelude::*;
 use lh_analysis::{binary_entropy, channel_capacity};
 use lh_dram::{BankId, CounterInit, DramAddr, Geometry, RowCounters, Span, Time};
 use lh_memctrl::{AddressMapping, MappingScheme};
+use lh_obs::Hist;
 
 proptest! {
     /// Time arithmetic: (t + a) + b == (t + b) + a and subtraction
@@ -93,6 +94,40 @@ proptest! {
         let syms = lh_analysis::bits_to_symbols(&bits, base);
         let back = lh_analysis::symbols_to_bits(&syms, base, bits.len());
         prop_assert_eq!(back, bits);
+    }
+
+    /// Histogram merge is commutative and agrees with observing the
+    /// concatenated sample stream — the property that makes per-unit
+    /// histograms mergeable in any completion order without changing
+    /// envelope bytes. Checked on counts, sums, every bucket, and the
+    /// quantiles the CSV report derives.
+    #[test]
+    fn hist_merge_commutes(
+        xs in proptest::collection::vec(0u64..u64::MAX / 2, 0..64),
+        ys in proptest::collection::vec(0u64..u64::MAX / 2, 0..64),
+    ) {
+        let mut a = Hist::default();
+        for &x in &xs { a.observe(x); }
+        let mut b = Hist::default();
+        for &y in &ys { b.observe(y); }
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let mut direct = Hist::default();
+        for &v in xs.iter().chain(&ys) { direct.observe(v); }
+
+        for merged in [&ba, &direct] {
+            prop_assert_eq!(ab.count(), merged.count());
+            prop_assert_eq!(ab.sum(), merged.sum());
+            let lhs: Vec<(u32, u64)> = ab.buckets().collect();
+            let rhs: Vec<(u32, u64)> = merged.buckets().collect();
+            prop_assert_eq!(&lhs, &rhs);
+            for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+                prop_assert_eq!(ab.quantile(q), merged.quantile(q));
+            }
+        }
     }
 }
 

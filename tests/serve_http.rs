@@ -213,5 +213,94 @@ fn submission_errors_are_structured() {
 
     let health = client::get(&format!("{base}/healthz")).expect("get");
     assert_eq!(health.status, 200);
-    assert_eq!(health.text(), "ok\n");
+    let health_doc = parse(&health.text()).expect("healthz is JSON");
+    assert_eq!(health_doc["status"].as_str(), Some("ok"), "{health_doc}");
+    assert!(
+        health_doc["uptime_ms"].as_u64().is_some(),
+        "healthz reports uptime: {health_doc}"
+    );
+    assert!(
+        health_doc["workers_alive"].as_u64().is_some(),
+        "healthz reports fleet liveness: {health_doc}"
+    );
+}
+
+#[test]
+fn version_reports_the_binary_fingerprint() {
+    let base = start_server();
+    let version = client::get(&format!("{base}/version")).expect("get");
+    assert_eq!(version.status, 200);
+    let doc = parse(&version.text()).expect("version is JSON");
+    assert_eq!(doc["service"].as_str(), Some("lh-serve"), "{doc}");
+    assert!(doc["version"].as_str().is_some(), "{doc}");
+    assert!(doc["protocol"].as_u64().is_some(), "{doc}");
+    let digest = doc["registry"].as_str().unwrap_or("");
+    assert!(
+        !digest.is_empty(),
+        "version carries the registry digest: {doc}"
+    );
+
+    // The digest is a pure function of the registered jobs, so a second
+    // service over the same registry reports the same identity.
+    let other = start_server();
+    let again = client::get(&format!("{other}/version")).expect("get");
+    let again_doc = parse(&again.text()).expect("version is JSON");
+    assert_eq!(again_doc["registry"].as_str(), Some(digest), "{again_doc}");
+}
+
+#[test]
+fn flight_events_are_served_per_run_when_requested() {
+    let base = start_server();
+
+    // A run submitted without events: the endpoint 404s rather than
+    // serving an empty log.
+    let plain = client::post(
+        &format!("{base}/runs"),
+        br#"{"experiment": "fig2", "scale": "quick", "seed": 5}"#,
+    )
+    .expect("submit");
+    assert_eq!(plain.status, 202, "{}", plain.text());
+    let plain_id = parse(&plain.text()).expect("submit reply")["id"]
+        .as_u64()
+        .expect("run id");
+    let status = wait_done(&base, plain_id);
+    assert_eq!(status["flight"].as_bool(), Some(false), "{status}");
+    let none = client::get(&format!("{base}/runs/{plain_id}/events")).expect("get");
+    assert_eq!(none.status, 404, "{}", none.text());
+
+    // The same submission with "events": true serves the flight log.
+    let recorded = client::post(
+        &format!("{base}/runs"),
+        br#"{"experiment": "fig2", "scale": "quick", "seed": 5, "events": true}"#,
+    )
+    .expect("submit");
+    assert_eq!(recorded.status, 202, "{}", recorded.text());
+    let id = parse(&recorded.text()).expect("submit reply")["id"]
+        .as_u64()
+        .expect("run id");
+    let status = wait_done(&base, id);
+    assert_eq!(status["status"].as_str(), Some("done"), "{status}");
+    assert_eq!(status["flight"].as_bool(), Some(true), "{status}");
+
+    let events = client::get(&format!("{base}/runs/{id}/events")).expect("get");
+    assert_eq!(events.status, 200, "{}", events.text());
+    let log = events.text();
+    let first = log.lines().next().expect("log has a header");
+    let header = parse(first).expect("header is JSON");
+    assert_eq!(header["kind"].as_str(), Some("experiment"), "{first}");
+    assert_eq!(header["experiment"].as_str(), Some("fig2"), "{first}");
+    assert!(
+        log.contains("\"kind\":\"unit\""),
+        "per-unit headers present"
+    );
+    assert!(log.contains("\"kind\":\"cmd\""), "DRAM commands recorded");
+    for line in log.lines() {
+        parse(line).unwrap_or_else(|e| panic!("bad event NDJSON {e}: {line}"));
+    }
+
+    // The recording run's envelope stays byte-identical to a plain
+    // run's: flight events ride beside results, never inside them.
+    let with = client::get(&format!("{base}/runs/{id}/envelope")).expect("get");
+    let without = client::get(&format!("{base}/runs/{plain_id}/envelope")).expect("get");
+    assert_eq!(with.text(), without.text());
 }
